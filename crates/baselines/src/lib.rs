@@ -1,0 +1,256 @@
+//! Baseline decompilers: the Ghidra-like rule-based lifter, a ChatGPT
+//! stand-in, and the BTC-like neural baseline.
+//!
+//! See `DESIGN.md` for each substitution argument. All three expose the
+//! same surface: assembly text in, C hypothesis (or failure) out.
+
+#![warn(missing_docs)]
+
+pub mod lifter;
+
+pub use lifter::{lift, LiftError};
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use slade_asm::{parse_asm, Isa};
+use slade_dataset::DatasetItem;
+use slade_nn::Seq2Seq;
+use slade_tokenizer::{special, WordTokenizer};
+
+/// Runs the Ghidra-like decompiler on assembly text.
+///
+/// # Errors
+///
+/// Returns a [`LiftError`] when the assembly contains constructs the lifter
+/// does not model (vector instructions, unknown mnemonics) — Ghidra's
+/// optimized-code failure mode.
+pub fn ghidra_decompile(asm_text: &str, isa: Isa, func_name: &str) -> Result<String, LiftError> {
+    let file = parse_asm(asm_text, isa);
+    let func = file
+        .function(func_name)
+        .ok_or_else(|| LiftError(format!("function `{func_name}` not found")))?;
+    lift(func, isa, &file.rodata)
+}
+
+/// The large-language-model stand-in ("ChatGPT" in the paper's comparison).
+///
+/// Simulated as retrieval over a large pre-training corpus: the query
+/// assembly is matched by opcode-bigram cosine similarity against every
+/// corpus function's assembly, and the best match's *C source* is returned
+/// with lightly paraphrased identifiers. The result is fluent and usually
+/// compilable but frequently semantically wrong — the behaviour the paper
+/// measures (readable, compiles, incorrect; Table I).
+#[derive(Debug)]
+pub struct ChatGptSim {
+    corpus: Vec<(Vec<(String, String)>, String)>, // (bigram profile, C source)
+}
+
+impl ChatGptSim {
+    /// Builds the simulator from a corpus of `(assembly, c_source)` pairs —
+    /// "what the web crawl contained".
+    pub fn new(corpus: &[(String, String)]) -> Self {
+        let corpus = corpus
+            .iter()
+            .map(|(asm, c)| (bigram_profile(asm), c.clone()))
+            .collect();
+        ChatGptSim { corpus }
+    }
+
+    /// Builds the simulator from dataset items compiled for one target.
+    pub fn from_items(items: &[DatasetItem], asm_for: impl Fn(&DatasetItem) -> Option<String>) -> Self {
+        let corpus: Vec<(String, String)> = items
+            .iter()
+            .filter_map(|it| asm_for(it).map(|asm| (asm, it.func_src.clone())))
+            .collect();
+        Self::new(&corpus)
+    }
+
+    /// "Decompiles" by nearest-neighbour retrieval plus identifier
+    /// paraphrase. Always produces *something* (LLMs rarely abstain); the
+    /// function is renamed to `wanted_name` the way a prompt would instruct.
+    pub fn decompile(&self, asm_text: &str, wanted_name: &str, seed: u64) -> String {
+        let query = bigram_profile(asm_text);
+        let mut best = (0.0f64, None);
+        for (profile, source) in &self.corpus {
+            let sim = cosine(&query, profile);
+            if sim > best.0 {
+                best = (sim, Some(source));
+            }
+        }
+        let Some(source) = best.1 else {
+            return format!("int {wanted_name}(int a) {{ return a; }}");
+        };
+        paraphrase(source, wanted_name, seed)
+    }
+}
+
+fn bigram_profile(asm: &str) -> Vec<(String, String)> {
+    let opcodes: Vec<String> = asm
+        .lines()
+        .filter_map(|l| {
+            let t = l.trim();
+            if t.is_empty() || t.starts_with('.') || t.ends_with(':') {
+                None
+            } else {
+                Some(t.split_whitespace().next().unwrap_or("").to_string())
+            }
+        })
+        .collect();
+    opcodes.windows(2).map(|w| (w[0].clone(), w[1].clone())).collect()
+}
+
+fn cosine(a: &[(String, String)], b: &[(String, String)]) -> f64 {
+    use std::collections::HashMap;
+    let mut ca: HashMap<&(String, String), f64> = HashMap::new();
+    for g in a {
+        *ca.entry(g).or_insert(0.0) += 1.0;
+    }
+    let mut cb: HashMap<&(String, String), f64> = HashMap::new();
+    for g in b {
+        *cb.entry(g).or_insert(0.0) += 1.0;
+    }
+    let dot: f64 = ca.iter().map(|(g, x)| x * cb.get(g).copied().unwrap_or(0.0)).sum();
+    let na: f64 = ca.values().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+const PARAPHRASE_NAMES: [&str; 8] =
+    ["value", "input", "result", "count", "index", "buffer", "temp", "size"];
+
+/// Rewrites the retrieved source: renames the function and paraphrases
+/// parameter-like identifiers, as an LLM does when it "explains" code.
+fn paraphrase(source: &str, wanted_name: &str, seed: u64) -> String {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let Ok(program) = slade_minic::parse_program(source) else {
+        return source.to_string();
+    };
+    let mut out = source.to_string();
+    if let Some(f) = program.functions().next() {
+        out = out.replace(&f.name, wanted_name);
+        for (pname, _) in &f.params {
+            if pname.len() > 1 && rng.gen_bool(0.6) {
+                let new = PARAPHRASE_NAMES.choose(&mut rng).unwrap();
+                // Whole-word replacement.
+                out = replace_ident(&out, pname, new);
+            }
+        }
+    }
+    out
+}
+
+fn replace_ident(text: &str, from: &str, to: &str) -> String {
+    let mut out = String::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if text[i..].starts_with(from) {
+            let before_ok = i == 0
+                || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            let after = i + from.len();
+            let after_ok = after >= bytes.len()
+                || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+            if before_ok && after_ok {
+                out.push_str(to);
+                i += from.len();
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+use rand::Rng;
+
+/// The BTC-like neural baseline: same seq2seq architecture as SLaDe but a
+/// word-level tokenizer (OOV-prone), greedy decoding, no type inference,
+/// x86 `-O0` only, and no signature prediction — the paper prepends the
+/// ground-truth signature to its output (§Appendix B.4); so do we.
+#[derive(Debug)]
+pub struct BtcBaseline {
+    /// The trained model.
+    pub model: Seq2Seq,
+    /// Word-level source tokenizer.
+    pub tokenizer: WordTokenizer,
+}
+
+impl BtcBaseline {
+    /// Decompiles assembly, prepending `signature` (ground truth, as the
+    /// paper does for BTC). Returns the hypothesis C text.
+    pub fn decompile(&self, asm_text: &str, signature: &str) -> String {
+        let src = self.tokenizer.encode(asm_text);
+        let out = self.model.greedy(&src, special::BOS, special::EOS, 96);
+        let body = self.tokenizer.decode(&out);
+        // BTC emits body fragments without headers; splice after the
+        // ground-truth signature.
+        if body.trim_start().starts_with('{') {
+            format!("{signature} {body}")
+        } else {
+            format!("{signature} {{ {body} }}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chatgpt_sim_retrieves_similar_code() {
+        let corpus = vec![
+            (
+                "f:\n\tmovl %edi, %eax\n\taddl %esi, %eax\n\tret\n".to_string(),
+                "int add(int a, int b) { return a + b; }".to_string(),
+            ),
+            (
+                "g:\n\tmovl %edi, %eax\n\timull %esi, %eax\n\tret\n".to_string(),
+                "int mul(int a, int b) { return a * b; }".to_string(),
+            ),
+        ];
+        let sim = ChatGptSim::new(&corpus);
+        let out = sim.decompile("h:\n\tmovl %edi, %eax\n\taddl %esi, %eax\n\tret\n", "h", 1);
+        assert!(out.contains("+"), "should retrieve the add-like source: {out}");
+        assert!(out.contains("int h("), "renamed: {out}");
+    }
+
+    #[test]
+    fn chatgpt_sim_always_answers() {
+        let sim = ChatGptSim::new(&[]);
+        let out = sim.decompile("whatever", "mystery", 2);
+        assert!(out.contains("mystery"));
+    }
+
+    #[test]
+    fn paraphrase_renames_whole_words_only() {
+        let out = replace_ident("int val; int valid; val = valid;", "val", "x");
+        assert_eq!(out, "int x; int valid; x = valid;");
+    }
+
+    #[test]
+    fn ghidra_decompile_end_to_end() {
+        use slade_compiler::{compile_function, CompileOpts, OptLevel};
+        let p = slade_minic::parse_program("int twice(int a) { return a + a; }").unwrap();
+        let asm = compile_function(
+            &p,
+            "twice",
+            CompileOpts::new(slade_compiler::Isa::X86_64, OptLevel::O0),
+        )
+        .unwrap();
+        let c = ghidra_decompile(&asm, Isa::X86_64, "twice").unwrap();
+        let lifted = slade_minic::parse_program(&c).unwrap();
+        let mut i = slade_minic::Interpreter::new(&lifted).unwrap();
+        let out = i
+            .call("twice", &[slade_minic::Value::long(21)])
+            .unwrap()
+            .ret
+            .unwrap();
+        assert_eq!(out.as_i64() as i32, 42);
+    }
+}

@@ -1,0 +1,34 @@
+//! Ablation/extension suite bench target (harness = false).
+//!
+//! `cargo bench --bench ablations` trains the perturbed configurations at
+//! the tiny reproduction profile and prints the full ablation report:
+//! dropout vs weight decay (§V-C), tokenizer rules and vocabulary size
+//! (§IV), beam width (§VI-A), plus the paper's §X future-work extensions
+//! (denoising pre-training, program repair, analytic-first hybrid). For
+//! the slower default profile:
+//! `cargo run -p slade-eval --bin figures --release -- default ablations`
+
+use slade::TrainProfile;
+use slade_dataset::DatasetProfile;
+use slade_eval::ablations::{run_all_ablations, AblationSetup};
+
+fn main() {
+    // `cargo bench -- --list` and harness probes must not train models.
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("ablations: bench");
+        return;
+    }
+    let data = DatasetProfile { train: 260, exebench_eval: 40, synth_per_category: 4 };
+    let train = TrainProfile {
+        epochs: 3,
+        max_src_len: 1024,
+        max_tgt_len: 96,
+        ..TrainProfile::tiny()
+    };
+    eprintln!("[ablations bench] generating data and training variants...");
+    let t0 = std::time::Instant::now();
+    let setup = AblationSetup::build(data, train, 2024);
+    println!("{}", run_all_ablations(&setup));
+    eprintln!("[ablations bench] total {:.1}s", t0.elapsed().as_secs_f64());
+}

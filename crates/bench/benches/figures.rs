@@ -1,0 +1,35 @@
+//! Figure/table regeneration bench target (harness = false).
+//!
+//! `cargo bench` runs the whole paper evaluation at the tiny reproduction
+//! profile (so the suite completes in minutes on one core) and prints every
+//! figure and table with paper-vs-measured columns. For the better-quality
+//! default profile run:
+//! `cargo run -p slade-eval --bin figures --release -- default`
+
+use slade::TrainProfile;
+use slade_dataset::DatasetProfile;
+use slade_eval::figures::{run_all, Reproduction};
+
+fn main() {
+    // `cargo bench -- --list` and harness probes must not train models.
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("figures: bench");
+        return;
+    }
+    let data = DatasetProfile { train: 260, exebench_eval: 40, synth_per_category: 4 };
+    // Assembly is token-verbose: the source-length cap must fit realistic
+    // -O0 functions or the model trains on (almost) nothing.
+    let train = TrainProfile {
+        epochs: 3,
+        max_src_len: 1024,
+        max_tgt_len: 96,
+        ..TrainProfile::tiny()
+    };
+    eprintln!("[figures bench] training 4 configurations at bench profile...");
+    let t0 = std::time::Instant::now();
+    let repro = Reproduction::build(data, train, 2024);
+    eprintln!("[figures bench] trained in {:.1}s", t0.elapsed().as_secs_f64());
+    println!("{}", run_all(&repro));
+    eprintln!("[figures bench] total {:.1}s", t0.elapsed().as_secs_f64());
+}

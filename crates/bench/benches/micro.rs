@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for every subsystem on the decompilation
+//! critical path: compilation, parsing, lifting, emulation, tokenization,
+//! model forward pass, edit distance and the IO harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
+use slade_minic::parse_program;
+
+const SRC: &str = "int total(int *a, int n) { int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }";
+
+fn bench_compile(c: &mut Criterion) {
+    let p = parse_program(SRC).unwrap();
+    c.bench_function("compile_x86_o0", |b| {
+        b.iter(|| compile_function(&p, "total", CompileOpts::new(Isa::X86_64, OptLevel::O0)).unwrap())
+    });
+    c.bench_function("compile_x86_o3", |b| {
+        b.iter(|| compile_function(&p, "total", CompileOpts::new(Isa::X86_64, OptLevel::O3)).unwrap())
+    });
+    c.bench_function("compile_arm_o3", |b| {
+        b.iter(|| compile_function(&p, "total", CompileOpts::new(Isa::Arm64, OptLevel::O3)).unwrap())
+    });
+}
+
+fn bench_lift_and_emulate(c: &mut Criterion) {
+    let p = parse_program(SRC).unwrap();
+    let asm = compile_function(&p, "total", CompileOpts::new(Isa::X86_64, OptLevel::O0)).unwrap();
+    c.bench_function("ghidra_lift_x86_o0", |b| {
+        b.iter(|| slade_baselines::ghidra_decompile(&asm, slade_asm::Isa::X86_64, "total").unwrap())
+    });
+    c.bench_function("emulate_x86_loop", |b| {
+        let file = slade_asm::parse_asm(&asm, slade_asm::Isa::X86_64);
+        b.iter(|| {
+            let mut emu = slade_emu::Emulator::new(file.clone());
+            let buf = emu.alloc_buffer(&[1u8; 64]);
+            emu.call("total", &[slade_emu::Arg::Int(buf), slade_emu::Arg::Int(16)]).unwrap()
+        })
+    });
+    c.bench_function("interpret_loop", |b| {
+        b.iter(|| {
+            let mut i = slade_minic::Interpreter::new(&p).unwrap();
+            let buf = i.alloc_buffer(&[1u8; 64]);
+            i.call("total", &[slade_minic::Value::Ptr(buf), slade_minic::Value::int(16)]).unwrap()
+        })
+    });
+}
+
+fn bench_tokenizer_and_metrics(c: &mut Criterion) {
+    let corpus: Vec<String> = (0..20).map(|i| format!("{SRC} // v{i}")).collect();
+    let tok = slade_tokenizer::UnigramTokenizer::train(&corpus, 300);
+    c.bench_function("tokenizer_encode", |b| b.iter(|| tok.encode(SRC)));
+    c.bench_function("edit_distance_200", |b| {
+        let a = SRC.repeat(2);
+        let d = SRC.replace('s', "t").repeat(2);
+        b.iter(|| slade_eval::edit_distance(&a, &d))
+    });
+}
+
+fn bench_model_forward(c: &mut Criterion) {
+    let model = slade_nn::Seq2Seq::new(slade_nn::TransformerConfig::tiny(64), 0);
+    let src: Vec<u32> = (4..20).collect();
+    c.bench_function("transformer_encode_16tok", |b| b.iter(|| model.encode(&src)));
+    c.bench_function("transformer_greedy_decode", |b| {
+        b.iter(|| model.greedy(&src, 1, 2, 16))
+    });
+    // KV-cached vs full-recompute decoding of a 24-token prefix: the
+    // incremental path is what makes beam-5 evaluation tractable.
+    let mem = model.encode(&src);
+    let prefix: Vec<u32> = (1..25).collect();
+    c.bench_function("decode_prefix24_full_recompute", |b| {
+        b.iter(|| {
+            let mut last = Vec::new();
+            for end in 1..=prefix.len() {
+                last = model.decode_last_logits(&mem, src.len(), &prefix[..end]);
+            }
+            last
+        })
+    });
+    c.bench_function("decode_prefix24_kv_cached", |b| {
+        b.iter(|| {
+            let mut state = model.begin_decode(&mem, src.len());
+            let mut last = Vec::new();
+            for &tok in &prefix {
+                last = model.decode_step(&mut state, tok);
+            }
+            last
+        })
+    });
+    c.bench_function("beam5_decode_16tok", |b| {
+        b.iter(|| model.beam_search(&src, 1, 2, 16, 5))
+    });
+}
+
+fn bench_repair_and_typeinf(c: &mut Criterion) {
+    let broken = "int scale_sum(int *arr, int n, int k) {\n  int s = 0;\n  for (int i = 0; i < n; i++) {\n    s += arr[i] * k;";
+    c.bench_function("repair_truncated_function", |b| {
+        b.iter(|| slade_repair::repair(broken, ""))
+    });
+    let valid = SRC;
+    c.bench_function("repair_passthrough_valid", |b| {
+        b.iter(|| slade_repair::repair(valid, ""))
+    });
+    let missing_type = "my_int total(my_int a, my_int b) { return a + b; }";
+    c.bench_function("typeinf_missing_typedef", |b| {
+        b.iter(|| slade_typeinf::infer_missing_types(missing_type, ""))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets =
+    bench_compile,
+    bench_lift_and_emulate,
+    bench_tokenizer_and_metrics,
+    bench_model_forward,
+    bench_repair_and_typeinf
+}
+criterion_main!(benches);

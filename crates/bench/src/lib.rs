@@ -1,0 +1,4 @@
+//! Benchmark crate: see `benches/micro.rs` (Criterion micro-benchmarks) and
+//! `benches/figures.rs` (full figure/table regeneration harness).
+
+#![warn(missing_docs)]

@@ -1,0 +1,761 @@
+//! AArch64 backend (GCC flavour).
+//!
+//! Same structure as the x86 backend: `-O0` keeps every value in the frame,
+//! `-O3` allocates the callee-saved pool (`x19`–`x23`). There is no ARM
+//! auto-vectorization (the source-level vectorizer only fires for x86, as
+//! the paper's motivating example does); `-O3` still unrolls.
+
+use crate::ir::*;
+use crate::regalloc::{allocate, Allocation};
+use crate::{CompileError, CompileOpts, OptLevel, Result};
+use std::fmt::Write;
+
+/// Callee-saved pool as (32-bit, 64-bit) names.
+const POOL: [(&str, &str); 5] =
+    [("w19", "x19"), ("w20", "x20"), ("w21", "x21"), ("w22", "x22"), ("w23", "x23")];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Loc {
+    Reg(u8),
+    /// Positive offset from `x29`.
+    Mem(i64),
+}
+
+/// Emits the module as AArch64 assembly text.
+///
+/// # Errors
+///
+/// Fails on vector instructions, which this backend does not implement (the
+/// vectorizer never produces them for ARM).
+pub fn emit(m: &Module, opts: CompileOpts) -> Result<String> {
+    let alloc = match opts.opt {
+        OptLevel::O0 => Allocation::all_spilled(m.vreg_count()),
+        OptLevel::O3 => allocate(m, POOL.len()),
+    };
+    Emitter::new(m, alloc).run()
+}
+
+struct Emitter<'m> {
+    m: &'m Module,
+    alloc: Allocation,
+    out: String,
+    locs: Vec<Loc>,
+    slot_offsets: Vec<i64>,
+    save_offsets: Vec<i64>,
+    frame: i64,
+    last_cmp: Option<(VReg, Pred)>,
+}
+
+impl<'m> Emitter<'m> {
+    fn new(m: &'m Module, alloc: Allocation) -> Self {
+        // Frame layout: [sp .. sp+16) holds x29/x30; everything else above.
+        let mut off: i64 = 16;
+        let mut save_offsets = Vec::new();
+        for _ in &alloc.used {
+            save_offsets.push(off);
+            off += 8;
+        }
+        let mut slot_offsets = Vec::with_capacity(m.slots.len());
+        for s in &m.slots {
+            let align = s.align.max(1) as i64;
+            off = (off + align - 1) / align * align;
+            slot_offsets.push(off);
+            off += s.size.max(1) as i64;
+        }
+        let mut locs = Vec::with_capacity(m.vreg_count());
+        for (i, ty) in m.vreg_tys.iter().enumerate() {
+            match alloc.assignment[i] {
+                Some(r) if ty.is_int() => locs.push(Loc::Reg(r)),
+                _ => {
+                    let size = if *ty == Ty::V4I32 { 16 } else { 8 };
+                    off = (off + size - 1) / size * size;
+                    locs.push(Loc::Mem(off));
+                    off += size;
+                }
+            }
+        }
+        let frame = (off + 15) / 16 * 16;
+        Emitter {
+            m,
+            alloc,
+            out: String::new(),
+            locs,
+            slot_offsets,
+            save_offsets,
+            frame,
+            last_cmp: None,
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        let _ = writeln!(self.out, "\t{s}");
+    }
+
+    fn label(&mut self, s: &str) {
+        let _ = writeln!(self.out, "{s}:");
+    }
+
+    fn run(mut self) -> Result<String> {
+        if !self.m.rodata.is_empty() {
+            self.line(".section .rodata");
+            for (label, bytes) in self.m.rodata.clone() {
+                self.label(&label);
+                let text: String = bytes[..bytes.len().saturating_sub(1)]
+                    .iter()
+                    .map(|&b| super::x86::escape_byte_pub(b))
+                    .collect();
+                self.line(&format!(".string \"{text}\""));
+            }
+        }
+        self.line(".text");
+        self.line(&format!(".global {}", self.m.name));
+        self.line(&format!(".type {}, %function", self.m.name));
+        let name = self.m.name.clone();
+        self.label(&name);
+        self.line(&format!("stp x29, x30, [sp, #-{}]!", self.frame));
+        self.line("mov x29, sp");
+        let used = self.alloc.used.clone();
+        let save_offsets = self.save_offsets.clone();
+        for (i, reg) in used.iter().enumerate() {
+            self.line(&format!("str {}, [x29, #{}]", POOL[*reg as usize].1, save_offsets[i]));
+        }
+        // Spill incoming arguments.
+        let mut int_idx = 0usize;
+        let mut f_idx = 0usize;
+        for (vreg, ty) in self.m.params.clone() {
+            match ty {
+                Ty::F32 => {
+                    let mem = self.mem_of(vreg);
+                    self.line(&format!("str s{f_idx}, {mem}"));
+                    f_idx += 1;
+                }
+                Ty::F64 => {
+                    let mem = self.mem_of(vreg);
+                    self.line(&format!("str d{f_idx}, {mem}"));
+                    f_idx += 1;
+                }
+                _ => {
+                    if int_idx < 8 {
+                        let wide = ty == Ty::I64;
+                        let arg = if wide { format!("x{int_idx}") } else { format!("w{int_idx}") };
+                        match self.locs[vreg as usize] {
+                            Loc::Reg(p) => {
+                                let dst = if wide { POOL[p as usize].1 } else { POOL[p as usize].0 };
+                                self.line(&format!("mov {dst}, {arg}"));
+                            }
+                            Loc::Mem(off) => {
+                                self.line(&format!("str {arg}, [x29, #{off}]"));
+                            }
+                        }
+                    }
+                    int_idx += 1;
+                }
+            }
+        }
+        for (i, block) in self.m.blocks.clone().iter().enumerate() {
+            self.label(&format!(".L{i}"));
+            self.last_cmp = None;
+            for inst in &block.insts {
+                self.emit_inst(inst)?;
+            }
+            self.emit_term(&block.term, i);
+        }
+        self.line(&format!(".size {}, .-{}", self.m.name, self.m.name));
+        Ok(self.out)
+    }
+
+    // ---- helpers ----
+
+    fn mem_of(&self, v: VReg) -> String {
+        match self.locs[v as usize] {
+            Loc::Mem(off) => format!("[x29, #{off}]"),
+            Loc::Reg(_) => unreachable!("mem_of on register vreg"),
+        }
+    }
+
+    fn is_wide(&self, v: VReg) -> bool {
+        matches!(self.m.vreg_tys[v as usize], Ty::I64)
+    }
+
+    /// Loads an integer vreg into scratch register `w{n}`/`x{n}`.
+    fn to_scratch(&mut self, v: VReg, n: u8) {
+        let wide = self.is_wide(v);
+        let dst = if wide { format!("x{n}") } else { format!("w{n}") };
+        match self.locs[v as usize] {
+            Loc::Reg(p) => {
+                let src = if wide { POOL[p as usize].1 } else { POOL[p as usize].0 };
+                self.line(&format!("mov {dst}, {src}"));
+            }
+            Loc::Mem(off) => {
+                self.line(&format!("ldr {dst}, [x29, #{off}]"));
+            }
+        }
+    }
+
+    fn from_scratch(&mut self, v: VReg, n: u8) {
+        let wide = self.is_wide(v);
+        let src = if wide { format!("x{n}") } else { format!("w{n}") };
+        match self.locs[v as usize] {
+            Loc::Reg(p) => {
+                let dst = if wide { POOL[p as usize].1 } else { POOL[p as usize].0 };
+                self.line(&format!("mov {dst}, {src}"));
+            }
+            Loc::Mem(off) => {
+                self.line(&format!("str {src}, [x29, #{off}]"));
+            }
+        }
+    }
+
+    /// Loads an address vreg into `x10`, returning the memory operand.
+    fn addr_operand(&mut self, v: VReg) -> String {
+        match self.locs[v as usize] {
+            Loc::Reg(p) => format!("[{}]", POOL[p as usize].1),
+            Loc::Mem(off) => {
+                self.line(&format!("ldr x10, [x29, #{off}]"));
+                "[x10]".to_string()
+            }
+        }
+    }
+
+    fn to_fp(&mut self, v: VReg, n: u8) {
+        let reg = if self.m.vreg_tys[v as usize] == Ty::F32 {
+            format!("s{n}")
+        } else {
+            format!("d{n}")
+        };
+        let mem = self.mem_of(v);
+        self.line(&format!("ldr {reg}, {mem}"));
+    }
+
+    fn from_fp(&mut self, v: VReg, n: u8) {
+        let reg = if self.m.vreg_tys[v as usize] == Ty::F32 {
+            format!("s{n}")
+        } else {
+            format!("d{n}")
+        };
+        let mem = self.mem_of(v);
+        self.line(&format!("str {reg}, {mem}"));
+    }
+
+    fn mov_imm(&mut self, reg_w: &str, reg_x: &str, val: i64, wide: bool) {
+        if wide {
+            let bits = val as u64;
+            let chunks =
+                [bits & 0xffff, (bits >> 16) & 0xffff, (bits >> 32) & 0xffff, (bits >> 48) & 0xffff];
+            self.line(&format!("movz {reg_x}, #{}", chunks[0]));
+            for (i, c) in chunks.iter().enumerate().skip(1) {
+                if *c != 0 {
+                    self.line(&format!("movk {reg_x}, #{c}, lsl #{}", 16 * i));
+                }
+            }
+        } else {
+            let bits = val as u32;
+            let lo = bits & 0xffff;
+            let hi = bits >> 16;
+            self.line(&format!("movz {reg_w}, #{lo}"));
+            if hi != 0 {
+                self.line(&format!("movk {reg_w}, #{hi}, lsl #16"));
+            }
+        }
+    }
+
+    // ---- instruction emission ----
+
+    fn emit_inst(&mut self, inst: &Inst) -> Result<()> {
+        match inst {
+            Inst::IConst { dst, val, ty } => {
+                self.last_cmp = None;
+                self.mov_imm("w8", "x8", *val, *ty == Ty::I64);
+                self.from_scratch(*dst, 8);
+            }
+            Inst::FConst { dst, val, ty } => {
+                self.last_cmp = None;
+                if *ty == Ty::F32 {
+                    let bits = (*val as f32).to_bits() as i64;
+                    self.mov_imm("w8", "x8", bits, false);
+                    self.line("fmov s0, w8");
+                } else {
+                    let bits = val.to_bits() as i64;
+                    self.mov_imm("w8", "x8", bits, true);
+                    self.line("fmov d0, x8");
+                }
+                self.from_fp(*dst, 0);
+            }
+            Inst::Bin { op, dst, a, b, ty } => {
+                self.last_cmp = None;
+                if ty.is_float() {
+                    self.emit_float_bin(*op, *dst, *a, *b, *ty);
+                } else {
+                    self.emit_int_bin(*op, *dst, *a, *b, *ty);
+                }
+            }
+            Inst::Cmp { pred, dst, a, b, ty } => {
+                self.emit_cmp(*pred, *dst, *a, *b, *ty);
+            }
+            Inst::Load { dst, addr, ty, sext } => {
+                self.last_cmp = None;
+                let mem = self.addr_operand(*addr);
+                match ty {
+                    Ty::I8 => {
+                        let op = if *sext { "ldrsb" } else { "ldrb" };
+                        self.line(&format!("{op} w8, {mem}"));
+                        self.from_scratch(*dst, 8);
+                    }
+                    Ty::I16 => {
+                        let op = if *sext { "ldrsh" } else { "ldrh" };
+                        self.line(&format!("{op} w8, {mem}"));
+                        self.from_scratch(*dst, 8);
+                    }
+                    Ty::I32 => {
+                        self.line(&format!("ldr w8, {mem}"));
+                        self.from_scratch(*dst, 8);
+                    }
+                    Ty::I64 => {
+                        self.line(&format!("ldr x8, {mem}"));
+                        self.from_scratch(*dst, 8);
+                    }
+                    Ty::F32 => {
+                        self.line(&format!("ldr s0, {mem}"));
+                        self.from_fp(*dst, 0);
+                    }
+                    Ty::F64 => {
+                        self.line(&format!("ldr d0, {mem}"));
+                        self.from_fp(*dst, 0);
+                    }
+                    Ty::V4I32 => {
+                        return Err(CompileError::Unsupported("ARM vector load".into()));
+                    }
+                }
+            }
+            Inst::Store { addr, src, ty } => {
+                self.last_cmp = None;
+                match ty {
+                    Ty::F32 | Ty::F64 => {
+                        self.to_fp(*src, 0);
+                        let mem = self.addr_operand(*addr);
+                        let reg = if *ty == Ty::F32 { "s0" } else { "d0" };
+                        self.line(&format!("str {reg}, {mem}"));
+                    }
+                    Ty::V4I32 => {
+                        return Err(CompileError::Unsupported("ARM vector store".into()));
+                    }
+                    _ => {
+                        self.to_scratch(*src, 8);
+                        let mem = self.addr_operand(*addr);
+                        let (op, reg) = match ty {
+                            Ty::I8 => ("strb", "w8"),
+                            Ty::I16 => ("strh", "w8"),
+                            Ty::I32 => ("str", "w8"),
+                            _ => ("str", "x8"),
+                        };
+                        self.line(&format!("{op} {reg}, {mem}"));
+                    }
+                }
+            }
+            Inst::SlotAddr { dst, slot } => {
+                self.last_cmp = None;
+                let off = self.slot_offsets[*slot as usize];
+                match self.locs[*dst as usize] {
+                    Loc::Reg(p) => {
+                        self.line(&format!("add {}, x29, #{off}", POOL[p as usize].1));
+                    }
+                    Loc::Mem(_) => {
+                        self.line(&format!("add x8, x29, #{off}"));
+                        self.from_scratch(*dst, 8);
+                    }
+                }
+            }
+            Inst::GlobalAddr { dst, name } => {
+                self.last_cmp = None;
+                self.line(&format!("adrp x8, {name}"));
+                self.line(&format!("add x8, x8, :lo12:{name}"));
+                self.from_scratch(*dst, 8);
+            }
+            Inst::Call { dst, callee, args, arg_tys, ret_ty } => {
+                self.last_cmp = None;
+                let mut int_idx = 0usize;
+                let mut f_idx = 0usize;
+                for (v, ty) in args.iter().zip(arg_tys) {
+                    match ty {
+                        Ty::F32 => {
+                            let mem = self.mem_of(*v);
+                            self.line(&format!("ldr s{f_idx}, {mem}"));
+                            f_idx += 1;
+                        }
+                        Ty::F64 => {
+                            let mem = self.mem_of(*v);
+                            self.line(&format!("ldr d{f_idx}, {mem}"));
+                            f_idx += 1;
+                        }
+                        _ => {
+                            if int_idx < 8 {
+                                let wide = matches!(ty, Ty::I64);
+                                let arg =
+                                    if wide { format!("x{int_idx}") } else { format!("w{int_idx}") };
+                                match self.locs[*v as usize] {
+                                    Loc::Reg(p) => {
+                                        let src = if wide {
+                                            POOL[p as usize].1
+                                        } else {
+                                            POOL[p as usize].0
+                                        };
+                                        self.line(&format!("mov {arg}, {src}"));
+                                    }
+                                    Loc::Mem(off) => {
+                                        self.line(&format!("ldr {arg}, [x29, #{off}]"));
+                                    }
+                                }
+                            }
+                            int_idx += 1;
+                        }
+                    }
+                }
+                self.line(&format!("bl {callee}"));
+                if let (Some(d), Some(rt)) = (dst, ret_ty) {
+                    match rt {
+                        Ty::F32 | Ty::F64 => self.from_fp(*d, 0),
+                        Ty::I64 => {
+                            self.line("mov x8, x0");
+                            self.from_scratch(*d, 8);
+                        }
+                        _ => {
+                            self.line("mov w8, w0");
+                            self.from_scratch(*d, 8);
+                        }
+                    }
+                }
+            }
+            Inst::Cast { dst, src, kind } => {
+                self.last_cmp = None;
+                self.emit_cast(*dst, *src, *kind);
+            }
+            Inst::Copy { dst, src, ty } => {
+                self.last_cmp = None;
+                if ty.is_float() {
+                    self.to_fp(*src, 0);
+                    self.from_fp(*dst, 0);
+                } else {
+                    self.to_scratch(*src, 8);
+                    self.from_scratch(*dst, 8);
+                }
+            }
+            Inst::VecLoad { .. } | Inst::VecSplat { .. } | Inst::VecBin { .. }
+            | Inst::VecStore { .. } => {
+                return Err(CompileError::Unsupported("vector ops on ARM backend".into()));
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_int_bin(&mut self, op: IrBinOp, dst: VReg, a: VReg, b: VReg, ty: Ty) {
+        let wide = ty == Ty::I64;
+        let (r8, r9, r10) = if wide { ("x8", "x9", "x10") } else { ("w8", "w9", "w10") };
+        self.to_scratch(a, 8);
+        self.to_scratch(b, 9);
+        match op {
+            IrBinOp::Add => self.line(&format!("add {r8}, {r8}, {r9}")),
+            IrBinOp::Sub => self.line(&format!("sub {r8}, {r8}, {r9}")),
+            IrBinOp::Mul => self.line(&format!("mul {r8}, {r8}, {r9}")),
+            IrBinOp::DivS => self.line(&format!("sdiv {r8}, {r8}, {r9}")),
+            IrBinOp::DivU => self.line(&format!("udiv {r8}, {r8}, {r9}")),
+            IrBinOp::RemS => {
+                self.line(&format!("sdiv {r10}, {r8}, {r9}"));
+                self.line(&format!("msub {r8}, {r10}, {r9}, {r8}"));
+            }
+            IrBinOp::RemU => {
+                self.line(&format!("udiv {r10}, {r8}, {r9}"));
+                self.line(&format!("msub {r8}, {r10}, {r9}, {r8}"));
+            }
+            IrBinOp::And => self.line(&format!("and {r8}, {r8}, {r9}")),
+            IrBinOp::Or => self.line(&format!("orr {r8}, {r8}, {r9}")),
+            IrBinOp::Xor => self.line(&format!("eor {r8}, {r8}, {r9}")),
+            IrBinOp::Shl => self.line(&format!("lsl {r8}, {r8}, {r9}")),
+            IrBinOp::ShrS => self.line(&format!("asr {r8}, {r8}, {r9}")),
+            IrBinOp::ShrU => self.line(&format!("lsr {r8}, {r8}, {r9}")),
+            _ => unreachable!("float op in int path"),
+        }
+        self.from_scratch(dst, 8);
+    }
+
+    fn emit_float_bin(&mut self, op: IrBinOp, dst: VReg, a: VReg, b: VReg, ty: Ty) {
+        let (r0, r1) = if ty == Ty::F32 { ("s0", "s1") } else { ("d0", "d1") };
+        self.to_fp(a, 0);
+        self.to_fp(b, 1);
+        let mnem = match op {
+            IrBinOp::FAdd => "fadd",
+            IrBinOp::FSub => "fsub",
+            IrBinOp::FMul => "fmul",
+            _ => "fdiv",
+        };
+        self.line(&format!("{mnem} {r0}, {r0}, {r1}"));
+        self.from_fp(dst, 0);
+    }
+
+    fn emit_cmp(&mut self, pred: Pred, dst: VReg, a: VReg, b: VReg, ty: Ty) {
+        if ty.is_float() {
+            let (r0, r1) = if ty == Ty::F32 { ("s0", "s1") } else { ("d0", "d1") };
+            self.to_fp(a, 0);
+            self.to_fp(b, 1);
+            self.line(&format!("fcmp {r0}, {r1}"));
+        } else {
+            let wide = ty == Ty::I64;
+            let (r8, r9) = if wide { ("x8", "x9") } else { ("w8", "w9") };
+            self.to_scratch(a, 8);
+            self.to_scratch(b, 9);
+            self.line(&format!("cmp {r8}, {r9}"));
+        }
+        let cond = cset_cond(pred);
+        self.line(&format!("cset w8, {cond}"));
+        self.from_scratch(dst, 8);
+        self.last_cmp = Some((dst, pred));
+    }
+
+    fn emit_cast(&mut self, dst: VReg, src: VReg, kind: CastKind) {
+        match kind {
+            CastKind::Sext32to64 => {
+                self.to_scratch(src, 8);
+                self.line("sxtw x8, w8");
+                self.from_scratch(dst, 8);
+            }
+            CastKind::Zext32to64 => {
+                self.to_scratch(src, 8);
+                self.line("mov w8, w8");
+                self.from_scratch(dst, 8);
+            }
+            CastKind::Trunc64to32 => {
+                self.to_scratch(src, 8);
+                self.from_scratch(dst, 8);
+            }
+            CastKind::Wrap8Sext => {
+                self.to_scratch(src, 8);
+                self.line("sxtb w8, w8");
+                self.from_scratch(dst, 8);
+            }
+            CastKind::Wrap8Zext => {
+                self.to_scratch(src, 8);
+                self.line("uxtb w8, w8");
+                self.from_scratch(dst, 8);
+            }
+            CastKind::Wrap16Sext => {
+                self.to_scratch(src, 8);
+                self.line("sxth w8, w8");
+                self.from_scratch(dst, 8);
+            }
+            CastKind::Wrap16Zext => {
+                self.to_scratch(src, 8);
+                self.line("uxth w8, w8");
+                self.from_scratch(dst, 8);
+            }
+            CastKind::S32toF32 => {
+                self.to_scratch(src, 8);
+                self.line("scvtf s0, w8");
+                self.from_fp(dst, 0);
+            }
+            CastKind::S32toF64 => {
+                self.to_scratch(src, 8);
+                self.line("scvtf d0, w8");
+                self.from_fp(dst, 0);
+            }
+            CastKind::S64toF32 => {
+                self.to_scratch(src, 8);
+                self.line("scvtf s0, x8");
+                self.from_fp(dst, 0);
+            }
+            CastKind::S64toF64 => {
+                self.to_scratch(src, 8);
+                self.line("scvtf d0, x8");
+                self.from_fp(dst, 0);
+            }
+            CastKind::F32toS32 => {
+                self.to_fp(src, 0);
+                self.line("fcvtzs w8, s0");
+                self.from_scratch(dst, 8);
+            }
+            CastKind::F64toS32 => {
+                self.to_fp(src, 0);
+                self.line("fcvtzs w8, d0");
+                self.from_scratch(dst, 8);
+            }
+            CastKind::F32toS64 => {
+                self.to_fp(src, 0);
+                self.line("fcvtzs x8, s0");
+                self.from_scratch(dst, 8);
+            }
+            CastKind::F64toS64 => {
+                self.to_fp(src, 0);
+                self.line("fcvtzs x8, d0");
+                self.from_scratch(dst, 8);
+            }
+            CastKind::F32toF64 => {
+                self.to_fp(src, 0);
+                self.line("fcvt d0, s0");
+                let mem = self.mem_of(dst);
+                self.line(&format!("str d0, {mem}"));
+            }
+            CastKind::F64toF32 => {
+                self.to_fp(src, 0);
+                self.line("fcvt s0, d0");
+                let mem = self.mem_of(dst);
+                self.line(&format!("str s0, {mem}"));
+            }
+        }
+    }
+
+    fn emit_term(&mut self, term: &Term, cur: usize) {
+        match term {
+            Term::Jmp(t) => {
+                if *t as usize != cur + 1 {
+                    self.line(&format!("b .L{t}"));
+                }
+            }
+            Term::Br { cond, then_bb, else_bb } => {
+                if let Some((cv, pred)) = self.last_cmp {
+                    if cv == *cond {
+                        self.line(&format!("b.{} .L{then_bb}", cset_cond(pred)));
+                        if *else_bb as usize != cur + 1 {
+                            self.line(&format!("b .L{else_bb}"));
+                        }
+                        return;
+                    }
+                }
+                self.to_scratch(*cond, 8);
+                let reg = if self.is_wide(*cond) { "x8" } else { "w8" };
+                self.line(&format!("cbnz {reg}, .L{then_bb}"));
+                if *else_bb as usize != cur + 1 {
+                    self.line(&format!("b .L{else_bb}"));
+                }
+            }
+            Term::Ret(v) => {
+                if let Some(v) = v {
+                    match self.m.vreg_tys[*v as usize] {
+                        Ty::F32 => {
+                            let mem = self.mem_of(*v);
+                            self.line(&format!("ldr s0, {mem}"));
+                        }
+                        Ty::F64 => {
+                            let mem = self.mem_of(*v);
+                            self.line(&format!("ldr d0, {mem}"));
+                        }
+                        Ty::I64 => {
+                            self.to_scratch(*v, 8);
+                            self.line("mov x0, x8");
+                        }
+                        _ => {
+                            self.to_scratch(*v, 8);
+                            self.line("mov w0, w8");
+                        }
+                    }
+                }
+                let used = self.alloc.used.clone();
+                let save_offsets = self.save_offsets.clone();
+                for (i, reg) in used.iter().enumerate() {
+                    self.line(&format!(
+                        "ldr {}, [x29, #{}]",
+                        POOL[*reg as usize].1,
+                        save_offsets[i]
+                    ));
+                }
+                self.line(&format!("ldp x29, x30, [sp], #{}", self.frame));
+                self.line("ret");
+            }
+        }
+    }
+}
+
+fn cset_cond(pred: Pred) -> &'static str {
+    match pred {
+        Pred::Eq | Pred::FEq => "eq",
+        Pred::Ne | Pred::FNe => "ne",
+        Pred::LtS => "lt",
+        Pred::LeS => "le",
+        Pred::GtS => "gt",
+        Pred::GeS => "ge",
+        Pred::LtU => "lo",
+        Pred::LeU => "ls",
+        Pred::GtU => "hi",
+        Pred::GeU => "hs",
+        Pred::FLt => "mi",
+        Pred::FLe => "ls",
+        Pred::FGt => "gt",
+        Pred::FGe => "ge",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{compile_function, CompileOpts, Isa, OptLevel};
+    use slade_minic::parse_program;
+
+    fn asm(src: &str, name: &str, opt: OptLevel) -> String {
+        let p = parse_program(src).unwrap();
+        compile_function(&p, name, CompileOpts::new(Isa::Arm64, opt)).unwrap()
+    }
+
+    #[test]
+    fn emits_aarch64_frame() {
+        let a = asm("int add(int a, int b) { return a + b; }", "add", OptLevel::O0);
+        assert!(a.contains("stp x29, x30"), "{a}");
+        assert!(a.contains("ldp x29, x30"), "{a}");
+        assert!(a.contains("add w8, w8, w9"), "{a}");
+        assert!(a.contains("ret"), "{a}");
+    }
+
+    #[test]
+    fn remainders_use_msub() {
+        let a = asm("int f(int a, int b) { return a % b; }", "f", OptLevel::O0);
+        assert!(a.contains("sdiv"), "{a}");
+        assert!(a.contains("msub"), "{a}");
+    }
+
+    #[test]
+    fn branches_fuse_on_arm() {
+        let a = asm("int f(int a) { if (a < 10) return 1; return 2; }", "f", OptLevel::O3);
+        assert!(a.contains("b.lt") || a.contains("b.ge"), "{a}");
+    }
+
+    #[test]
+    fn arm_o3_never_vectorizes() {
+        let src = r#"
+            void add(int *list, int val, int n) {
+                for (int i = 0; i < n; i++) list[i] += val;
+            }
+        "#;
+        let a = asm(src, "add", OptLevel::O3);
+        assert!(!a.contains("paddd"), "{a}");
+        // But it does unroll: the add body appears several times.
+        let adds = a.matches("ldr").count();
+        assert!(adds > 6, "unroll missing?\n{a}");
+    }
+
+    #[test]
+    fn float_code_uses_fp_registers() {
+        let a = asm("double f(double x, double y) { return x * y; }", "f", OptLevel::O0);
+        assert!(a.contains("fmul d0, d0, d1"), "{a}");
+    }
+
+    #[test]
+    fn calls_use_wx_argument_registers() {
+        let src = "long g(int a, long b); long f(int x) { return g(x, 5); }";
+        let a = asm(src, "f", OptLevel::O0);
+        assert!(a.contains("bl g"), "{a}");
+        assert!(a.contains("w0"), "{a}");
+        assert!(a.contains("x1"), "{a}");
+    }
+
+    #[test]
+    fn globals_use_adrp() {
+        let a = asm("int g; int f(void) { return g; }", "f", OptLevel::O0);
+        assert!(a.contains("adrp x8, g"), "{a}");
+        assert!(a.contains(":lo12:g"), "{a}");
+    }
+
+    #[test]
+    fn unsigned_compare_uses_unsigned_conditions() {
+        let a = asm(
+            "int f(unsigned a, unsigned b) { return a < b; }",
+            "f",
+            OptLevel::O0,
+        );
+        assert!(a.contains("cset w8, lo"), "{a}");
+    }
+}

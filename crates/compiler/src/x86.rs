@@ -1,0 +1,870 @@
+//! x86-64 backend (AT&T syntax, GCC flavour).
+//!
+//! `-O0` spills every value to the stack exactly like GCC; `-O3` runs the
+//! linear-scan allocator over the callee-saved pool (`rbx`, `r12`–`r15`)
+//! and emits vector instructions (`movdqu`/`pshufd`/`paddd`/`movups`) for
+//! the loops the source-level vectorizer transformed.
+
+use crate::ir::*;
+use crate::regalloc::{allocate, Allocation};
+use crate::{CompileOpts, OptLevel, Result};
+
+use std::fmt::Write;
+
+/// Callee-saved integer pool used by the allocator, as (32-bit, 64-bit)
+/// register names.
+const POOL: [(&str, &str); 5] =
+    [("%ebx", "%rbx"), ("%r12d", "%r12"), ("%r13d", "%r13"), ("%r14d", "%r14"), ("%r15d", "%r15")];
+
+/// Integer argument registers in ABI order.
+const ARG_REGS: [(&str, &str); 6] = [
+    ("%edi", "%rdi"),
+    ("%esi", "%rsi"),
+    ("%edx", "%rdx"),
+    ("%ecx", "%rcx"),
+    ("%r8d", "%r8"),
+    ("%r9d", "%r9"),
+];
+
+/// Where a vreg lives during emission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Loc {
+    /// Pool register (index into [`POOL`]).
+    Reg(u8),
+    /// `offset(%rbp)`.
+    Mem(i64),
+}
+
+/// Emits the module as x86-64 assembly text.
+///
+/// # Errors
+///
+/// Currently infallible for IR produced by this crate, but kept fallible for
+/// parity with the ARM backend.
+pub fn emit(m: &Module, opts: CompileOpts) -> Result<String> {
+    let alloc = match opts.opt {
+        OptLevel::O0 => Allocation::all_spilled(m.vreg_count()),
+        OptLevel::O3 => allocate(m, POOL.len()),
+    };
+    Ok(Emitter::new(m, alloc).run())
+}
+
+struct Emitter<'m> {
+    m: &'m Module,
+    alloc: Allocation,
+    out: String,
+    locs: Vec<Loc>,
+    slot_offsets: Vec<i64>,
+    frame: i64,
+    /// Compare whose flags are still live (for branch fusion).
+    last_cmp: Option<(VReg, Pred)>,
+}
+
+impl<'m> Emitter<'m> {
+    fn new(m: &'m Module, alloc: Allocation) -> Self {
+        // Assign frame offsets: first the callee-saved save area, then IR
+        // slots, then spilled vregs.
+        let mut off: i64 = 0;
+        let mut save_offsets = Vec::new();
+        for _ in &alloc.used {
+            off -= 8;
+            save_offsets.push(off);
+        }
+        let mut slot_offsets = Vec::with_capacity(m.slots.len());
+        for s in &m.slots {
+            let size = s.size.max(1) as i64;
+            let align = s.align.max(1) as i64;
+            off -= size;
+            off = -((-off + align - 1) / align * align);
+            slot_offsets.push(off);
+        }
+        let mut locs = Vec::with_capacity(m.vreg_count());
+        for (i, ty) in m.vreg_tys.iter().enumerate() {
+            match alloc.assignment[i] {
+                Some(r) if ty.is_int() => locs.push(Loc::Reg(r)),
+                _ => {
+                    let size = if *ty == Ty::V4I32 { 16 } else { 8 };
+                    off -= size;
+                    if size == 16 {
+                        off = -((-off + 15) / 16 * 16);
+                    }
+                    locs.push(Loc::Mem(off));
+                }
+            }
+        }
+        let frame = (-off + 15) / 16 * 16;
+        Emitter { m, alloc, out: String::new(), locs, slot_offsets, frame, last_cmp: None }
+    }
+
+    fn line(&mut self, s: &str) {
+        let _ = writeln!(self.out, "\t{s}");
+    }
+
+    fn label(&mut self, s: &str) {
+        let _ = writeln!(self.out, "{s}:");
+    }
+
+    fn run(mut self) -> String {
+        // rodata for string literals.
+        if !self.m.rodata.is_empty() {
+            self.line(".section .rodata");
+            for (label, bytes) in self.m.rodata.clone() {
+                self.label(&label);
+                let text: String = bytes[..bytes.len().saturating_sub(1)]
+                    .iter()
+                    .map(|&b| escape_byte(b))
+                    .collect();
+                self.line(&format!(".string \"{text}\""));
+            }
+        }
+        self.line(".text");
+        self.line(&format!(".globl {}", self.m.name));
+        self.line(&format!(".type {}, @function", self.m.name));
+        let name = self.m.name.clone();
+        self.label(&name);
+        self.line(".cfi_startproc");
+        self.line("endbr64");
+        self.line("pushq %rbp");
+        self.line("movq %rsp, %rbp");
+        if self.frame > 0 {
+            self.line(&format!("subq ${}, %rsp", self.frame));
+        }
+        // Save used callee-saved registers.
+        let used = self.alloc.used.clone();
+        for (i, reg) in used.iter().enumerate() {
+            let off = -8 * (i as i64 + 1);
+            self.line(&format!("movq {}, {off}(%rbp)", POOL[*reg as usize].1));
+        }
+        // Move incoming arguments into their vreg locations.
+        let mut int_idx = 0usize;
+        let mut f_idx = 0usize;
+        for (vreg, ty) in self.m.params.clone() {
+            match ty {
+                Ty::F32 => {
+                    let dst = self.mem_of(vreg);
+                    self.line(&format!("movss %xmm{f_idx}, {dst}"));
+                    f_idx += 1;
+                }
+                Ty::F64 => {
+                    let dst = self.mem_of(vreg);
+                    self.line(&format!("movsd %xmm{f_idx}, {dst}"));
+                    f_idx += 1;
+                }
+                _ => {
+                    if int_idx < ARG_REGS.len() {
+                        let (r32, r64) = ARG_REGS[int_idx];
+                        match (self.locs[vreg as usize], ty) {
+                            (Loc::Reg(p), Ty::I64) => {
+                                self.line(&format!("movq {r64}, {}", POOL[p as usize].1))
+                            }
+                            (Loc::Reg(p), _) => {
+                                self.line(&format!("movl {r32}, {}", POOL[p as usize].0))
+                            }
+                            (Loc::Mem(off), Ty::I64) => {
+                                self.line(&format!("movq {r64}, {off}(%rbp)"))
+                            }
+                            (Loc::Mem(off), _) => self.line(&format!("movl {r32}, {off}(%rbp)")),
+                        }
+                    }
+                    int_idx += 1;
+                }
+            }
+        }
+        // Emit blocks in order.
+        for (i, block) in self.m.blocks.clone().iter().enumerate() {
+            self.label(&format!(".L{i}"));
+            self.last_cmp = None;
+            for inst in &block.insts {
+                self.emit_inst(inst);
+            }
+            self.emit_term(&block.term, i);
+        }
+        self.line(".cfi_endproc");
+        self.line(&format!(".size {}, .-{}", self.m.name, self.m.name));
+        self.out
+    }
+
+    // ---- location helpers ----
+
+    fn mem_of(&self, v: VReg) -> String {
+        match self.locs[v as usize] {
+            Loc::Mem(off) => format!("{off}(%rbp)"),
+            Loc::Reg(_) => unreachable!("mem_of on register vreg"),
+        }
+    }
+
+    /// Operand string usable directly in an instruction.
+    fn loc_str(&self, v: VReg, wide: bool) -> String {
+        match self.locs[v as usize] {
+            Loc::Reg(p) => {
+                let (r32, r64) = POOL[p as usize];
+                if wide { r64.to_string() } else { r32.to_string() }
+            }
+            Loc::Mem(off) => format!("{off}(%rbp)"),
+        }
+    }
+
+    fn is_wide(&self, v: VReg) -> bool {
+        matches!(self.m.vreg_tys[v as usize], Ty::I64)
+    }
+
+    /// Loads integer vreg `v` into `%rax`/`%eax`.
+    fn to_rax(&mut self, v: VReg) {
+        let wide = self.is_wide(v);
+        let src = self.loc_str(v, wide);
+        let op = if wide { "movq" } else { "movl" };
+        let dst = if wide { "%rax" } else { "%eax" };
+        self.line(&format!("{op} {src}, {dst}"));
+    }
+
+    /// Loads address vreg `v` into `%r10`, returning the `(%r10)` operand
+    /// (or `(%reg)` when the vreg is register-allocated).
+    fn addr_operand(&mut self, v: VReg) -> String {
+        match self.locs[v as usize] {
+            Loc::Reg(p) => format!("({})", POOL[p as usize].1),
+            Loc::Mem(off) => {
+                self.line(&format!("movq {off}(%rbp), %r10"));
+                "(%r10)".to_string()
+            }
+        }
+    }
+
+    /// Stores `%rax`/`%eax` into vreg `v`.
+    fn from_rax(&mut self, v: VReg) {
+        let wide = self.is_wide(v);
+        let dst = self.loc_str(v, wide);
+        let op = if wide { "movq" } else { "movl" };
+        let src = if wide { "%rax" } else { "%eax" };
+        self.line(&format!("{op} {src}, {dst}"));
+    }
+
+    /// Loads a float vreg into `%xmm0` or `%xmm1`.
+    fn to_xmm(&mut self, v: VReg, xmm: usize) {
+        let mem = self.mem_of(v);
+        let op = if self.m.vreg_tys[v as usize] == Ty::F32 { "movss" } else { "movsd" };
+        self.line(&format!("{op} {mem}, %xmm{xmm}"));
+    }
+
+    fn from_xmm(&mut self, v: VReg, xmm: usize) {
+        let mem = self.mem_of(v);
+        let op = if self.m.vreg_tys[v as usize] == Ty::F32 { "movss" } else { "movsd" };
+        self.line(&format!("{op} %xmm{xmm}, {mem}"));
+    }
+
+    // ---- instruction emission ----
+
+    fn emit_inst(&mut self, inst: &Inst) {
+        match inst {
+            Inst::IConst { dst, val, ty } => {
+                self.last_cmp = None;
+                if *ty == Ty::I64 && (*val > i32::MAX as i64 || *val < i32::MIN as i64) {
+                    self.line(&format!("movabsq ${val}, %rax"));
+                    self.from_rax(*dst);
+                } else {
+                    let wide = *ty == Ty::I64;
+                    let op = if wide { "movq" } else { "movl" };
+                    let loc = self.loc_str(*dst, wide);
+                    self.line(&format!("{op} ${val}, {loc}"));
+                }
+            }
+            Inst::FConst { dst, val, ty } => {
+                self.last_cmp = None;
+                if *ty == Ty::F32 {
+                    let bits = (*val as f32).to_bits();
+                    self.line(&format!("movl ${bits}, %eax"));
+                    self.line("movd %eax, %xmm0");
+                } else {
+                    let bits = val.to_bits();
+                    self.line(&format!("movabsq ${}, %rax", bits as i64));
+                    self.line("movq %rax, %xmm0");
+                }
+                self.from_xmm(*dst, 0);
+            }
+            Inst::Bin { op, dst, a, b, ty } => {
+                self.last_cmp = None;
+                if ty.is_float() {
+                    self.emit_float_bin(*op, *dst, *a, *b, *ty);
+                } else {
+                    self.emit_int_bin(*op, *dst, *a, *b, *ty);
+                }
+            }
+            Inst::Cmp { pred, dst, a, b, ty } => {
+                self.emit_cmp(*pred, *dst, *a, *b, *ty);
+            }
+            Inst::Load { dst, addr, ty, sext } => {
+                self.last_cmp = None;
+                let mem = self.addr_operand(*addr);
+                match ty {
+                    Ty::I8 => {
+                        let op = if *sext { "movsbl" } else { "movzbl" };
+                        self.line(&format!("{op} {mem}, %eax"));
+                        self.from_rax(*dst);
+                    }
+                    Ty::I16 => {
+                        let op = if *sext { "movswl" } else { "movzwl" };
+                        self.line(&format!("{op} {mem}, %eax"));
+                        self.from_rax(*dst);
+                    }
+                    Ty::I32 => {
+                        self.line(&format!("movl {mem}, %eax"));
+                        self.from_rax(*dst);
+                    }
+                    Ty::I64 => {
+                        self.line(&format!("movq {mem}, %rax"));
+                        self.from_rax(*dst);
+                    }
+                    Ty::F32 => {
+                        self.line(&format!("movss {mem}, %xmm0"));
+                        self.from_xmm(*dst, 0);
+                    }
+                    Ty::F64 => {
+                        self.line(&format!("movsd {mem}, %xmm0"));
+                        self.from_xmm(*dst, 0);
+                    }
+                    Ty::V4I32 => {
+                        self.line(&format!("movdqu {mem}, %xmm0"));
+                        let slot = self.mem_of(*dst);
+                        self.line(&format!("movdqu %xmm0, {slot}"));
+                    }
+                }
+            }
+            Inst::Store { addr, src, ty } => {
+                self.last_cmp = None;
+                match ty {
+                    Ty::F32 | Ty::F64 => {
+                        self.to_xmm(*src, 0);
+                        let mem = self.addr_operand(*addr);
+                        let op = if *ty == Ty::F32 { "movss" } else { "movsd" };
+                        self.line(&format!("{op} %xmm0, {mem}"));
+                    }
+                    Ty::V4I32 => {
+                        let slot = self.mem_of(*src);
+                        self.line(&format!("movdqu {slot}, %xmm0"));
+                        let mem = self.addr_operand(*addr);
+                        self.line(&format!("movups %xmm0, {mem}"));
+                    }
+                    _ => {
+                        self.to_rax(*src);
+                        let mem = self.addr_operand(*addr);
+                        let (op, reg) = match ty {
+                            Ty::I8 => ("movb", "%al"),
+                            Ty::I16 => ("movw", "%ax"),
+                            Ty::I32 => ("movl", "%eax"),
+                            _ => ("movq", "%rax"),
+                        };
+                        self.line(&format!("{op} {reg}, {mem}"));
+                    }
+                }
+            }
+            Inst::SlotAddr { dst, slot } => {
+                self.last_cmp = None;
+                let off = self.slot_offsets[*slot as usize];
+                match self.locs[*dst as usize] {
+                    Loc::Reg(p) => {
+                        self.line(&format!("leaq {off}(%rbp), {}", POOL[p as usize].1))
+                    }
+                    Loc::Mem(_) => {
+                        self.line(&format!("leaq {off}(%rbp), %rax"));
+                        self.from_rax(*dst);
+                    }
+                }
+            }
+            Inst::GlobalAddr { dst, name } => {
+                self.last_cmp = None;
+                match self.locs[*dst as usize] {
+                    Loc::Reg(p) => {
+                        self.line(&format!("leaq {name}(%rip), {}", POOL[p as usize].1))
+                    }
+                    Loc::Mem(_) => {
+                        self.line(&format!("leaq {name}(%rip), %rax"));
+                        self.from_rax(*dst);
+                    }
+                }
+            }
+            Inst::Call { dst, callee, args, arg_tys, ret_ty } => {
+                self.last_cmp = None;
+                let mut int_idx = 0usize;
+                let mut f_idx = 0usize;
+                for (v, ty) in args.iter().zip(arg_tys) {
+                    match ty {
+                        Ty::F32 => {
+                            self.to_xmm_n(*v, f_idx);
+                            f_idx += 1;
+                        }
+                        Ty::F64 => {
+                            self.to_xmm_n(*v, f_idx);
+                            f_idx += 1;
+                        }
+                        _ => {
+                            if int_idx < ARG_REGS.len() {
+                                let (r32, r64) = ARG_REGS[int_idx];
+                                let wide = matches!(ty, Ty::I64);
+                                let src = self.loc_str(*v, wide);
+                                let op = if wide { "movq" } else { "movl" };
+                                let reg = if wide { r64 } else { r32 };
+                                self.line(&format!("{op} {src}, {reg}"));
+                            }
+                            int_idx += 1;
+                        }
+                    }
+                }
+                if f_idx > 0 {
+                    self.line(&format!("movl ${f_idx}, %eax"));
+                }
+                self.line(&format!("call {callee}"));
+                if let (Some(d), Some(rt)) = (dst, ret_ty) {
+                    match rt {
+                        Ty::F32 | Ty::F64 => self.from_xmm(*d, 0),
+                        _ => self.from_rax(*d),
+                    }
+                }
+            }
+            Inst::Cast { dst, src, kind } => {
+                self.last_cmp = None;
+                self.emit_cast(*dst, *src, *kind);
+            }
+            Inst::Copy { dst, src, ty } => {
+                self.last_cmp = None;
+                if ty.is_float() {
+                    self.to_xmm(*src, 0);
+                    self.from_xmm(*dst, 0);
+                } else {
+                    self.to_rax(*src);
+                    self.from_rax(*dst);
+                }
+            }
+            Inst::VecLoad { dst, addr } => {
+                self.last_cmp = None;
+                let mem = self.addr_operand(*addr);
+                self.line(&format!("movdqu {mem}, %xmm0"));
+                let slot = self.mem_of(*dst);
+                self.line(&format!("movdqu %xmm0, {slot}"));
+            }
+            Inst::VecSplat { dst, src } => {
+                self.last_cmp = None;
+                self.to_rax(*src);
+                self.line("movd %eax, %xmm0");
+                self.line("pshufd $0, %xmm0, %xmm0");
+                let slot = self.mem_of(*dst);
+                self.line(&format!("movdqu %xmm0, {slot}"));
+            }
+            Inst::VecBin { op, dst, a, b } => {
+                self.last_cmp = None;
+                let sa = self.mem_of(*a);
+                let sb = self.mem_of(*b);
+                self.line(&format!("movdqu {sa}, %xmm0"));
+                self.line(&format!("movdqu {sb}, %xmm1"));
+                let mnem = match op {
+                    IrBinOp::Add => "paddd",
+                    IrBinOp::Sub => "psubd",
+                    _ => "pmulld",
+                };
+                self.line(&format!("{mnem} %xmm1, %xmm0"));
+                let slot = self.mem_of(*dst);
+                self.line(&format!("movdqu %xmm0, {slot}"));
+            }
+            Inst::VecStore { addr, src } => {
+                self.last_cmp = None;
+                let slot = self.mem_of(*src);
+                self.line(&format!("movdqu {slot}, %xmm0"));
+                let mem = self.addr_operand(*addr);
+                self.line(&format!("movups %xmm0, {mem}"));
+            }
+        }
+    }
+
+    fn to_xmm_n(&mut self, v: VReg, xmm: usize) {
+        let mem = self.mem_of(v);
+        let op = if self.m.vreg_tys[v as usize] == Ty::F32 { "movss" } else { "movsd" };
+        self.line(&format!("{op} {mem}, %xmm{xmm}"));
+    }
+
+    fn emit_int_bin(&mut self, op: IrBinOp, dst: VReg, a: VReg, b: VReg, ty: Ty) {
+        let wide = ty == Ty::I64;
+        let suffix = if wide { "q" } else { "l" };
+        let acc = if wide { "%rax" } else { "%eax" };
+        match op {
+            IrBinOp::Add | IrBinOp::Sub | IrBinOp::Mul | IrBinOp::And | IrBinOp::Or
+            | IrBinOp::Xor => {
+                let mnem = match op {
+                    IrBinOp::Add => "add",
+                    IrBinOp::Sub => "sub",
+                    IrBinOp::Mul => "imul",
+                    IrBinOp::And => "and",
+                    IrBinOp::Or => "or",
+                    _ => "xor",
+                };
+                self.to_rax(a);
+                let bloc = self.loc_str(b, wide);
+                self.line(&format!("{mnem}{suffix} {bloc}, {acc}"));
+                self.from_rax(dst);
+            }
+            IrBinOp::DivS | IrBinOp::RemS => {
+                self.to_rax(a);
+                // Divisor must be in a register or memory, not rdx.
+                let bloc = self.loc_str(b, wide);
+                self.line(&format!("mov{suffix} {bloc}, {}", if wide { "%r11" } else { "%r11d" }));
+                self.line(if wide { "cqto" } else { "cltd" });
+                self.line(&format!("idiv{suffix} {}", if wide { "%r11" } else { "%r11d" }));
+                if op == IrBinOp::RemS {
+                    self.line(&format!("mov{suffix} {}, {acc}", if wide { "%rdx" } else { "%edx" }));
+                }
+                self.from_rax(dst);
+            }
+            IrBinOp::DivU | IrBinOp::RemU => {
+                self.to_rax(a);
+                let bloc = self.loc_str(b, wide);
+                self.line(&format!("mov{suffix} {bloc}, {}", if wide { "%r11" } else { "%r11d" }));
+                self.line(&format!("xor{suffix} {0}, {0}", if wide { "%rdx" } else { "%edx" }));
+                self.line(&format!("div{suffix} {}", if wide { "%r11" } else { "%r11d" }));
+                if op == IrBinOp::RemU {
+                    self.line(&format!("mov{suffix} {}, {acc}", if wide { "%rdx" } else { "%edx" }));
+                }
+                self.from_rax(dst);
+            }
+            IrBinOp::Shl | IrBinOp::ShrS | IrBinOp::ShrU => {
+                let mnem = match op {
+                    IrBinOp::Shl => "sal",
+                    IrBinOp::ShrS => "sar",
+                    _ => "shr",
+                };
+                let bloc = self.loc_str(b, false);
+                self.line(&format!("movl {bloc}, %ecx"));
+                self.to_rax(a);
+                self.line(&format!("{mnem}{suffix} %cl, {acc}"));
+                self.from_rax(dst);
+            }
+            _ => unreachable!("float op in int path"),
+        }
+    }
+
+    fn emit_float_bin(&mut self, op: IrBinOp, dst: VReg, a: VReg, b: VReg, ty: Ty) {
+        let suffix = if ty == Ty::F32 { "ss" } else { "sd" };
+        self.to_xmm(a, 0);
+        let bmem = self.mem_of(b);
+        let mnem = match op {
+            IrBinOp::FAdd => "add",
+            IrBinOp::FSub => "sub",
+            IrBinOp::FMul => "mul",
+            _ => "div",
+        };
+        self.line(&format!("{mnem}{suffix} {bmem}, %xmm0"));
+        self.from_xmm(dst, 0);
+    }
+
+    fn emit_cmp(&mut self, pred: Pred, dst: VReg, a: VReg, b: VReg, ty: Ty) {
+        if ty.is_float() {
+            let suffix = if ty == Ty::F32 { "ss" } else { "sd" };
+            self.to_xmm(a, 0);
+            let bmem = self.mem_of(b);
+            self.line(&format!("ucomi{suffix} {bmem}, %xmm0"));
+        } else {
+            let wide = ty == Ty::I64;
+            self.to_rax(a);
+            let bloc = self.loc_str(b, wide);
+            let acc = if wide { "%rax" } else { "%eax" };
+            self.line(&format!("cmp{} {bloc}, {acc}", if wide { "q" } else { "l" }));
+        }
+        let set = setcc(pred);
+        self.line(&format!("{set} %al"));
+        self.line("movzbl %al, %eax");
+        self.from_rax(dst);
+        self.last_cmp = Some((dst, pred));
+    }
+
+    fn emit_cast(&mut self, dst: VReg, src: VReg, kind: CastKind) {
+        match kind {
+            CastKind::Sext32to64 => {
+                let s = self.loc_str(src, false);
+                self.line(&format!("movslq {s}, %rax"));
+                self.from_rax(dst);
+            }
+            CastKind::Zext32to64 => {
+                let s = self.loc_str(src, false);
+                self.line(&format!("movl {s}, %eax"));
+                self.from_rax(dst);
+            }
+            CastKind::Trunc64to32 => {
+                self.to_rax(src);
+                self.from_rax(dst);
+            }
+            CastKind::Wrap8Sext => {
+                self.to_rax(src);
+                self.line("movsbl %al, %eax");
+                self.from_rax(dst);
+            }
+            CastKind::Wrap8Zext => {
+                self.to_rax(src);
+                self.line("movzbl %al, %eax");
+                self.from_rax(dst);
+            }
+            CastKind::Wrap16Sext => {
+                self.to_rax(src);
+                self.line("movswl %ax, %eax");
+                self.from_rax(dst);
+            }
+            CastKind::Wrap16Zext => {
+                self.to_rax(src);
+                self.line("movzwl %ax, %eax");
+                self.from_rax(dst);
+            }
+            CastKind::S32toF32 => {
+                self.to_rax(src);
+                self.line("cvtsi2ss %eax, %xmm0");
+                self.from_xmm(dst, 0);
+            }
+            CastKind::S32toF64 => {
+                self.to_rax(src);
+                self.line("cvtsi2sd %eax, %xmm0");
+                self.from_xmm(dst, 0);
+            }
+            CastKind::S64toF32 => {
+                self.to_rax(src);
+                self.line("cvtsi2ssq %rax, %xmm0");
+                self.from_xmm(dst, 0);
+            }
+            CastKind::S64toF64 => {
+                self.to_rax(src);
+                self.line("cvtsi2sdq %rax, %xmm0");
+                self.from_xmm(dst, 0);
+            }
+            CastKind::F32toS32 => {
+                self.to_xmm(src, 0);
+                self.line("cvttss2si %xmm0, %eax");
+                self.from_rax(dst);
+            }
+            CastKind::F64toS32 => {
+                self.to_xmm(src, 0);
+                self.line("cvttsd2si %xmm0, %eax");
+                self.from_rax(dst);
+            }
+            CastKind::F32toS64 => {
+                self.to_xmm(src, 0);
+                self.line("cvttss2siq %xmm0, %rax");
+                self.from_rax(dst);
+            }
+            CastKind::F64toS64 => {
+                self.to_xmm(src, 0);
+                self.line("cvttsd2siq %xmm0, %rax");
+                self.from_rax(dst);
+            }
+            CastKind::F32toF64 => {
+                self.to_xmm(src, 0);
+                self.line("cvtss2sd %xmm0, %xmm0");
+                self.from_xmm(dst, 0);
+            }
+            CastKind::F64toF32 => {
+                self.to_xmm(src, 0);
+                self.line("cvtsd2ss %xmm0, %xmm0");
+                self.from_xmm(dst, 0);
+            }
+        }
+    }
+
+    fn emit_term(&mut self, term: &Term, cur: usize) {
+        match term {
+            Term::Jmp(t) => {
+                if *t as usize != cur + 1 {
+                    self.line(&format!("jmp .L{t}"));
+                }
+            }
+            Term::Br { cond, then_bb, else_bb } => {
+                // Fuse with the preceding compare when its flags are live.
+                if let Some((cv, pred)) = self.last_cmp {
+                    if cv == *cond {
+                        let jcc = jcc_for(pred);
+                        self.line(&format!("{jcc} .L{then_bb}"));
+                        if *else_bb as usize != cur + 1 {
+                            self.line(&format!("jmp .L{else_bb}"));
+                        }
+                        return;
+                    }
+                }
+                let wide = self.is_wide(*cond);
+                self.to_rax(*cond);
+                let acc = if wide { "%rax" } else { "%eax" };
+                self.line(&format!("test{} {acc}, {acc}", if wide { "q" } else { "l" }));
+                self.line(&format!("jne .L{then_bb}"));
+                if *else_bb as usize != cur + 1 {
+                    self.line(&format!("jmp .L{else_bb}"));
+                }
+            }
+            Term::Ret(v) => {
+                if let Some(v) = v {
+                    match self.m.vreg_tys[*v as usize] {
+                        Ty::F32 | Ty::F64 => self.to_xmm(*v, 0),
+                        _ => self.to_rax(*v),
+                    }
+                }
+                // Restore callee-saved registers.
+                let used = self.alloc.used.clone();
+                for (i, reg) in used.iter().enumerate() {
+                    let off = -8 * (i as i64 + 1);
+                    self.line(&format!("movq {off}(%rbp), {}", POOL[*reg as usize].1));
+                }
+                self.line("leave");
+                self.line("ret");
+            }
+        }
+    }
+}
+
+fn setcc(pred: Pred) -> &'static str {
+    match pred {
+        Pred::Eq | Pred::FEq => "sete",
+        Pred::Ne | Pred::FNe => "setne",
+        Pred::LtS => "setl",
+        Pred::LeS => "setle",
+        Pred::GtS => "setg",
+        Pred::GeS => "setge",
+        Pred::LtU | Pred::FLt => "setb",
+        Pred::LeU | Pred::FLe => "setbe",
+        Pred::GtU | Pred::FGt => "seta",
+        Pred::GeU | Pred::FGe => "setae",
+    }
+}
+
+fn jcc_for(pred: Pred) -> &'static str {
+    match pred {
+        Pred::Eq | Pred::FEq => "je",
+        Pred::Ne | Pred::FNe => "jne",
+        Pred::LtS => "jl",
+        Pred::LeS => "jle",
+        Pred::GtS => "jg",
+        Pred::GeS => "jge",
+        Pred::LtU | Pred::FLt => "jb",
+        Pred::LeU | Pred::FLe => "jbe",
+        Pred::GtU | Pred::FGt => "ja",
+        Pred::GeU | Pred::FGe => "jae",
+    }
+}
+
+/// Escapes one byte for a `.string` directive (shared with the ARM backend).
+pub fn escape_byte_pub(b: u8) -> String {
+    escape_byte(b)
+}
+
+fn escape_byte(b: u8) -> String {
+    match b {
+        b'\n' => "\\n".to_string(),
+        b'\t' => "\\t".to_string(),
+        b'\r' => "\\r".to_string(),
+        b'"' => "\\\"".to_string(),
+        b'\\' => "\\\\".to_string(),
+        0x20..=0x7e => (b as char).to_string(),
+        other => format!("\\{:03o}", other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{compile_function, CompileOpts, Isa, OptLevel};
+    use slade_minic::parse_program;
+
+    fn asm(src: &str, name: &str, opt: OptLevel) -> String {
+        let p = parse_program(src).unwrap();
+        compile_function(&p, name, CompileOpts::new(Isa::X86_64, opt)).unwrap()
+    }
+
+    #[test]
+    fn o0_is_stack_heavy() {
+        let a = asm("int add(int a, int b) { return a + b; }", "add", OptLevel::O0);
+        assert!(a.contains("pushq %rbp"), "{a}");
+        assert!(a.contains("(%rbp)"), "{a}");
+        assert!(a.contains("addl"), "{a}");
+        assert!(a.contains("leave"), "{a}");
+    }
+
+    #[test]
+    fn o3_is_shorter_than_o0() {
+        let src = "int f(int a, int b, int c) { int x = a + b; int y = x * c; return y - a; }";
+        let o0 = asm(src, "f", OptLevel::O0);
+        let o3 = asm(src, "f", OptLevel::O3);
+        assert!(o3.lines().count() < o0.lines().count(), "O3 not smaller:\n{o3}\n\nvs\n\n{o0}");
+    }
+
+    #[test]
+    fn o3_vectorizes_the_motivating_loop() {
+        let src = r#"
+            void add(int *list, int val, int n) {
+                int i;
+                for (i = 0; i < n; ++i) { list[i] += val; }
+            }
+        "#;
+        let o3 = asm(src, "add", OptLevel::O3);
+        assert!(o3.contains("paddd"), "no vector add:\n{o3}");
+        assert!(o3.contains("pshufd"), "no splat:\n{o3}");
+        assert!(o3.contains("movdqu"), "no vector load:\n{o3}");
+    }
+
+    #[test]
+    fn division_uses_idiv_protocol() {
+        let a = asm("int f(int a, int b) { return a / b; }", "f", OptLevel::O0);
+        assert!(a.contains("cltd"), "{a}");
+        assert!(a.contains("idivl"), "{a}");
+        let m = asm("int f(int a, int b) { return a % b; }", "f", OptLevel::O0);
+        assert!(m.contains("%edx"), "{m}");
+    }
+
+    #[test]
+    fn unsigned_division_zeroes_edx() {
+        let a = asm(
+            "unsigned f(unsigned a, unsigned b) { return a / b; }",
+            "f",
+            OptLevel::O0,
+        );
+        assert!(a.contains("divl"), "{a}");
+        assert!(!a.contains("cltd"), "{a}");
+    }
+
+    #[test]
+    fn calls_use_sysv_argument_registers() {
+        let src = "int g(int a, int b, int c); int f(int x) { return g(x, 2, 3); }";
+        let a = asm(src, "f", OptLevel::O0);
+        assert!(a.contains("%edi"), "{a}");
+        assert!(a.contains("%esi"), "{a}");
+        assert!(a.contains("call g"), "{a}");
+    }
+
+    #[test]
+    fn branches_fuse_compare_and_jump() {
+        let a = asm(
+            "int f(int a) { if (a < 10) return 1; return 2; }",
+            "f",
+            OptLevel::O3,
+        );
+        assert!(a.contains("jl .L") || a.contains("jge .L"), "no fused branch:\n{a}");
+    }
+
+    #[test]
+    fn float_code_uses_sse_scalar_ops() {
+        let a = asm("double f(double x, double y) { return x * y + 1.0; }", "f", OptLevel::O0);
+        assert!(a.contains("mulsd"), "{a}");
+        assert!(a.contains("addsd"), "{a}");
+        assert!(a.contains("movsd"), "{a}");
+    }
+
+    #[test]
+    fn strings_emit_rodata() {
+        let a = asm("int f(char *s) { return strcmp(s, \"hi\"); }", "f", OptLevel::O0);
+        assert!(a.contains(".section .rodata"), "{a}");
+        assert!(a.contains(".string \"hi\""), "{a}");
+    }
+
+    #[test]
+    fn switch_lowers_to_compare_chain() {
+        let a = asm(
+            "int f(int x) { switch (x) { case 1: return 10; case 2: return 20; default: return 0; } }",
+            "f",
+            OptLevel::O0,
+        );
+        let cmps = a.matches("cmpl").count();
+        assert!(cmps >= 2, "dispatch chain missing:\n{a}");
+    }
+
+    #[test]
+    fn globals_use_rip_relative_addressing() {
+        let a = asm("int g; int f(void) { return g; }", "f", OptLevel::O0);
+        assert!(a.contains("g(%rip)"), "{a}");
+    }
+}

@@ -1,0 +1,510 @@
+//! SLaDe: the Small Language model Decompiler (CGO 2024) — core pipeline.
+//!
+//! This crate implements the paper's contribution proper: a
+//! sequence-to-sequence Transformer trained on (assembly, C) function pairs
+//! with the UnigramLM code tokenizer, decoded with beam search (k = 5), and
+//! augmented with PsycheC-style type inference so hypotheses referencing
+//! out-of-context types still compile. Candidate selection ("the first
+//! hypothesis passing the IO tests") lives in `slade-eval`, which owns the
+//! execution harness.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use slade::{SladeBuilder, TrainProfile};
+//! use slade_compiler::{Isa, OptLevel};
+//! use slade_dataset::{generate_train, DatasetProfile};
+//!
+//! let items = generate_train(DatasetProfile::tiny(), 0);
+//! let slade = SladeBuilder::new(Isa::X86_64, OptLevel::O0)
+//!     .profile(TrainProfile::tiny())
+//!     .train(&items, 0);
+//! let candidates = slade.decompile("f:\n\tret\n");
+//! assert!(candidates.len() <= 5);
+//! ```
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
+use slade_dataset::DatasetItem;
+use slade_minic::parse_program;
+use slade_nn::{Seq2Seq, TransformerConfig};
+use slade_tokenizer::{special, TokenizerOptions, UnigramTokenizer};
+
+/// Training-scale knobs (see DESIGN.md §6 for the scaling argument).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainProfile {
+    /// Transformer width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub n_heads: usize,
+    /// FFN width.
+    pub d_ff: usize,
+    /// Encoder/decoder layers (each).
+    pub layers: usize,
+    /// Tokenizer vocabulary target.
+    pub vocab: usize,
+    /// Maximum source (assembly) length in tokens; longer pairs are skipped
+    /// during training — matching ExeBench's short-function bias (Fig. 9).
+    pub max_src_len: usize,
+    /// Maximum target (C) length in tokens.
+    pub max_tgt_len: usize,
+    /// Passes over the training pairs.
+    pub epochs: usize,
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay (the paper's only regularizer — no dropout).
+    pub weight_decay: f32,
+    /// Gradient-accumulation batch size.
+    pub batch: usize,
+    /// Train-time dropout probability. The paper's recipe is `0.0`
+    /// ("dropout-free regularization", §I/§V-C); nonzero values exist for
+    /// the ablation reproducing that preliminary experiment.
+    #[serde(default)]
+    pub dropout: f32,
+    /// Epochs of BART-style denoising pre-training over the raw corpus
+    /// before seq2seq fine-tuning (`0` = the paper's recipe; §X lists
+    /// pre-training as future work).
+    #[serde(default)]
+    pub pretrain_epochs: usize,
+    /// Pre-tokenization rules (§IV); defaults to the paper's recipe.
+    #[serde(default)]
+    pub tokenizer: TokenizerOptions,
+}
+
+impl TrainProfile {
+    /// Unit-test scale (seconds).
+    pub fn tiny() -> Self {
+        TrainProfile {
+            d_model: 32,
+            n_heads: 2,
+            d_ff: 64,
+            layers: 1,
+            vocab: 300,
+            max_src_len: 96,
+            max_tgt_len: 64,
+            epochs: 2,
+            lr: 3e-3,
+            weight_decay: 0.01,
+            batch: 4,
+            dropout: 0.0,
+            pretrain_epochs: 0,
+            tokenizer: TokenizerOptions::default(),
+        }
+    }
+
+    /// Default reproduction scale (tens of minutes per ISA×opt
+    /// configuration on one core). The 1024-token source cap is the
+    /// paper's own sequence limit (§III); `corpus_stats` shows the
+    /// generated `-O0` assembly distribution fitting under it.
+    pub fn default_profile() -> Self {
+        TrainProfile {
+            d_model: 64,
+            n_heads: 4,
+            d_ff: 128,
+            layers: 2,
+            vocab: 700,
+            max_src_len: 1024,
+            max_tgt_len: 128,
+            epochs: 3,
+            lr: 2e-3,
+            weight_decay: 0.01,
+            batch: 8,
+            dropout: 0.0,
+            pretrain_epochs: 0,
+            tokenizer: TokenizerOptions::default(),
+        }
+    }
+}
+
+/// Builder configuring a SLaDe training run for one ISA × optimization
+/// level (the paper trains one model per configuration, §V-C).
+#[derive(Debug, Clone)]
+pub struct SladeBuilder {
+    isa: Isa,
+    opt: OptLevel,
+    profile: TrainProfile,
+    beam: usize,
+}
+
+impl SladeBuilder {
+    /// Starts a builder for the given target configuration.
+    pub fn new(isa: Isa, opt: OptLevel) -> Self {
+        SladeBuilder { isa, opt, profile: TrainProfile::default_profile(), beam: 5 }
+    }
+
+    /// Sets the scale profile.
+    pub fn profile(mut self, profile: TrainProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the beam width (paper: 5).
+    pub fn beam(mut self, beam: usize) -> Self {
+        self.beam = beam;
+        self
+    }
+
+    /// Compiles the items, trains the tokenizer and the model, and returns
+    /// the ready decompiler. Items that fail to compile or exceed the
+    /// length caps are skipped.
+    pub fn train(self, items: &[DatasetItem], seed: u64) -> Slade {
+        let pairs = make_pairs(items, self.isa, self.opt);
+        let mut corpus: Vec<String> = Vec::new();
+        for (asm, c) in &pairs {
+            corpus.push(normalize_asm(asm));
+            corpus.push(c.clone());
+        }
+        let tokenizer =
+            UnigramTokenizer::train_with(&corpus, self.profile.vocab, self.profile.tokenizer);
+        let cfg = TransformerConfig {
+            vocab: tokenizer.vocab_size(),
+            d_model: self.profile.d_model,
+            n_heads: self.profile.n_heads,
+            d_ff: self.profile.d_ff,
+            enc_layers: self.profile.layers,
+            dec_layers: self.profile.layers,
+            max_len: self.profile.max_src_len.max(self.profile.max_tgt_len) + 2,
+        };
+        let mut model = Seq2Seq::new(cfg, seed);
+        if self.profile.dropout > 0.0 {
+            model.set_dropout(self.profile.dropout, seed ^ 0xd50);
+        }
+        if self.profile.pretrain_epochs > 0 {
+            pretrain_denoising(&mut model, &tokenizer, &corpus, &self.profile, seed ^ 0xba51);
+        }
+        // Tokenize and filter by length.
+        let mut encoded: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+        for (asm, c) in &pairs {
+            let src = tokenizer.encode(&normalize_asm(asm));
+            let tgt = tokenizer.encode(c);
+            if src.len() <= self.profile.max_src_len
+                && tgt.len() < self.profile.max_tgt_len
+                && !src.is_empty()
+                && !tgt.is_empty()
+            {
+                encoded.push((src, tgt));
+            }
+        }
+        // Teacher-forced training with gradient accumulation.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x51ade);
+        let mut order: Vec<usize> = (0..encoded.len()).collect();
+        for _epoch in 0..self.profile.epochs {
+            order.shuffle(&mut rng);
+            let mut in_batch = 0usize;
+            model.zero_grads();
+            for &i in &order {
+                let (src, tgt) = &encoded[i];
+                let mut dec_input = vec![special::BOS];
+                dec_input.extend_from_slice(tgt);
+                let mut labels = tgt.clone();
+                labels.push(special::EOS);
+                let _ = model.train_pair(src, &dec_input, &labels);
+                in_batch += 1;
+                if in_batch == self.profile.batch {
+                    model.adam_step(
+                        self.profile.lr,
+                        self.profile.weight_decay,
+                        1.0 / in_batch as f32,
+                    );
+                    model.zero_grads();
+                    in_batch = 0;
+                }
+            }
+            if in_batch > 0 {
+                model.adam_step(
+                    self.profile.lr,
+                    self.profile.weight_decay,
+                    1.0 / in_batch as f32,
+                );
+                model.zero_grads();
+            }
+        }
+        Slade { model, tokenizer, beam: self.beam, max_tgt_len: self.profile.max_tgt_len }
+    }
+}
+
+/// Compiles every item for `(isa, opt)` into `(assembly, c_source)` pairs.
+pub fn make_pairs(items: &[DatasetItem], isa: Isa, opt: OptLevel) -> Vec<(String, String)> {
+    let opts = CompileOpts::new(isa, opt);
+    items
+        .iter()
+        .filter_map(|item| {
+            let program = parse_program(&item.full_src()).ok()?;
+            let asm = compile_function(&program, &item.name, opts).ok()?;
+            Some((asm, item.func_src.clone()))
+        })
+        .collect()
+}
+
+/// Strips assembler lines that carry no decompilation signal before
+/// tokenization: CFI bookkeeping, alignment hints, section/linkage
+/// directives. Labels, instructions and data definitions (jump-table and
+/// rodata contents) are kept. The digit-by-digit tokenizer makes such
+/// boilerplate expensive (a single `.cfi_def_cfa_offset 16` is ~10
+/// tokens), and at reproduction scale the sequence budget is the binding
+/// constraint — this is the model-input normalization half of the paper's
+/// "assembly without its surrounding context" setup. Applied identically
+/// at training and inference ([`Slade::decompile`]); the rule-based tools
+/// and emulators always see the raw text.
+pub fn normalize_asm(asm: &str) -> String {
+    const DROP_PREFIXES: [&str; 9] = [
+        ".cfi_", ".p2align", ".align", ".text", ".globl", ".global", ".type", ".size", ".ident",
+    ];
+    let mut out = String::with_capacity(asm.len());
+    for line in asm.lines() {
+        let t = line.trim();
+        if t.is_empty() || DROP_PREFIXES.iter().any(|p| t.starts_with(p)) {
+            continue;
+        }
+        out.push_str(t);
+        out.push('\n');
+    }
+    out
+}
+
+/// BART-style span corruption for denoising pre-training: each position
+/// starts a masked span with probability ~0.15; a span covers one to four
+/// original tokens and is replaced by a single [`special::MASK`]. Roughly
+/// 30% of tokens end up hidden, matching BART's text-infilling noise rate.
+///
+/// Never returns an empty sequence (a fully-masked input degenerates to a
+/// single mask token).
+pub fn corrupt_spans(ids: &[u32], rng: &mut rand_chacha::ChaCha8Rng) -> Vec<u32> {
+    use rand::Rng;
+    let mut out = Vec::with_capacity(ids.len());
+    let mut i = 0usize;
+    while i < ids.len() {
+        if rng.gen::<f32>() < 0.15 {
+            let span = rng.gen_range(1..=4usize);
+            out.push(special::MASK);
+            i += span;
+        } else {
+            out.push(ids[i]);
+            i += 1;
+        }
+    }
+    if out.is_empty() {
+        out.push(special::MASK);
+    }
+    out
+}
+
+/// Denoising pre-training over the raw (assembly + C) corpus: the model
+/// reconstructs the original token sequence from a span-corrupted copy.
+/// This is the paper's §X "pre-training" future-work direction; the
+/// ablation suite measures its effect at reproduction scale.
+fn pretrain_denoising(
+    model: &mut Seq2Seq,
+    tokenizer: &UnigramTokenizer,
+    corpus: &[String],
+    profile: &TrainProfile,
+    seed: u64,
+) {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let cap = profile.max_src_len.min(profile.max_tgt_len).saturating_sub(1).max(8);
+    let texts: Vec<Vec<u32>> = corpus
+        .iter()
+        .map(|t| {
+            let mut ids = tokenizer.encode(t);
+            ids.truncate(cap);
+            ids
+        })
+        .filter(|ids| !ids.is_empty())
+        .collect();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..texts.len()).collect();
+    for _epoch in 0..profile.pretrain_epochs {
+        order.shuffle(&mut rng);
+        let mut in_batch = 0usize;
+        model.zero_grads();
+        for &i in &order {
+            let original = &texts[i];
+            // Fresh corruption every epoch, as in BART.
+            let corrupted = corrupt_spans(original, &mut rng);
+            let mut dec_input = vec![special::BOS];
+            dec_input.extend_from_slice(original);
+            let mut labels = original.clone();
+            labels.push(special::EOS);
+            let _ = model.train_pair(&corrupted, &dec_input, &labels);
+            in_batch += 1;
+            if in_batch == profile.batch {
+                model.adam_step(profile.lr, profile.weight_decay, 1.0 / in_batch as f32);
+                model.zero_grads();
+                in_batch = 0;
+            }
+        }
+        if in_batch > 0 {
+            model.adam_step(profile.lr, profile.weight_decay, 1.0 / in_batch as f32);
+            model.zero_grads();
+        }
+    }
+}
+
+/// A trained SLaDe decompiler for one ISA × optimization level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Slade {
+    /// The seq2seq model.
+    pub model: Seq2Seq,
+    /// The subword tokenizer.
+    pub tokenizer: UnigramTokenizer,
+    beam: usize,
+    max_tgt_len: usize,
+}
+
+impl Slade {
+    /// The configured beam width.
+    pub fn beam(&self) -> usize {
+        self.beam
+    }
+
+    /// Changes the beam width after training (the beam-width ablation
+    /// re-decodes one trained model at several `k`).
+    pub fn set_beam(&mut self, beam: usize) {
+        self.beam = beam.max(1);
+    }
+
+    /// Decompiles assembly text into up to `beam` C hypotheses, best first
+    /// (§VI-A). Candidate selection by IO testing is the harness's job.
+    pub fn decompile(&self, asm_text: &str) -> Vec<String> {
+        let src = self.tokenizer.encode(&normalize_asm(asm_text));
+        let beams =
+            self.model.beam_search(&src, special::BOS, special::EOS, self.max_tgt_len, self.beam);
+        beams.into_iter().map(|ids| self.tokenizer.decode(&ids)).collect()
+    }
+
+    /// Decompiles and appends the type-inference header when the raw
+    /// hypothesis does not compile in `context` (§VI-B). Returns
+    /// `(hypothesis, header)` pairs.
+    pub fn decompile_with_types(&self, asm_text: &str, context: &str) -> Vec<(String, String)> {
+        self.decompile(asm_text)
+            .into_iter()
+            .map(|hyp| {
+                let header =
+                    slade_typeinf::infer_missing_types(&hyp, context).unwrap_or_default();
+                (hyp, header)
+            })
+            .collect()
+    }
+
+    /// Serializes the trained decompiler (model + tokenizer) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("slade serialization")
+    }
+
+    /// Loads a decompiler saved with [`Slade::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slade_dataset::{generate_train, DatasetProfile};
+
+    #[test]
+    fn make_pairs_compiles_items() {
+        let items = generate_train(DatasetProfile::tiny(), 3);
+        let pairs = make_pairs(&items, Isa::X86_64, OptLevel::O0);
+        assert!(!pairs.is_empty());
+        assert!(pairs[0].0.contains("ret"));
+        assert!(pairs[0].1.contains("("));
+    }
+
+    #[test]
+    fn tiny_training_runs_and_decodes() {
+        let items = generate_train(DatasetProfile::tiny(), 5);
+        let slade = SladeBuilder::new(Isa::X86_64, OptLevel::O0)
+            .profile(TrainProfile::tiny())
+            .beam(2)
+            .train(&items, 1);
+        let pairs = make_pairs(&items[..4.min(items.len())], Isa::X86_64, OptLevel::O0);
+        let out = slade.decompile(&pairs[0].0);
+        assert!(!out.is_empty());
+        // Output is text; we don't require correctness at tiny scale.
+        assert!(out[0].len() < 4000);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let items = generate_train(DatasetProfile::tiny(), 9);
+        let slade = SladeBuilder::new(Isa::X86_64, OptLevel::O0)
+            .profile(TrainProfile::tiny())
+            .beam(1)
+            .train(&items[..10.min(items.len())], 2);
+        let json = slade.to_json();
+        let back = Slade::from_json(&json).unwrap();
+        let asm = "f:\n\tmovl %edi, %eax\n\tret\n";
+        assert_eq!(slade.decompile(asm), back.decompile(asm));
+    }
+
+    #[test]
+    fn corrupt_spans_masks_some_tokens_and_never_empties() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let ids: Vec<u32> = (10..200).collect();
+        let corrupted = corrupt_spans(&ids, &mut rng);
+        assert!(corrupted.len() < ids.len(), "spans must shorten the sequence");
+        assert!(corrupted.contains(&special::MASK));
+        // Unmasked tokens keep their relative order.
+        let kept: Vec<u32> =
+            corrupted.iter().copied().filter(|&t| t != special::MASK).collect();
+        let mut last = 0u32;
+        for t in kept {
+            assert!(t > last, "order violated");
+            last = t;
+        }
+        // Degenerate input.
+        let tiny = corrupt_spans(&[], &mut rng);
+        assert_eq!(tiny, vec![special::MASK]);
+    }
+
+    #[test]
+    fn training_with_pretraining_and_dropout_runs() {
+        let items = generate_train(DatasetProfile::tiny(), 5);
+        let mut profile = TrainProfile::tiny();
+        profile.epochs = 1;
+        profile.pretrain_epochs = 1;
+        profile.dropout = 0.1;
+        let slade = SladeBuilder::new(Isa::X86_64, OptLevel::O0)
+            .profile(profile)
+            .beam(1)
+            .train(&items[..8.min(items.len())], 3);
+        let out = slade.decompile("f:\n\tret\n");
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn tokenizer_options_flow_through_training() {
+        let items = generate_train(DatasetProfile::tiny(), 5);
+        let mut profile = TrainProfile::tiny();
+        profile.epochs = 1;
+        profile.tokenizer = TokenizerOptions { digit_split: false, punct_split: true };
+        let slade = SladeBuilder::new(Isa::X86_64, OptLevel::O0)
+            .profile(profile)
+            .beam(1)
+            .train(&items[..6.min(items.len())], 4);
+        assert_eq!(slade.tokenizer.options(), profile.tokenizer);
+    }
+
+    #[test]
+    fn old_profiles_deserialize_with_paper_defaults() {
+        // A profile serialized before the ablation knobs existed.
+        let json = r#"{"d_model":32,"n_heads":2,"d_ff":64,"layers":1,"vocab":300,
+            "max_src_len":96,"max_tgt_len":64,"epochs":2,"lr":0.003,
+            "weight_decay":0.01,"batch":4}"#;
+        let p: TrainProfile = serde_json::from_str(json).unwrap();
+        assert_eq!(p.dropout, 0.0);
+        assert_eq!(p.pretrain_epochs, 0);
+        assert_eq!(p.tokenizer, TokenizerOptions::default());
+    }
+}

@@ -1,0 +1,1020 @@
+//! x86-64 emulator for the assembly subset `slade-compiler` emits.
+//!
+//! The paper's IO harness executes the *original assembly* and compares it
+//! with the recompiled decompilation hypothesis. This crate provides that
+//! fidelity: it runs the parsed AT&T text against the same byte-addressable
+//! segment memory the MiniC interpreter uses (pointers are packed
+//! `(segment << 32) | offset` values), so a buffer written by emulated
+//! assembly can be read back and compared bit-for-bit with the interpreter's
+//! result.
+//!
+//! Supported: the integer/float/SSE subset the backend generates, including
+//! `movdqu`/`pshufd`/`paddd`/`psubd`/`pmulld` vector code, the SysV call
+//! protocol (`rdi`…`r9`, `xmm0`…`xmm7`), and libc builtins (`memcpy`,
+//! `strlen`, `sqrt`, …) dispatched by name on `call`.
+//!
+//! # Example
+//!
+//! ```
+//! use slade_asm::{parse_asm, Isa};
+//! use slade_compiler::{compile_function, CompileOpts, OptLevel};
+//! use slade_emu::{Emulator, Arg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = slade_minic::parse_program("int sq(int x) { return x * x; }")?;
+//! let asm = compile_function(&p, "sq", CompileOpts::new(slade_compiler::Isa::X86_64, OptLevel::O0))?;
+//! let mut emu = Emulator::new(parse_asm(&asm, Isa::X86_64));
+//! let ret = emu.call("sq", &[Arg::Int(9)])?;
+//! assert_eq!(ret as i32, 81);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arm;
+
+pub use arm::ArmEmulator;
+
+use slade_asm::{AsmFile, AsmFunction, Inst, Line, Operand};
+use slade_minic::mem::Memory;
+use slade_minic::value::Pointer;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Emulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmuError {
+    message: String,
+}
+
+impl EmuError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        EmuError { message: msg.into() }
+    }
+
+    /// Human-readable reason.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "emulation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, EmuError>;
+
+/// An argument for [`Emulator::call`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arg {
+    /// Integer or packed-pointer argument (goes to `rdi`…).
+    Int(u64),
+    /// Double argument (goes to `xmm0`…).
+    F64(f64),
+    /// Float argument.
+    F32(f32),
+}
+
+const GPRS: [&str; 16] = [
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp", "r8", "r9", "r10", "r11", "r12",
+    "r13", "r14", "r15",
+];
+
+fn gpr_index(name: &str) -> Option<(usize, u8)> {
+    // Returns (index, width-in-bytes).
+    let full = GPRS.iter().position(|&g| g == name);
+    if let Some(i) = full {
+        return Some((i, 8));
+    }
+    let map32: [(&str, usize); 16] = [
+        ("eax", 0),
+        ("ebx", 1),
+        ("ecx", 2),
+        ("edx", 3),
+        ("esi", 4),
+        ("edi", 5),
+        ("ebp", 6),
+        ("esp", 7),
+        ("r8d", 8),
+        ("r9d", 9),
+        ("r10d", 10),
+        ("r11d", 11),
+        ("r12d", 12),
+        ("r13d", 13),
+        ("r14d", 14),
+        ("r15d", 15),
+    ];
+    for (n, i) in map32 {
+        if n == name {
+            return Some((i, 4));
+        }
+    }
+    match name {
+        "ax" => Some((0, 2)),
+        "cx" => Some((2, 2)),
+        "dx" => Some((3, 2)),
+        "al" => Some((0, 1)),
+        "bl" => Some((1, 1)),
+        "cl" => Some((2, 1)),
+        "dl" => Some((3, 1)),
+        _ => None,
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Flags {
+    zf: bool,
+    sf: bool,
+    cf: bool,
+    of: bool,
+}
+
+/// The machine: registers, flags, vector registers and segment memory.
+#[derive(Debug)]
+pub struct Emulator {
+    file: AsmFile,
+    gpr: [u64; 16],
+    xmm: [[u8; 16]; 16],
+    flags: Flags,
+    mem: Memory,
+    symbols: HashMap<String, u64>,
+    stack_base: u64,
+    fuel: u64,
+}
+
+fn pack(p: Pointer) -> u64 {
+    ((p.seg as u64) << 32) | (p.off as u64 & 0xffff_ffff)
+}
+
+fn unpack(v: u64) -> Pointer {
+    Pointer { seg: (v >> 32) as u32, off: (v & 0xffff_ffff) as i64 }
+}
+
+impl Emulator {
+    /// Builds an emulator for `file`, allocating its rodata and a 1 MiB
+    /// stack.
+    pub fn new(file: AsmFile) -> Self {
+        let mut mem = Memory::new();
+        let mut symbols = HashMap::new();
+        for (label, bytes) in &file.rodata {
+            let p = mem.alloc(bytes.len());
+            mem.store_bytes(p, bytes).expect("fresh rodata segment");
+            symbols.insert(label.clone(), pack(p));
+        }
+        let stack = mem.alloc(1 << 20);
+        let stack_base = pack(stack) + (1 << 20) - 64;
+        Emulator {
+            file,
+            gpr: [0; 16],
+            xmm: [[0; 16]; 16],
+            flags: Flags::default(),
+            mem,
+            symbols,
+            stack_base,
+            fuel: 0,
+        }
+    }
+
+    /// Allocates a buffer with the given contents; returns its packed
+    /// address (pass it as an [`Arg::Int`]).
+    pub fn alloc_buffer(&mut self, bytes: &[u8]) -> u64 {
+        let p = self.mem.alloc(bytes.len());
+        self.mem.store_bytes(p, bytes).expect("fresh segment");
+        pack(p)
+    }
+
+    /// Defines global symbol `name` backed by `bytes`.
+    pub fn define_global(&mut self, name: &str, bytes: &[u8]) -> u64 {
+        let addr = self.alloc_buffer(bytes);
+        self.symbols.insert(name.to_string(), addr);
+        addr
+    }
+
+    /// Reads memory at a packed address.
+    ///
+    /// # Errors
+    ///
+    /// Faults on invalid ranges.
+    pub fn read_buffer(&self, addr: u64, len: usize) -> Result<Vec<u8>> {
+        self.mem.load_bytes(unpack(addr), len).map_err(|e| EmuError::new(e.to_string()))
+    }
+
+    /// Return value of the last call as a double (`xmm0`).
+    pub fn ret_f64(&self) -> f64 {
+        f64::from_le_bytes(self.xmm[0][..8].try_into().unwrap())
+    }
+
+    /// Return value of the last call as a float.
+    pub fn ret_f32(&self) -> f32 {
+        f32::from_le_bytes(self.xmm[0][..4].try_into().unwrap())
+    }
+
+    /// Calls function `name` with SysV argument passing; returns `rax`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown functions, memory faults, unsupported instructions,
+    /// or fuel exhaustion (10M instructions).
+    pub fn call(&mut self, name: &str, args: &[Arg]) -> Result<u64> {
+        self.fuel = 10_000_000;
+        self.gpr[7] = self.stack_base; // rsp
+        let mut int_idx = 0;
+        let mut f_idx = 0;
+        const INT_ARGS: [usize; 6] = [5, 4, 3, 2, 8, 9]; // rdi rsi rdx rcx r8 r9
+        for a in args {
+            match a {
+                Arg::Int(v) => {
+                    if int_idx < 6 {
+                        self.gpr[INT_ARGS[int_idx]] = *v;
+                    }
+                    int_idx += 1;
+                }
+                Arg::F64(v) => {
+                    self.xmm[f_idx][..8].copy_from_slice(&v.to_le_bytes());
+                    f_idx += 1;
+                }
+                Arg::F32(v) => {
+                    self.xmm[f_idx][..4].copy_from_slice(&v.to_le_bytes());
+                    f_idx += 1;
+                }
+            }
+        }
+        self.exec_function(name)?;
+        Ok(self.gpr[0])
+    }
+
+    fn exec_function(&mut self, name: &str) -> Result<()> {
+        let Some(func) = self.file.function(name).cloned() else {
+            return self.call_builtin(name);
+        };
+        let labels = func.label_positions();
+        let mut ip = 0usize;
+        while ip < func.lines.len() {
+            if self.fuel == 0 {
+                return Err(EmuError::new("fuel exhausted"));
+            }
+            self.fuel -= 1;
+            let line = &func.lines[ip];
+            ip += 1;
+            let inst = match line {
+                Line::Label(_) => continue,
+                Line::Inst(i) => i,
+            };
+            match self.step(inst, &func, &labels, &mut ip)? {
+                Step::Continue => {}
+                Step::Return => return Ok(()),
+            }
+        }
+        Ok(())
+    }
+
+    fn step(
+        &mut self,
+        inst: &Inst,
+        func: &AsmFunction,
+        labels: &HashMap<String, usize>,
+        ip: &mut usize,
+    ) -> Result<Step> {
+        let m = inst.mnemonic.as_str();
+        let ops = &inst.operands;
+        match m {
+            "endbr64" | "nop" => {}
+            "pushq" => {
+                self.gpr[7] = self.gpr[7].wrapping_sub(8);
+                let v = self.read_op(&ops[0], 8)?;
+                self.write_mem_addr(self.gpr[7], &v.to_le_bytes())?;
+            }
+            "popq" => {
+                let bytes = self.read_mem_addr(self.gpr[7], 8)?;
+                self.gpr[7] = self.gpr[7].wrapping_add(8);
+                self.write_op(&ops[0], u64::from_le_bytes(bytes.try_into().unwrap()), 8)?;
+            }
+            "leave" => {
+                self.gpr[7] = self.gpr[6]; // rsp = rbp
+                let bytes = self.read_mem_addr(self.gpr[7], 8)?;
+                self.gpr[7] = self.gpr[7].wrapping_add(8);
+                self.gpr[6] = u64::from_le_bytes(bytes.try_into().unwrap());
+            }
+            "ret" => return Ok(Step::Return),
+            "movq" | "movl" | "movw" | "movb" | "movabsq" => {
+                let width = match m {
+                    "movb" => 1,
+                    "movw" => 2,
+                    "movl" => 4,
+                    _ => 8,
+                };
+                // movq between GPR and XMM is a different beast.
+                if m == "movq" && ops.iter().any(is_xmm) {
+                    self.mov_gpr_xmm(&ops[0], &ops[1], 8)?;
+                } else {
+                    let v = self.read_op(&ops[0], width)?;
+                    self.write_op(&ops[1], v, width)?;
+                }
+            }
+            "movd" => self.mov_gpr_xmm(&ops[0], &ops[1], 4)?,
+            "movslq" => {
+                let v = self.read_op(&ops[0], 4)? as u32 as i32 as i64 as u64;
+                self.write_op(&ops[1], v, 8)?;
+            }
+            "movsbl" => {
+                let v = self.read_op(&ops[0], 1)? as u8 as i8 as i32 as u32 as u64;
+                self.write_op(&ops[1], v, 4)?;
+            }
+            "movzbl" => {
+                let v = self.read_op(&ops[0], 1)? as u8 as u64;
+                self.write_op(&ops[1], v, 4)?;
+            }
+            "movswl" => {
+                let v = self.read_op(&ops[0], 2)? as u16 as i16 as i32 as u32 as u64;
+                self.write_op(&ops[1], v, 4)?;
+            }
+            "movzwl" => {
+                let v = self.read_op(&ops[0], 2)? as u16 as u64;
+                self.write_op(&ops[1], v, 4)?;
+            }
+            "leaq" => {
+                let addr = self.effective_address(&ops[0])?;
+                self.write_op(&ops[1], addr, 8)?;
+            }
+            "addl" | "addq" | "subl" | "subq" | "imull" | "imulq" | "andl" | "andq" | "orl"
+            | "orq" | "xorl" | "xorq" => {
+                let width = if m.ends_with('q') { 8 } else { 4 };
+                let src = self.read_op(&ops[0], width)?;
+                let dst = self.read_op(&ops[1], width)?;
+                let result = match &m[..m.len() - 1] {
+                    "add" => dst.wrapping_add(src),
+                    "sub" => dst.wrapping_sub(src),
+                    "imul" => dst.wrapping_mul(src),
+                    "and" => dst & src,
+                    "or" => dst | src,
+                    _ => dst ^ src,
+                };
+                self.set_zf_sf(result, width);
+                self.write_op(&ops[1], result, width)?;
+            }
+            "cltd" => {
+                // Sign-extend eax into edx.
+                let eax = self.gpr[0] as u32 as i32;
+                self.gpr[3] = if eax < 0 { 0xffff_ffff } else { 0 };
+            }
+            "cqto" => {
+                let rax = self.gpr[0] as i64;
+                self.gpr[3] = if rax < 0 { u64::MAX } else { 0 };
+            }
+            "idivl" | "idivq" | "divl" | "divq" => {
+                let wide = m.ends_with('q');
+                let width = if wide { 8 } else { 4 };
+                let divisor = self.read_op(&ops[0], width)?;
+                if wide {
+                    let d = divisor as i64;
+                    if m == "idivq" {
+                        if d == 0 {
+                            return Err(EmuError::new("integer division by zero"));
+                        }
+                        let a = self.gpr[0] as i64;
+                        self.gpr[0] = a.wrapping_div(d) as u64;
+                        self.gpr[3] = a.wrapping_rem(d) as u64;
+                    } else {
+                        if divisor == 0 {
+                            return Err(EmuError::new("integer division by zero"));
+                        }
+                        let a = self.gpr[0];
+                        self.gpr[0] = a / divisor;
+                        self.gpr[3] = a % divisor;
+                    }
+                } else {
+                    let d32 = divisor as u32;
+                    if m == "idivl" {
+                        let d = d32 as i32;
+                        if d == 0 {
+                            return Err(EmuError::new("integer division by zero"));
+                        }
+                        let a = self.gpr[0] as u32 as i32;
+                        self.gpr[0] = (a.wrapping_div(d) as u32) as u64;
+                        self.gpr[3] = (a.wrapping_rem(d) as u32) as u64;
+                    } else {
+                        if d32 == 0 {
+                            return Err(EmuError::new("integer division by zero"));
+                        }
+                        let a = self.gpr[0] as u32;
+                        self.gpr[0] = (a / d32) as u64;
+                        self.gpr[3] = (a % d32) as u64;
+                    }
+                }
+            }
+            "sall" | "salq" | "sarl" | "sarq" | "shrl" | "shrq" => {
+                let wide = m.ends_with('q');
+                let width = if wide { 8u8 } else { 4 };
+                let amount = (self.read_op(&ops[0], 1)? as u32) & if wide { 63 } else { 31 };
+                let v = self.read_op(&ops[1], width)?;
+                let result = match &m[..3] {
+                    "sal" => v.wrapping_shl(amount),
+                    "sar" => {
+                        if wide {
+                            ((v as i64) >> amount) as u64
+                        } else {
+                            (((v as u32 as i32) >> amount) as u32) as u64
+                        }
+                    }
+                    _ => {
+                        if wide {
+                            v >> amount
+                        } else {
+                            ((v as u32) >> amount) as u64
+                        }
+                    }
+                };
+                self.set_zf_sf(result, width);
+                self.write_op(&ops[1], result, width)?;
+            }
+            "cmpl" | "cmpq" => {
+                let width = if m == "cmpq" { 8 } else { 4 };
+                let src = self.read_op(&ops[0], width)?;
+                let dst = self.read_op(&ops[1], width)?;
+                self.compare(dst, src, width);
+            }
+            "testl" | "testq" => {
+                let width = if m == "testq" { 8 } else { 4 };
+                let a = self.read_op(&ops[0], width)?;
+                let b = self.read_op(&ops[1], width)?;
+                let r = a & b;
+                self.set_zf_sf(r, width);
+                self.flags.cf = false;
+                self.flags.of = false;
+            }
+            _ if m.starts_with("set") => {
+                let v = self.eval_cond(&m[3..])? as u64;
+                self.write_op(&ops[0], v, 1)?;
+            }
+            "jmp" => {
+                *ip = self.branch_target(&ops[0], labels)?;
+            }
+            _ if m.starts_with('j') => {
+                if self.eval_cond(&m[1..])? {
+                    *ip = self.branch_target(&ops[0], labels)?;
+                }
+            }
+            "call" => {
+                let Operand::Sym(target) = &ops[0] else {
+                    return Err(EmuError::new("indirect call"));
+                };
+                let target = target.clone();
+                // Align as the ABI would; our code doesn't rely on it.
+                self.gpr[7] = self.gpr[7].wrapping_sub(8);
+                self.exec_function(&target)?;
+                self.gpr[7] = self.gpr[7].wrapping_add(8);
+            }
+            "movss" | "movsd" => {
+                let width = if m == "movss" { 4 } else { 8 };
+                self.mov_float(&ops[0], &ops[1], width)?;
+            }
+            "addss" | "addsd" | "subss" | "subsd" | "mulss" | "mulsd" | "divss" | "divsd" => {
+                let single = m.ends_with("ss");
+                let a = self.read_float(&ops[1], single)?;
+                let b = self.read_float(&ops[0], single)?;
+                let r = match &m[..3] {
+                    "add" => a + b,
+                    "sub" => a - b,
+                    "mul" => a * b,
+                    _ => a / b,
+                };
+                self.write_float(&ops[1], r, single)?;
+            }
+            "ucomiss" | "ucomisd" => {
+                let single = m == "ucomiss";
+                let a = self.read_float(&ops[1], single)?;
+                let b = self.read_float(&ops[0], single)?;
+                self.flags.zf = a == b;
+                self.flags.cf = a < b;
+                self.flags.sf = false;
+                self.flags.of = false;
+            }
+            "cvtsi2ss" | "cvtsi2sd" | "cvtsi2ssq" | "cvtsi2sdq" => {
+                let wide = m.ends_with('q');
+                let v = self.read_op(&ops[0], if wide { 8 } else { 4 })?;
+                let f = if wide { v as i64 as f64 } else { v as u32 as i32 as f64 };
+                let single = m.contains("ss");
+                self.write_float(&ops[1], f, single)?;
+            }
+            "cvttss2si" | "cvttsd2si" | "cvttss2siq" | "cvttsd2siq" => {
+                let single = m.contains("ss");
+                let f = self.read_float(&ops[0], single)?;
+                let wide = m.ends_with('q');
+                let v = if wide { f as i64 as u64 } else { (f as i32 as u32) as u64 };
+                self.write_op(&ops[1], v, if wide { 8 } else { 4 })?;
+            }
+            "cvtss2sd" => {
+                let f = self.read_float(&ops[0], true)?;
+                self.write_float(&ops[1], f, false)?;
+            }
+            "cvtsd2ss" => {
+                let f = self.read_float(&ops[0], false)?;
+                self.write_float(&ops[1], f, true)?;
+            }
+            "movdqu" | "movups" => {
+                let v = self.read_vec(&ops[0])?;
+                self.write_vec(&ops[1], v)?;
+            }
+            "pshufd" => {
+                // Only the broadcast form `pshufd $0, src, dst` is emitted.
+                let Operand::Imm(sel) = ops[0] else {
+                    return Err(EmuError::new("pshufd selector"));
+                };
+                let src = self.read_vec(&ops[1])?;
+                let mut out = [0u8; 16];
+                for lane in 0..4 {
+                    let pick = ((sel >> (lane * 2)) & 3) as usize;
+                    out[lane * 4..lane * 4 + 4].copy_from_slice(&src[pick * 4..pick * 4 + 4]);
+                }
+                self.write_vec(&ops[2], out)?;
+            }
+            "paddd" | "psubd" | "pmulld" => {
+                let a = self.read_vec(&ops[1])?;
+                let b = self.read_vec(&ops[0])?;
+                let mut out = [0u8; 16];
+                for lane in 0..4 {
+                    let x = i32::from_le_bytes(a[lane * 4..lane * 4 + 4].try_into().unwrap());
+                    let y = i32::from_le_bytes(b[lane * 4..lane * 4 + 4].try_into().unwrap());
+                    let r = match m {
+                        "paddd" => x.wrapping_add(y),
+                        "psubd" => x.wrapping_sub(y),
+                        _ => x.wrapping_mul(y),
+                    };
+                    out[lane * 4..lane * 4 + 4].copy_from_slice(&r.to_le_bytes());
+                }
+                self.write_vec(&ops[1], out)?;
+            }
+            other => {
+                let _ = func;
+                return Err(EmuError::new(format!("unsupported instruction `{other}`")));
+            }
+        }
+        Ok(Step::Continue)
+    }
+
+    // ---- operand plumbing ----
+
+    fn effective_address(&self, op: &Operand) -> Result<u64> {
+        match op {
+            Operand::Mem { disp, base, index, scale } => {
+                let mut addr = *disp as u64;
+                if let Some(b) = base {
+                    let (i, _) = gpr_index(b).ok_or_else(|| EmuError::new("bad base reg"))?;
+                    addr = addr.wrapping_add(self.gpr[i]);
+                }
+                if let Some(ix) = index {
+                    let (i, _) = gpr_index(ix).ok_or_else(|| EmuError::new("bad index reg"))?;
+                    addr = addr.wrapping_add(self.gpr[i].wrapping_mul(*scale as u64));
+                }
+                Ok(addr)
+            }
+            Operand::RipSym(sym) => self
+                .symbols
+                .get(sym)
+                .copied()
+                .ok_or_else(|| EmuError::new(format!("undefined symbol `{sym}`"))),
+            _ => Err(EmuError::new("not a memory operand")),
+        }
+    }
+
+    fn read_mem_addr(&self, addr: u64, len: usize) -> Result<Vec<u8>> {
+        self.mem.load_bytes(unpack(addr), len).map_err(|e| EmuError::new(e.to_string()))
+    }
+
+    fn write_mem_addr(&mut self, addr: u64, bytes: &[u8]) -> Result<()> {
+        self.mem.store_bytes(unpack(addr), bytes).map_err(|e| EmuError::new(e.to_string()))
+    }
+
+    fn read_op(&self, op: &Operand, width: u8) -> Result<u64> {
+        match op {
+            Operand::Imm(v) => Ok(*v as u64),
+            Operand::Reg(name) => {
+                let (i, w) = gpr_index(name)
+                    .ok_or_else(|| EmuError::new(format!("unknown register `{name}`")))?;
+                let _ = w;
+                Ok(mask_width(self.gpr[i], width))
+            }
+            Operand::Mem { .. } | Operand::RipSym(_) => {
+                let addr = self.effective_address(op)?;
+                let bytes = self.read_mem_addr(addr, width as usize)?;
+                let mut raw = [0u8; 8];
+                raw[..bytes.len()].copy_from_slice(&bytes);
+                Ok(u64::from_le_bytes(raw))
+            }
+            other => Err(EmuError::new(format!("cannot read operand {other:?}"))),
+        }
+    }
+
+    fn write_op(&mut self, op: &Operand, v: u64, width: u8) -> Result<()> {
+        match op {
+            Operand::Reg(name) => {
+                let (i, w) = gpr_index(name)
+                    .ok_or_else(|| EmuError::new(format!("unknown register `{name}`")))?;
+                let w = w.min(width);
+                self.gpr[i] = match w {
+                    8 => v,
+                    4 => v & 0xffff_ffff, // 32-bit writes zero the top half
+                    2 => (self.gpr[i] & !0xffff) | (v & 0xffff),
+                    _ => (self.gpr[i] & !0xff) | (v & 0xff),
+                };
+                Ok(())
+            }
+            Operand::Mem { .. } | Operand::RipSym(_) => {
+                let addr = self.effective_address(op)?;
+                let bytes = v.to_le_bytes();
+                self.write_mem_addr(addr, &bytes[..width as usize])
+            }
+            other => Err(EmuError::new(format!("cannot write operand {other:?}"))),
+        }
+    }
+
+    fn xmm_index(op: &Operand) -> Option<usize> {
+        if let Operand::Reg(name) = op {
+            if let Some(n) = name.strip_prefix("xmm") {
+                return n.parse().ok();
+            }
+        }
+        None
+    }
+
+    fn mov_gpr_xmm(&mut self, src: &Operand, dst: &Operand, width: u8) -> Result<()> {
+        match (Self::xmm_index(src), Self::xmm_index(dst)) {
+            (None, Some(x)) => {
+                let v = self.read_op(src, width)?;
+                self.xmm[x] = [0; 16];
+                self.xmm[x][..width as usize]
+                    .copy_from_slice(&v.to_le_bytes()[..width as usize]);
+                Ok(())
+            }
+            (Some(x), None) => {
+                let mut raw = [0u8; 8];
+                raw[..width as usize].copy_from_slice(&self.xmm[x][..width as usize]);
+                self.write_op(dst, u64::from_le_bytes(raw), width)
+            }
+            _ => Err(EmuError::new("movd/movq between unsupported operands")),
+        }
+    }
+
+    fn mov_float(&mut self, src: &Operand, dst: &Operand, width: u8) -> Result<()> {
+        let bytes: Vec<u8> = match Self::xmm_index(src) {
+            Some(x) => self.xmm[x][..width as usize].to_vec(),
+            None => {
+                let addr = self.effective_address(src)?;
+                self.read_mem_addr(addr, width as usize)?
+            }
+        };
+        match Self::xmm_index(dst) {
+            Some(x) => {
+                self.xmm[x][..width as usize].copy_from_slice(&bytes);
+                Ok(())
+            }
+            None => {
+                let addr = self.effective_address(dst)?;
+                self.write_mem_addr(addr, &bytes)
+            }
+        }
+    }
+
+    fn read_float(&self, op: &Operand, single: bool) -> Result<f64> {
+        let width = if single { 4 } else { 8 };
+        let bytes: Vec<u8> = match Self::xmm_index(op) {
+            Some(x) => self.xmm[x][..width].to_vec(),
+            None => {
+                let addr = self.effective_address(op)?;
+                self.read_mem_addr(addr, width)?
+            }
+        };
+        Ok(if single {
+            f32::from_le_bytes(bytes.try_into().unwrap()) as f64
+        } else {
+            f64::from_le_bytes(bytes.try_into().unwrap())
+        })
+    }
+
+    fn write_float(&mut self, op: &Operand, v: f64, single: bool) -> Result<()> {
+        let bytes: Vec<u8> =
+            if single { (v as f32).to_le_bytes().to_vec() } else { v.to_le_bytes().to_vec() };
+        match Self::xmm_index(op) {
+            Some(x) => {
+                self.xmm[x][..bytes.len()].copy_from_slice(&bytes);
+                Ok(())
+            }
+            None => {
+                let addr = self.effective_address(op)?;
+                self.write_mem_addr(addr, &bytes)
+            }
+        }
+    }
+
+    fn read_vec(&self, op: &Operand) -> Result<[u8; 16]> {
+        match Self::xmm_index(op) {
+            Some(x) => Ok(self.xmm[x]),
+            None => {
+                let addr = self.effective_address(op)?;
+                let bytes = self.read_mem_addr(addr, 16)?;
+                Ok(bytes.try_into().unwrap())
+            }
+        }
+    }
+
+    fn write_vec(&mut self, op: &Operand, v: [u8; 16]) -> Result<()> {
+        match Self::xmm_index(op) {
+            Some(x) => {
+                self.xmm[x] = v;
+                Ok(())
+            }
+            None => {
+                let addr = self.effective_address(op)?;
+                self.write_mem_addr(addr, &v)
+            }
+        }
+    }
+
+    fn set_zf_sf(&mut self, v: u64, width: u8) {
+        let masked = mask_width(v, width);
+        self.flags.zf = masked == 0;
+        self.flags.sf = match width {
+            4 => (masked as u32 as i32) < 0,
+            _ => (masked as i64) < 0,
+        };
+    }
+
+    fn compare(&mut self, dst: u64, src: u64, width: u8) {
+        if width == 4 {
+            let a = dst as u32;
+            let b = src as u32;
+            let r = a.wrapping_sub(b);
+            self.flags.zf = r == 0;
+            self.flags.sf = (r as i32) < 0;
+            self.flags.cf = a < b;
+            self.flags.of = ((a as i32).wrapping_sub(b as i32) as i64)
+                != (a as i32 as i64) - (b as i32 as i64);
+        } else {
+            let a = dst;
+            let b = src;
+            let r = a.wrapping_sub(b);
+            self.flags.zf = r == 0;
+            self.flags.sf = (r as i64) < 0;
+            self.flags.cf = a < b;
+            self.flags.of = ((a as i64).wrapping_sub(b as i64) as i128)
+                != (a as i64 as i128) - (b as i64 as i128);
+        }
+    }
+
+    fn eval_cond(&self, cond: &str) -> Result<bool> {
+        let f = &self.flags;
+        Ok(match cond {
+            "e" => f.zf,
+            "ne" => !f.zf,
+            "l" => f.sf != f.of,
+            "le" => f.zf || f.sf != f.of,
+            "g" => !f.zf && f.sf == f.of,
+            "ge" => f.sf == f.of,
+            "b" => f.cf,
+            "be" => f.cf || f.zf,
+            "a" => !f.cf && !f.zf,
+            "ae" => !f.cf,
+            "s" => f.sf,
+            "ns" => !f.sf,
+            other => return Err(EmuError::new(format!("unknown condition `{other}`"))),
+        })
+    }
+
+    fn branch_target(&self, op: &Operand, labels: &HashMap<String, usize>) -> Result<usize> {
+        let Operand::Sym(label) = op else {
+            return Err(EmuError::new("indirect branch"));
+        };
+        labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| EmuError::new(format!("unknown label `{label}`")))
+    }
+
+    // ---- libc builtins ----
+
+    fn call_builtin(&mut self, name: &str) -> Result<()> {
+        let rdi = self.gpr[5];
+        let rsi = self.gpr[4];
+        let rdx = self.gpr[3];
+        match name {
+            "memcpy" | "memmove" => {
+                let bytes = self.read_mem_addr(rsi, rdx as usize)?;
+                self.write_mem_addr(rdi, &bytes)?;
+                self.gpr[0] = rdi;
+            }
+            "memset" => {
+                let buf = vec![rsi as u8; rdx as usize];
+                self.write_mem_addr(rdi, &buf)?;
+                self.gpr[0] = rdi;
+            }
+            "strlen" => {
+                let s = self
+                    .mem
+                    .load_cstr(unpack(rdi))
+                    .map_err(|e| EmuError::new(e.to_string()))?;
+                self.gpr[0] = s.len() as u64;
+            }
+            "strcmp" => {
+                let a = self
+                    .mem
+                    .load_cstr(unpack(rdi))
+                    .map_err(|e| EmuError::new(e.to_string()))?;
+                let b = self
+                    .mem
+                    .load_cstr(unpack(rsi))
+                    .map_err(|e| EmuError::new(e.to_string()))?;
+                self.gpr[0] = match a.cmp(&b) {
+                    std::cmp::Ordering::Less => (-1i64) as u64,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+            }
+            "abs" => {
+                self.gpr[0] = ((self.gpr[5] as u32 as i32).wrapping_abs() as u32) as u64;
+            }
+            "labs" => {
+                self.gpr[0] = (self.gpr[5] as i64).wrapping_abs() as u64;
+            }
+            "sqrt" | "fabs" | "sin" | "cos" | "tan" | "exp" | "log" | "floor" | "ceil" => {
+                let x = f64::from_le_bytes(self.xmm[0][..8].try_into().unwrap());
+                let r = match name {
+                    "sqrt" => x.sqrt(),
+                    "fabs" => x.abs(),
+                    "sin" => x.sin(),
+                    "cos" => x.cos(),
+                    "tan" => x.tan(),
+                    "exp" => x.exp(),
+                    "log" => x.ln(),
+                    "floor" => x.floor(),
+                    _ => x.ceil(),
+                };
+                self.xmm[0][..8].copy_from_slice(&r.to_le_bytes());
+            }
+            "pow" | "fmod" | "fmin" | "fmax" => {
+                let x = f64::from_le_bytes(self.xmm[0][..8].try_into().unwrap());
+                let y = f64::from_le_bytes(self.xmm[1][..8].try_into().unwrap());
+                let r = match name {
+                    "pow" => x.powf(y),
+                    "fmod" => x % y,
+                    "fmin" => x.min(y),
+                    _ => x.max(y),
+                };
+                self.xmm[0][..8].copy_from_slice(&r.to_le_bytes());
+            }
+            "putchar" | "printf" => {
+                self.gpr[0] = 0;
+            }
+            other => {
+                return Err(EmuError::new(format!("call to undefined function `{other}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+enum Step {
+    Continue,
+    Return,
+}
+
+fn is_xmm(op: &Operand) -> bool {
+    matches!(op, Operand::Reg(name) if name.starts_with("xmm"))
+}
+
+fn mask_width(v: u64, width: u8) -> u64 {
+    match width {
+        8 => v,
+        4 => v & 0xffff_ffff,
+        2 => v & 0xffff,
+        _ => v & 0xff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slade_asm::{parse_asm, Isa};
+    use slade_compiler::{compile_function, CompileOpts, OptLevel};
+
+    fn emu_for(src: &str, name: &str, opt: OptLevel) -> Emulator {
+        let p = slade_minic::parse_program(src).unwrap();
+        let asm =
+            compile_function(&p, name, CompileOpts::new(slade_compiler::Isa::X86_64, opt)).unwrap();
+        Emulator::new(parse_asm(&asm, Isa::X86_64))
+    }
+
+    #[test]
+    fn runs_arithmetic_at_both_levels() {
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let mut e = emu_for("int f(int a, int b) { return a * 3 - b / 2; }", "f", opt);
+            let r = e.call("f", &[Arg::Int(10), Arg::Int(7)]).unwrap();
+            assert_eq!(r as i32, 27, "{opt:?}");
+        }
+    }
+
+    #[test]
+    fn runs_loops() {
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let mut e = emu_for(
+                "int fact(int n) { int r = 1; while (n > 1) { r *= n; n--; } return r; }",
+                "fact",
+                opt,
+            );
+            assert_eq!(e.call("fact", &[Arg::Int(6)]).unwrap() as i32, 720, "{opt:?}");
+        }
+    }
+
+    #[test]
+    fn pointer_buffers_roundtrip() {
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let mut e = emu_for(
+                "void add(int *list, int val, int n) { int i; for (i = 0; i < n; ++i) list[i] += val; }",
+                "add",
+                opt,
+            );
+            let mut bytes = Vec::new();
+            for v in [1i32, 2, 3, 4, 5, 6, 7] {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            let buf = e.alloc_buffer(&bytes);
+            e.call("add", &[Arg::Int(buf), Arg::Int(10), Arg::Int(7)]).unwrap();
+            let out = e.read_buffer(buf, 28).unwrap();
+            let vals: Vec<i32> =
+                out.chunks(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
+            assert_eq!(vals, vec![11, 12, 13, 14, 15, 16, 17], "{opt:?} (vectorized at O3)");
+        }
+    }
+
+    #[test]
+    fn float_math_matches() {
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let mut e = emu_for("double f(double x, double y) { return x * y + 0.5; }", "f", opt);
+            e.call("f", &[Arg::F64(2.5), Arg::F64(4.0)]).unwrap();
+            assert_eq!(e.ret_f64(), 10.5, "{opt:?}");
+        }
+    }
+
+    #[test]
+    fn unsigned_division() {
+        let mut e = emu_for("unsigned f(unsigned a, unsigned b) { return a / b; }", "f", OptLevel::O0);
+        let r = e.call("f", &[Arg::Int(0xffff_fffc), Arg::Int(2)]).unwrap();
+        assert_eq!(r as u32, 0x7fff_fffe);
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let mut e = emu_for("int f(int a, int b) { return a / b; }", "f", OptLevel::O0);
+        assert!(e.call("f", &[Arg::Int(1), Arg::Int(0)]).is_err());
+    }
+
+    #[test]
+    fn calls_between_functions_and_builtins() {
+        let src = r#"
+            int square(int x) { return x * x; }
+            int f(int a) { return square(a) + abs(-3); }
+        "#;
+        let p = slade_minic::parse_program(src).unwrap();
+        let mut text = String::new();
+        for name in ["square", "f"] {
+            text.push_str(
+                &compile_function(
+                    &p,
+                    name,
+                    CompileOpts::new(slade_compiler::Isa::X86_64, OptLevel::O0),
+                )
+                .unwrap(),
+            );
+        }
+        let mut e = Emulator::new(parse_asm(&text, Isa::X86_64));
+        assert_eq!(e.call("f", &[Arg::Int(5)]).unwrap() as i32, 28);
+    }
+
+    #[test]
+    fn globals_resolve_via_symbols() {
+        let src = "int g; int f(void) { g = g + 7; return g; }";
+        let mut e = emu_for(src, "f", OptLevel::O0);
+        e.define_global("g", &10i32.to_le_bytes());
+        assert_eq!(e.call("f", &[]).unwrap() as i32, 17);
+        assert_eq!(e.call("f", &[]).unwrap() as i32, 24);
+    }
+
+    #[test]
+    fn infinite_loops_run_out_of_fuel() {
+        let mut e = emu_for("int f(void) { for (;;) {} return 0; }", "f", OptLevel::O0);
+        let err = e.call("f", &[]).unwrap_err();
+        assert!(err.message().contains("fuel"));
+    }
+
+    #[test]
+    fn strings_in_rodata_work() {
+        let src = "int f(void) { return strlen(\"hello\"); }";
+        let mut e = emu_for(src, "f", OptLevel::O0);
+        assert_eq!(e.call("f", &[]).unwrap(), 5);
+    }
+}

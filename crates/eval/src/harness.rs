@@ -1,0 +1,220 @@
+//! IO-equivalence harness (§III-A.a).
+//!
+//! A decompilation hypothesis is inserted into the *original calling
+//! context* (the paper's methodology for every tool), compiled (parsed +
+//! type-checked), and executed on the item's concrete inputs. It is IO
+//! accurate when every input produces the same return value and the same
+//! visible memory effects (output buffers) as the ground truth, with
+//! non-termination treated as non-equivalence.
+
+use slade_dataset::{ArgSpec, DatasetItem};
+use slade_minic::{parse_program, Interpreter, RunLimits, Value};
+
+/// Observable outcome of one call: normalized return value plus the bytes
+/// of every pointer argument after the call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallObservation {
+    /// Return value bits (f64-normalized for floats), `None` for void or
+    /// runtime error.
+    pub ret: Option<i64>,
+    /// Float return (compared with tolerance).
+    pub fret: Option<f64>,
+    /// Post-call contents of each buffer argument.
+    pub buffers: Vec<Vec<u8>>,
+}
+
+/// Verdict for one hypothesis against one item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Parsed and type-checked in context.
+    pub compiles: bool,
+    /// All IO examples matched.
+    pub correct: bool,
+}
+
+/// Executes `func` from `program_src` on `inputs`, returning one
+/// observation per input.
+///
+/// # Errors
+///
+/// Returns a string description on parse/type errors (compile failure) —
+/// runtime faults on *individual* inputs are folded into the observation.
+pub fn observe(
+    program_src: &str,
+    func: &str,
+    inputs: &[Vec<ArgSpec>],
+) -> Result<Vec<Option<CallObservation>>, String> {
+    let program = parse_program(program_src).map_err(|e| e.to_string())?;
+    if program.function(func).and_then(|f| f.body.as_ref()).is_none() {
+        return Err(format!("function `{func}` not defined"));
+    }
+    let mut out = Vec::new();
+    for input in inputs {
+        // Fresh interpreter per input so globals reset between examples.
+        let mut interp =
+            match Interpreter::with_limits(&program, RunLimits { fuel: 2_000_000, max_depth: 128 })
+            {
+                Ok(i) => i,
+                Err(e) => return Err(e.to_string()),
+            };
+        let mut args = Vec::new();
+        let mut bufs = Vec::new();
+        for spec in input {
+            match spec {
+                ArgSpec::Int(v) => args.push(Value::long(*v)),
+                ArgSpec::F64(v) => args.push(Value::F64(*v)),
+                ArgSpec::IntBuf(vs) => {
+                    let bytes: Vec<u8> = vs.iter().flat_map(|v| v.to_le_bytes()).collect();
+                    let p = interp.alloc_buffer(&bytes);
+                    bufs.push((p, bytes.len()));
+                    args.push(Value::Ptr(p));
+                }
+                ArgSpec::F64Buf(vs) => {
+                    let bytes: Vec<u8> = vs.iter().flat_map(|v| v.to_le_bytes()).collect();
+                    let p = interp.alloc_buffer(&bytes);
+                    bufs.push((p, bytes.len()));
+                    args.push(Value::Ptr(p));
+                }
+                ArgSpec::CharBuf(bs) => {
+                    let mut bytes = bs.clone();
+                    bytes.push(0);
+                    let p = interp.alloc_buffer(&bytes);
+                    bufs.push((p, bytes.len()));
+                    args.push(Value::Ptr(p));
+                }
+            }
+        }
+        match interp.call(func, &args) {
+            Ok(outcome) => {
+                let (ret, fret) = match outcome.ret {
+                    Some(Value::F32(v)) => (None, Some(v as f64)),
+                    Some(Value::F64(v)) => (None, Some(v)),
+                    Some(v) => (Some(v.as_i64()), None),
+                    None => (None, None),
+                };
+                let buffers = bufs
+                    .iter()
+                    .map(|(p, len)| interp.read_buffer(*p, *len).unwrap_or_default())
+                    .collect();
+                out.push(Some(CallObservation { ret, fret, buffers }));
+            }
+            Err(_) => out.push(None),
+        }
+    }
+    Ok(out)
+}
+
+fn observations_match(a: &CallObservation, b: &CallObservation) -> bool {
+    // Integer returns compare on the low 32 bits when both fit (the
+    // hypothesis may declare a wider return type, as lifters do).
+    let ret_ok = match (a.ret, b.ret) {
+        (Some(x), Some(y)) => x == y || (x as i32) == (y as i32),
+        (None, None) => true,
+        // One side void/errored, other valued: if the reference is void,
+        // ignore the hypothesis's extra return value (lifters return
+        // registers for void functions).
+        (None, Some(_)) => true,
+        (Some(_), None) => false,
+    };
+    let fret_ok = match (a.fret, b.fret) {
+        (Some(x), Some(y)) => (x - y).abs() <= 1e-6 * x.abs().max(y.abs()).max(1.0),
+        (None, None) => true,
+        (None, Some(_)) => true,
+        (Some(_), None) => false,
+    };
+    ret_ok && fret_ok && a.buffers == b.buffers
+}
+
+/// Reference observations for an item (ground truth in its own context).
+///
+/// # Errors
+///
+/// Propagates compile errors (should not happen for generated items).
+pub fn reference_observations(
+    item: &DatasetItem,
+) -> Result<Vec<Option<CallObservation>>, String> {
+    observe(&item.full_src(), &item.name, &item.inputs)
+}
+
+/// Judges one hypothesis: inserted into the item's context (plus an
+/// optional inferred-type header), compiled and compared against the
+/// reference on every input.
+pub fn judge(
+    item: &DatasetItem,
+    reference: &[Option<CallObservation>],
+    hypothesis: &str,
+    header: &str,
+) -> Verdict {
+    let program_src = format!("{}\n{header}\n{hypothesis}", item.context_src);
+    match observe(&program_src, &item.name, &item.inputs) {
+        Err(_) => Verdict { compiles: false, correct: false },
+        Ok(obs) => {
+            let correct = !reference.is_empty()
+                && reference.len() == obs.len()
+                && reference.iter().zip(&obs).all(|(r, h)| match (r, h) {
+                    (Some(r), Some(h)) => observations_match(r, h),
+                    // Reference errored (rare): treat as unmatchable.
+                    _ => false,
+                });
+            Verdict { compiles: true, correct }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slade_dataset::{generate_train, DatasetProfile};
+
+    #[test]
+    fn ground_truth_is_self_equivalent() {
+        let items = generate_train(DatasetProfile::tiny(), 2);
+        let mut checked = 0;
+        for item in items.iter().take(8) {
+            let refs = reference_observations(item).unwrap();
+            let v = judge(item, &refs, &item.func_src, "");
+            assert!(v.compiles && v.correct, "self-check failed for:\n{}", item.full_src());
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn wrong_hypothesis_is_detected() {
+        let items = generate_train(DatasetProfile::tiny(), 2);
+        let item = items
+            .iter()
+            .find(|i| i.func_src.starts_with("int") && i.context_src.is_empty())
+            .expect("an int item");
+        let refs = reference_observations(item).unwrap();
+        // A type-correct but semantically wrong function of the same arity.
+        let arity = item.inputs[0].len();
+        let params: Vec<String> = (0..arity).map(|i| format!("long p{i}")).collect();
+        let wrong = format!("long {}({}) {{ return 123456; }}", item.name, params.join(", "));
+        let v = judge(item, &refs, &wrong, "");
+        assert!(v.compiles, "wrong-but-valid must compile");
+        assert!(!v.correct, "must be caught by IO: {wrong}");
+    }
+
+    #[test]
+    fn non_compiling_hypothesis_reports_compiles_false() {
+        let items = generate_train(DatasetProfile::tiny(), 2);
+        let refs = reference_observations(&items[0]).unwrap();
+        let v = judge(&items[0], &refs, "int broken( { return; }", "");
+        assert!(!v.compiles && !v.correct);
+    }
+
+    #[test]
+    fn infinite_hypothesis_is_non_equivalent() {
+        let items = generate_train(DatasetProfile::tiny(), 4);
+        let item = items
+            .iter()
+            .find(|i| i.context_src.is_empty() && i.inputs[0].len() == 2
+                && matches!(i.inputs[0][0], ArgSpec::Int(_)))
+            .expect("two-int item");
+        let refs = reference_observations(item).unwrap();
+        let hyp = format!("int {}(int a, int b) {{ while (1) {{ }} return 0; }}", item.name);
+        let v = judge(item, &refs, &hyp, "");
+        assert!(v.compiles && !v.correct);
+    }
+}

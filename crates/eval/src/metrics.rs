@@ -1,0 +1,125 @@
+//! Evaluation metrics: edit distance/similarity (§III-A.b) and Pearson
+//! correlation (Table I).
+
+/// Levenshtein edit distance between two character sequences, computed with
+/// the classic dynamic program from the paper's Figure 3.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalizes whitespace so formatting differences don't dominate the
+/// comparison (the paper normalizes sequences before edit distance).
+pub fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Edit similarity: `1 − distance / len(ground truth)`, clamped to `[0, 1]`
+/// (§III-A.b: normalized to the ground-truth length so higher = more
+/// readable).
+pub fn edit_similarity(hypothesis: &str, ground_truth: &str) -> f64 {
+    let h = normalize_ws(hypothesis);
+    let g = normalize_ws(ground_truth);
+    if g.is_empty() {
+        return if h.is_empty() { 1.0 } else { 0.0 };
+    }
+    let d = edit_distance(&h, &g) as f64;
+    (1.0 - d / g.chars().count() as f64).max(0.0)
+}
+
+/// Pearson's correlation coefficient between two equally-long series
+/// (Table I). Returns 0 for degenerate series.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs[..n].iter().sum::<f64>() / n as f64;
+    let my = ys[..n].iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "axc"), 1);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn similarity_is_one_for_identical_modulo_whitespace() {
+        let a = "int f(int x) { return x; }";
+        let b = "int f(int x)\n{\n  return x;\n}";
+        assert!((edit_similarity(a, b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similarity_clamps_at_zero() {
+        assert_eq!(edit_similarity(&"x".repeat(500), "ab"), 0.0);
+    }
+
+    #[test]
+    fn pearson_signs() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-9);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-9);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    /// Property: distance is symmetric and satisfies the triangle
+    /// inequality on small random strings.
+    #[test]
+    fn distance_metric_properties() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..50 {
+            let mk = |rng: &mut rand_chacha::ChaCha8Rng| -> String {
+                (0..rng.gen_range(0..8)).map(|_| if rng.gen_bool(0.5) { 'a' } else { 'b' }).collect()
+            };
+            let a = mk(&mut rng);
+            let b = mk(&mut rng);
+            let c = mk(&mut rng);
+            assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+            assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+        }
+    }
+}

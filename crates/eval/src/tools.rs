@@ -1,0 +1,298 @@
+//! Tool dispatch: runs every decompiler on a dataset and records the
+//! per-item measurements behind all of the paper's figures and tables.
+
+use crate::harness::{judge, reference_observations, Verdict};
+use crate::metrics::edit_similarity;
+use serde::{Deserialize, Serialize};
+use slade::{make_pairs, normalize_asm, Slade, SladeBuilder, TrainProfile};
+use slade_baselines::{ghidra_decompile, BtcBaseline, ChatGptSim};
+use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
+use slade_dataset::{ArgSpec, DatasetItem};
+use slade_minic::parse_program;
+use slade_nn::{Seq2Seq, TransformerConfig};
+use slade_tokenizer::{special, WordTokenizer};
+
+/// The decompilers under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tool {
+    /// This paper's system.
+    Slade,
+    /// Ablation: SLaDe without the type-inference stage (Fig. 10).
+    SladeNoTypes,
+    /// Extension (paper §X): SLaDe with program repair on non-compiling
+    /// beam candidates.
+    SladeRepair,
+    /// Extension (paper §X): analytic-first hybrid — the rule-based
+    /// lifter's output is tried before the neural candidates, with the
+    /// first IO-passing hypothesis selected.
+    Hybrid,
+    /// Rule-based industrial decompiler stand-in.
+    Ghidra,
+    /// Large-language-model stand-in.
+    ChatGpt,
+    /// Neural baseline (x86 `-O0` only, like the original).
+    Btc,
+}
+
+impl Tool {
+    /// Display name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tool::Slade => "SLaDe",
+            Tool::SladeNoTypes => "SLaDe w/out Type",
+            Tool::SladeRepair => "SLaDe+Repair",
+            Tool::Hybrid => "Hybrid",
+            Tool::Ghidra => "Ghidra",
+            Tool::ChatGpt => "ChatGPT",
+            Tool::Btc => "BTC",
+        }
+    }
+}
+
+/// One measurement: a tool on an item.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// The tool.
+    pub tool: Tool,
+    /// Item name.
+    pub item: String,
+    /// Item category.
+    pub category: slade_dataset::Category,
+    /// Whether the hypothesis compiled in context.
+    pub compiles: bool,
+    /// Whether it passed all IO examples.
+    pub correct: bool,
+    /// Edit similarity to the ground truth (None when no output produced).
+    pub edit_sim: Option<f64>,
+    /// Assembly length in characters (Fig. 8–9 feature).
+    pub asm_chars: usize,
+    /// Ground-truth C length in characters.
+    pub c_chars: usize,
+    /// Number of function arguments.
+    pub num_args: usize,
+    /// Number of pointer arguments.
+    pub num_pointers: usize,
+}
+
+/// The trained models plus retrieval corpus for one ISA × opt configuration.
+pub struct ToolContext {
+    /// Target ISA.
+    pub isa: Isa,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Trained SLaDe.
+    pub slade: Slade,
+    /// ChatGPT simulator (retrieval corpus = training set).
+    pub chatgpt: ChatGptSim,
+    /// BTC baseline (only populated for x86 -O0, like the original tool).
+    pub btc: Option<BtcBaseline>,
+}
+
+impl ToolContext {
+    /// Trains everything for one configuration.
+    pub fn train(
+        items: &[DatasetItem],
+        isa: Isa,
+        opt: OptLevel,
+        profile: TrainProfile,
+        seed: u64,
+    ) -> Self {
+        let slade = SladeBuilder::new(isa, opt).profile(profile).train(items, seed);
+        let pairs = make_pairs(items, isa, opt);
+        let chatgpt = ChatGptSim::new(&pairs);
+        let btc = (isa == Isa::X86_64 && opt == OptLevel::O0)
+            .then(|| train_btc(&pairs, profile, seed ^ 0xb7c));
+        ToolContext { isa, opt, slade, chatgpt, btc }
+    }
+
+    fn asm_isa(&self) -> slade_asm::Isa {
+        match self.isa {
+            Isa::X86_64 => slade_asm::Isa::X86_64,
+            Isa::Arm64 => slade_asm::Isa::Arm64,
+        }
+    }
+}
+
+/// Trains the BTC-like baseline: same architecture, word-level tokenizer,
+/// half the training epochs (it predates the paper's recipe).
+fn train_btc(pairs: &[(String, String)], profile: TrainProfile, seed: u64) -> BtcBaseline {
+    let mut corpus = Vec::new();
+    for (a, c) in pairs {
+        corpus.push(normalize_asm(a));
+        corpus.push(c.clone());
+    }
+    let tokenizer = WordTokenizer::train(&corpus, profile.vocab);
+    let cfg = TransformerConfig {
+        vocab: tokenizer.vocab_size(),
+        d_model: profile.d_model,
+        n_heads: profile.n_heads,
+        d_ff: profile.d_ff,
+        enc_layers: profile.layers,
+        dec_layers: profile.layers,
+        max_len: profile.max_src_len.max(profile.max_tgt_len) + 2,
+    };
+    let mut model = Seq2Seq::new(cfg, seed);
+    for _ in 0..profile.epochs.div_ceil(2) {
+        let mut n = 0;
+        model.zero_grads();
+        for (asm, c) in pairs {
+            let src = tokenizer.encode(&normalize_asm(asm));
+            let tgt = tokenizer.encode(c);
+            if src.is_empty()
+                || tgt.is_empty()
+                || src.len() > profile.max_src_len
+                || tgt.len() + 1 > profile.max_tgt_len
+            {
+                continue;
+            }
+            let mut dec = vec![special::BOS];
+            dec.extend_from_slice(&tgt);
+            let mut labels = tgt.clone();
+            labels.push(special::EOS);
+            model.train_pair(&src, &dec, &labels);
+            n += 1;
+            if n == profile.batch {
+                model.adam_step(profile.lr, profile.weight_decay, 1.0 / n as f32);
+                model.zero_grads();
+                n = 0;
+            }
+        }
+        if n > 0 {
+            model.adam_step(profile.lr, profile.weight_decay, 1.0 / n as f32);
+            model.zero_grads();
+        }
+    }
+    BtcBaseline { model, tokenizer }
+}
+
+/// Evaluates `tools` on `items` under `ctx`'s configuration.
+pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec<EvalRecord> {
+    let opts = CompileOpts::new(ctx.isa, ctx.opt);
+    let mut out = Vec::new();
+    for (idx, item) in items.iter().enumerate() {
+        let Ok(program) = parse_program(&item.full_src()) else { continue };
+        let Ok(asm) = compile_function(&program, &item.name, opts) else { continue };
+        let Ok(reference) = reference_observations(item) else { continue };
+        let num_pointers = item.inputs.first().map(|args| {
+            args.iter()
+                .filter(|a| {
+                    matches!(a, ArgSpec::IntBuf(_) | ArgSpec::F64Buf(_) | ArgSpec::CharBuf(_))
+                })
+                .count()
+        });
+        let base = EvalRecord {
+            tool: Tool::Slade,
+            item: item.name.clone(),
+            category: item.category,
+            compiles: false,
+            correct: false,
+            edit_sim: None,
+            asm_chars: asm.len(),
+            c_chars: item.func_src.len(),
+            num_args: item.inputs.first().map(|a| a.len()).unwrap_or(0),
+            num_pointers: num_pointers.unwrap_or(0),
+        };
+        for &tool in tools {
+            let mut rec = EvalRecord { tool, ..base.clone() };
+            match tool {
+                Tool::Slade | Tool::SladeNoTypes | Tool::SladeRepair | Tool::Hybrid => {
+                    let mut candidates: Vec<(String, String)> = if tool == Tool::SladeNoTypes {
+                        ctx.slade
+                            .decompile(&asm)
+                            .into_iter()
+                            .map(|h| (h, String::new()))
+                            .collect()
+                    } else {
+                        ctx.slade.decompile_with_types(&asm, &item.context_src)
+                    };
+                    if tool == Tool::SladeRepair {
+                        candidates = slade_repair::repair_candidates(
+                            &candidates,
+                            &item.context_src,
+                            Some(&item.name),
+                        );
+                    }
+                    if tool == Tool::Hybrid {
+                        // Analytic-first: a successful lift is tried before
+                        // any neural candidate (paper §X integration).
+                        if let Ok(lifted) = ghidra_decompile(&asm, ctx.asm_isa(), &item.name) {
+                            candidates.insert(0, (lifted, String::new()));
+                        }
+                    }
+                    let mut chosen: Option<(&str, Verdict)> = None;
+                    let mut verdicts = Vec::new();
+                    for (hyp, header) in &candidates {
+                        let v = judge(item, &reference, hyp, header);
+                        verdicts.push((hyp.as_str(), v));
+                        if v.correct {
+                            chosen = Some((hyp.as_str(), v));
+                            break;
+                        }
+                    }
+                    // Paper: the first hypothesis passing IO; else the top
+                    // beam (first compiling preferred for edit similarity).
+                    let selected = chosen.or_else(|| {
+                        verdicts
+                            .iter()
+                            .find(|(_, v)| v.compiles)
+                            .or_else(|| verdicts.first())
+                            .map(|(h, v)| (*h, *v))
+                    });
+                    if let Some((hyp, v)) = selected {
+                        rec.compiles = v.compiles;
+                        rec.correct = v.correct;
+                        rec.edit_sim = Some(edit_similarity(hyp, &item.func_src));
+                    }
+                }
+                Tool::Ghidra => {
+                    match ghidra_decompile(&asm, ctx.asm_isa(), &item.name) {
+                        Ok(hyp) => {
+                            let v = judge(item, &reference, &hyp, "");
+                            rec.compiles = v.compiles;
+                            rec.correct = v.correct;
+                            rec.edit_sim = Some(edit_similarity(&hyp, &item.func_src));
+                        }
+                        Err(_) => {
+                            // Lift failure: no output at all.
+                        }
+                    }
+                }
+                Tool::ChatGpt => {
+                    let hyp = ctx.chatgpt.decompile(&asm, &item.name, idx as u64);
+                    let v = judge(item, &reference, &hyp, "");
+                    rec.compiles = v.compiles;
+                    rec.correct = v.correct;
+                    rec.edit_sim = Some(edit_similarity(&hyp, &item.func_src));
+                }
+                Tool::Btc => {
+                    let Some(btc) = &ctx.btc else { continue };
+                    let signature =
+                        item.func_src.split('{').next().unwrap_or("").trim().to_string();
+                    let hyp = btc.decompile(&normalize_asm(&asm), &signature);
+                    let v = judge(item, &reference, &hyp, "");
+                    rec.compiles = v.compiles;
+                    rec.correct = v.correct;
+                    rec.edit_sim = Some(edit_similarity(&hyp, &item.func_src));
+                }
+            }
+            out.push(rec);
+        }
+    }
+    out
+}
+
+/// Aggregates `(io_accuracy_pct, mean_edit_similarity_pct)` for one tool.
+pub fn summarize(records: &[EvalRecord], tool: Tool) -> (f64, f64) {
+    let recs: Vec<&EvalRecord> = records.iter().filter(|r| r.tool == tool).collect();
+    if recs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let acc = 100.0 * recs.iter().filter(|r| r.correct).count() as f64 / recs.len() as f64;
+    let sims: Vec<f64> = recs.iter().filter_map(|r| r.edit_sim).collect();
+    let sim = if sims.is_empty() {
+        0.0
+    } else {
+        100.0 * sims.iter().sum::<f64>() / sims.len() as f64
+    };
+    (acc, sim)
+}

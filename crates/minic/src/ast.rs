@@ -1,0 +1,369 @@
+//! Abstract syntax tree for MiniC.
+//!
+//! Every expression carries a [`NodeId`] assigned by the parser so that
+//! semantic analysis can attach types in a side table without rebuilding the
+//! tree (see [`crate::sema`]).
+
+use crate::types::{IntKind, StructDef, Type};
+use serde::{Deserialize, Serialize};
+
+/// Unique id for an expression node within one parsed program.
+pub type NodeId = u32;
+
+/// A full translation unit: type definitions, globals and functions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+    /// Number of expression nodes allocated (ids are `0..node_count`).
+    pub node_count: u32,
+    /// Type names the lenient parser accepted without a definition
+    /// (consumed by the type-inference engine).
+    pub unknown_types: Vec<String>,
+}
+
+impl Program {
+    /// All function definitions in the program, in source order.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Function(f) if f.body.is_some() => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Finds a function (definition or prototype) by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.items.iter().find_map(|item| match item {
+            Item::Function(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+
+    /// All struct definitions.
+    pub fn structs(&self) -> impl Iterator<Item = &StructDef> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Struct(s) => Some(s),
+            _ => None,
+        })
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Item {
+    /// `struct S { ... };`
+    Struct(StructDef),
+    /// `typedef <ty> <name>;`
+    Typedef {
+        /// The new type name.
+        name: String,
+        /// The aliased type.
+        ty: Type,
+    },
+    /// Global variable, optionally initialized with a constant expression.
+    Global {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Constant initializer, when written.
+        init: Option<Expr>,
+        /// Declared `extern` (no storage here).
+        is_extern: bool,
+    },
+    /// Function definition (`body: Some`) or prototype (`body: None`).
+    Function(Function),
+}
+
+/// A function definition or prototype.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// `(name, type)` parameter list.
+    pub params: Vec<(String, Type)>,
+    /// Body, absent for prototypes/extern declarations.
+    pub body: Option<Stmt>,
+    /// True when declared `static` (kept for round-trip printing).
+    pub is_static: bool,
+}
+
+/// A statement with its source line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stmt {
+    /// What the statement does.
+    pub kind: StmtKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum StmtKind {
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// Local declaration. Multiple declarators are desugared by the parser
+    /// into consecutive `Decl`s.
+    Decl {
+        /// Local name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initializer, when written.
+        init: Option<Expr>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) then else?`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken when the condition is non-zero.
+        then_branch: Box<Stmt>,
+        /// Optional `else` branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Loop condition, tested before each iteration.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body, run at least once.
+        body: Box<Stmt>,
+        /// Condition, tested after each iteration.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body` — any clause may be absent.
+    For {
+        /// Init clause (declaration or expression).
+        init: Option<Box<Stmt>>,
+        /// Continuation condition.
+        cond: Option<Expr>,
+        /// Per-iteration step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return e?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `goto label;` (needed to round-trip lifter output)
+    Goto(String),
+    /// `label: stmt`
+    Labeled {
+        /// The label name.
+        label: String,
+        /// The labelled statement.
+        stmt: Box<Stmt>,
+    },
+    /// `switch (scrutinee) { arms }` — each arm is `(case value, body)`,
+    /// with `None` for `default:`; C fallthrough semantics apply.
+    Switch {
+        /// The switched-on expression.
+        scrutinee: Expr,
+        /// `(case value, body)` arms; `None` is `default:`.
+        arms: Vec<(Option<i64>, Vec<Stmt>)>,
+    },
+    /// `;`
+    Empty,
+}
+
+/// An expression node: kind plus parser-assigned id and line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Expr {
+    /// What the expression computes.
+    pub kind: ExprKind,
+    /// Side-table key for semantic information.
+    pub id: NodeId,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ExprKind {
+    /// Integer literal with its original kind.
+    IntLit(i64, IntKind),
+    /// Floating literal; `bool` is true for `float` (f-suffixed).
+    FloatLit(f64, bool),
+    /// String literal.
+    StrLit(String),
+    /// Variable or function reference.
+    Ident(String),
+    /// Unary operator application.
+    Unary(UnOp, Box<Expr>),
+    /// `e++` / `e--` (postfix).
+    Postfix(IncDec, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment; `op` is `None` for `=` and the compound operator otherwise.
+    Assign {
+        /// `None` for `=`, the operator for `op=` compound forms.
+        op: Option<BinOp>,
+        /// Assigned-to lvalue.
+        target: Box<Expr>,
+        /// Right-hand side.
+        value: Box<Expr>,
+    },
+    /// Function call by name.
+    Call {
+        /// Called function name.
+        callee: String,
+        /// Arguments in source order.
+        args: Vec<Expr>,
+    },
+    /// `base[index]`
+    Index {
+        /// Array or pointer expression.
+        base: Box<Expr>,
+        /// Element index.
+        index: Box<Expr>,
+    },
+    /// `base.field` (`arrow == false`) or `base->field` (`arrow == true`).
+    Member {
+        /// Struct value or pointer.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// True for `->`, false for `.`.
+        arrow: bool,
+    },
+    /// `(ty) e`
+    Cast {
+        /// Target type.
+        ty: Type,
+        /// Cast operand.
+        expr: Box<Expr>,
+    },
+    /// `sizeof(ty)`
+    SizeofType(Type),
+    /// `sizeof e`
+    SizeofExpr(Box<Expr>),
+    /// `cond ? then : else`
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when non-zero.
+        then_expr: Box<Expr>,
+        /// Value when zero.
+        else_expr: Box<Expr>,
+    },
+    /// `a, b`
+    Comma(Box<Expr>, Box<Expr>),
+}
+
+/// Prefix unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// `-e`
+    Neg,
+    /// `!e`
+    Not,
+    /// `~e`
+    BitNot,
+    /// `*e`
+    Deref,
+    /// `&e`
+    Addr,
+    /// `++e`
+    PreInc,
+    /// `--e`
+    PreDec,
+    /// `+e` (no-op, kept for round-tripping)
+    Plus,
+}
+
+/// Whether a postfix operator increments or decrements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IncDec {
+    /// `e++`
+    Inc,
+    /// `e--`
+    Dec,
+}
+
+/// Binary operators (excluding assignment, which is [`ExprKind::Assign`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+}
+
+impl BinOp {
+    /// True for `< <= > >= == !=` — operators whose result is `int` 0/1.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// True for `&&`/`||`, which short-circuit.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LogAnd | BinOp::LogOr)
+    }
+
+    /// The C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::LogAnd => "&&",
+            BinOp::LogOr => "||",
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Runtime values for the MiniC interpreter.
+
+use crate::types::{IntKind, Type};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed pointer into [`crate::mem::Memory`]: segment id plus byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pointer {
+    /// Segment index (0 is the reserved null segment).
+    pub seg: u32,
+    /// Byte offset within the segment; may go out of bounds transiently
+    /// (one-past-the-end pointers are legal in C), checked on access.
+    pub off: i64,
+}
+
+impl Pointer {
+    /// The null pointer.
+    pub fn null() -> Pointer {
+        Pointer { seg: 0, off: 0 }
+    }
+
+    /// True for the null pointer (any offset in segment 0 counts).
+    pub fn is_null(self) -> bool {
+        self.seg == 0 && self.off == 0
+    }
+
+    /// This pointer displaced by `bytes`.
+    pub fn offset(self, bytes: i64) -> Pointer {
+        Pointer { seg: self.seg, off: self.off + bytes }
+    }
+}
+
+/// A runtime value: integer (with kind), float, double or pointer.
+///
+/// Integers are stored sign-extended in an `i64` and re-wrapped to their
+/// kind's width on every operation, so arithmetic matches the target's
+/// two's-complement behaviour bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer value of the given kind (value already wrapped to width).
+    Int(i64, IntKind),
+    /// `float`
+    F32(f32),
+    /// `double`
+    F64(f64),
+    /// Pointer value.
+    Ptr(Pointer),
+}
+
+impl Value {
+    /// An `int`-kinded integer.
+    pub fn int(v: i64) -> Value {
+        Value::Int(IntKind::Int.wrap(v), IntKind::Int)
+    }
+
+    /// A `long`-kinded integer.
+    pub fn long(v: i64) -> Value {
+        Value::Int(v, IntKind::Long)
+    }
+
+    /// An integer of a specific kind, wrapped to width.
+    pub fn of_kind(v: i64, kind: IntKind) -> Value {
+        Value::Int(kind.wrap(v), kind)
+    }
+
+    /// The raw `i64` payload of an integer or pointer offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on float values; use [`Value::as_f64`] for those.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::Int(v, _) => *v,
+            Value::Ptr(p) => ((p.seg as i64) << 32) | (p.off & 0xffff_ffff),
+            other => panic!("as_i64 on {other:?}"),
+        }
+    }
+
+    /// Numeric value as an `f64` (integers convert; pointers panic).
+    ///
+    /// # Panics
+    ///
+    /// Panics on pointer values.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(v, k) if !k.signed() && k.size() == 8 => (*v as u64) as f64,
+            Value::Int(v, _) => *v as f64,
+            Value::F32(v) => *v as f64,
+            Value::F64(v) => *v,
+            Value::Ptr(_) => panic!("as_f64 on pointer"),
+        }
+    }
+
+    /// The pointer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a pointer.
+    pub fn as_ptr(&self) -> Pointer {
+        match self {
+            Value::Ptr(p) => *p,
+            other => panic!("as_ptr on {other:?}"),
+        }
+    }
+
+    /// C truthiness: nonzero / non-null.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Int(v, _) => *v != 0,
+            Value::F32(v) => *v != 0.0,
+            Value::F64(v) => *v != 0.0,
+            Value::Ptr(p) => !p.is_null(),
+        }
+    }
+
+    /// Converts this value to `ty` following C conversion rules
+    /// (truncation/extension for integers, rounding for floats, bit reuse
+    /// for pointer↔integer).
+    pub fn convert_to(&self, ty: &Type) -> Value {
+        match ty {
+            Type::Int(k) => match self {
+                Value::Int(v, _) => Value::of_kind(*v, *k),
+                Value::F32(v) => Value::of_kind(*v as i64, *k),
+                Value::F64(v) => Value::of_kind(*v as i64, *k),
+                Value::Ptr(p) => Value::of_kind(((p.seg as i64) << 32) | p.off, *k),
+            },
+            Type::Float => Value::F32(match self {
+                Value::Int(v, k) if !k.signed() && k.size() == 8 => (*v as u64) as f32,
+                Value::Int(v, _) => *v as f32,
+                Value::F32(v) => *v,
+                Value::F64(v) => *v as f32,
+                Value::Ptr(_) => 0.0,
+            }),
+            Type::Double => Value::F64(match self {
+                Value::Int(v, k) if !k.signed() && k.size() == 8 => (*v as u64) as f64,
+                Value::Int(v, _) => *v as f64,
+                Value::F32(v) => *v as f64,
+                Value::F64(v) => *v,
+                Value::Ptr(_) => 0.0,
+            }),
+            Type::Ptr(_) | Type::Array(..) => match self {
+                Value::Ptr(p) => Value::Ptr(*p),
+                Value::Int(v, _) => {
+                    // Integer→pointer reuses our packed representation; 0
+                    // stays null.
+                    if *v == 0 {
+                        Value::Ptr(Pointer::null())
+                    } else {
+                        Value::Ptr(Pointer { seg: (*v >> 32) as u32, off: *v & 0xffff_ffff })
+                    }
+                }
+                other => *other,
+            },
+            _ => *self,
+        }
+    }
+
+    /// Byte width of this value when stored.
+    pub fn width(&self) -> usize {
+        match self {
+            Value::Int(_, k) => k.size(),
+            Value::F32(_) => 4,
+            Value::F64(_) => 8,
+            Value::Ptr(_) => 8,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v, k) if !k.signed() => write!(f, "{}", *v as u64 & mask(k.size())),
+            Value::Int(v, _) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Ptr(p) if p.is_null() => write!(f, "NULL"),
+            Value::Ptr(p) => write!(f, "&seg{}+{}", p.seg, p.off),
+        }
+    }
+}
+
+fn mask(size: usize) -> u64 {
+    if size >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (size * 8)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_wrapping_on_construction() {
+        assert_eq!(Value::of_kind(300, IntKind::Char), Value::Int(44, IntKind::Char));
+        assert_eq!(Value::of_kind(-1, IntKind::UChar), Value::Int(255, IntKind::UChar));
+    }
+
+    #[test]
+    fn conversions_follow_c_rules() {
+        let v = Value::F64(3.99);
+        assert_eq!(v.convert_to(&Type::int()), Value::int(3)); // trunc toward zero
+        let neg = Value::F64(-3.99);
+        assert_eq!(neg.convert_to(&Type::int()), Value::int(-3));
+        let big = Value::of_kind(u32::MAX as i64, IntKind::UInt);
+        assert_eq!(big.convert_to(&Type::Double).as_f64(), u32::MAX as f64);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::int(1).is_truthy());
+        assert!(!Value::int(0).is_truthy());
+        assert!(!Value::Ptr(Pointer::null()).is_truthy());
+        assert!(Value::F64(0.5).is_truthy());
+    }
+
+    #[test]
+    fn null_roundtrip_through_int() {
+        let z = Value::int(0).convert_to(&Type::ptr(Type::int()));
+        assert_eq!(z, Value::Ptr(Pointer::null()));
+    }
+
+    #[test]
+    fn unsigned_display() {
+        assert_eq!(Value::of_kind(-1, IntKind::UInt).to_string(), "4294967295");
+        assert_eq!(Value::of_kind(-1, IntKind::Int).to_string(), "-1");
+    }
+}

@@ -1,0 +1,38 @@
+//! From-scratch CPU neural network stack for the SLaDe reproduction.
+//!
+//! The paper trains a 200M-parameter BART-style encoder-decoder on 4×A100
+//! for 72 h. This crate implements the same architecture and training recipe
+//! (cross-entropy with teacher forcing, AdamW-style weight decay, **no
+//! dropout** by default, beam-search decoding) sized for a single CPU core —
+//! see `DESIGN.md` for the scaling substitution argument.
+//!
+//! Layout:
+//! - [`math`] — dense kernels (matmul variants, softmax, GELU);
+//! - [`store`] — flat parameter store with gradients and Adam moments;
+//! - [`model`] — the seq2seq Transformer with hand-written backward passes,
+//!   optional seeded dropout (for the paper's §V-C ablation), forward-only
+//!   evaluation ([`Seq2Seq::eval_loss`]), and KV-cached incremental
+//!   decoding ([`Seq2Seq::begin_decode`]/[`Seq2Seq::decode_step`]) that is
+//!   bit-identical to full recomputation.
+//!
+//! # Example
+//!
+//! ```
+//! use slade_nn::{Seq2Seq, TransformerConfig};
+//!
+//! let mut model = Seq2Seq::new(TransformerConfig::tiny(16), 0);
+//! // One teacher-forced step on a toy pair.
+//! model.zero_grads();
+//! let loss = model.train_pair(&[4, 5], &[1, 6], &[6, 2]);
+//! model.adam_step(1e-3, 0.01, 1.0);
+//! assert!(loss > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod math;
+pub mod model;
+pub mod store;
+
+pub use model::{DecoderState, Seq2Seq, TransformerConfig};
+pub use store::{ParamStore, ParamTensor};

@@ -1,0 +1,140 @@
+//! Dense math kernels used by the Transformer (single-threaded f32).
+
+/// `c[m,n] = a[m,k] @ b[k,n]`.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `c[m,n] = a[m,k] @ b[n,k]ᵀ` — the Linear-layer forward shape.
+pub fn matmul_transb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// `c[m,n] = a[k,m]ᵀ @ b[k,n]` — the weight-gradient shape.
+pub fn matmul_transa(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    let mut c = vec![0.0f32; m * n];
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// In-place row-wise softmax over an `[rows, cols]` matrix.
+pub fn softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
+    for r in 0..rows {
+        let row = &mut x[r * cols..(r + 1) * cols];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum.max(1e-12);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// GELU activation (tanh approximation, as BART uses).
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + ((0.797_884_6) * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+pub fn gelu_grad(x: f32) -> f32 {
+    let c = 0.797_884_6f32;
+    let u = c * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = c * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_identity() {
+        let a = vec![1.0, 2.0, 3.0, 4.0]; // [2,2]
+        let i = vec![1.0, 0.0, 0.0, 1.0];
+        assert_eq!(matmul(&a, &i, 2, 2, 2), a);
+    }
+
+    #[test]
+    fn transb_matches_manual() {
+        // a [1,3] @ b [2,3]^T = [1,2]
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 0.0, 1.0, 0.5, 0.5, 0.5];
+        let c = matmul_transb(&a, &b, 1, 3, 2);
+        assert_eq!(c, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn transa_matches_manual() {
+        // a [2,1]^T @ b [2,2] = [1,2]
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0, 5.0, 6.0];
+        let c = matmul_transa(&a, &b, 2, 1, 2);
+        assert_eq!(c, vec![13.0, 16.0]);
+    }
+
+    #[test]
+    fn softmax_rows_normalize() {
+        let mut x = vec![0.0, 0.0, 1000.0, 1000.0];
+        softmax_rows(&mut x, 2, 2);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+        assert!((x[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_gradient_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.7, 3.0] {
+            let eps = 1e-3;
+            let num = (gelu(x + eps) - gelu(x - eps)) / (2.0 * eps);
+            assert!((num - gelu_grad(x)).abs() < 1e-2, "x={x}: {num} vs {}", gelu_grad(x));
+        }
+    }
+}

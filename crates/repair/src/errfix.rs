@@ -1,0 +1,182 @@
+//! Error-driven repairs: each fix is keyed off the compiler's diagnostic
+//! for the current hypothesis and produces one modified candidate.
+//!
+//! The repertoire mirrors what a programmer does with a decompiler's
+//! almost-right output: declare the identifier the model forgot, give an
+//! out-of-context type a plausible definition, or delete the one garbled
+//! line that breaks the parse.
+
+use crate::RepairStep;
+use slade_minic::{ErrorKind, MiniCError};
+
+/// Extracts the first backtick-quoted fragment of a diagnostic message.
+fn quoted(message: &str) -> Option<&str> {
+    message.split('`').nth(1)
+}
+
+/// True when `name` is a plausible C identifier (the only thing we will
+/// ever declare or typedef on the model's behalf).
+fn is_identifier(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// C keywords that must never be typedef'd or declared as variables.
+const KEYWORDS: &[&str] = &[
+    "auto", "break", "case", "char", "const", "continue", "default", "do", "double", "else",
+    "enum", "extern", "float", "for", "goto", "if", "int", "long", "register", "return",
+    "short", "signed", "sizeof", "static", "struct", "switch", "typedef", "union", "unsigned",
+    "void", "volatile", "while",
+];
+
+fn is_typedefable(name: &str) -> bool {
+    is_identifier(name) && !KEYWORDS.contains(&name)
+}
+
+/// Proposes one repaired hypothesis for `err`, or `None` when the
+/// diagnostic matches no known fix. `hyp_first_line` is the 1-based line
+/// of the full program where the hypothesis starts (diagnostics point into
+/// the concatenated context + hypothesis source).
+pub fn fix_for_error(
+    hypothesis: &str,
+    err: &MiniCError,
+    hyp_first_line: u32,
+) -> Option<(String, RepairStep)> {
+    let msg = err.message();
+    match err.kind() {
+        ErrorKind::Type if msg.starts_with("unknown identifier") => {
+            let name = quoted(msg)?;
+            if !is_identifier(name) {
+                return None;
+            }
+            // Indexed or dereferenced use needs storage, not a scalar.
+            let subscripted = hypothesis.contains(&format!("{name}["))
+                || hypothesis.contains(&format!("*{name}"));
+            let decl = if subscripted {
+                format!("long {name}[64];\n")
+            } else {
+                format!("long {name};\n")
+            };
+            Some((
+                format!("{decl}{hypothesis}"),
+                RepairStep::DeclaredIdentifier { name: name.to_string() },
+            ))
+        }
+        ErrorKind::Parse | ErrorKind::Lex if msg.contains("unknown type name") => {
+            let name = quoted(msg)?;
+            if !is_typedefable(name) {
+                return None;
+            }
+            Some((
+                format!("typedef long {name};\n{hypothesis}"),
+                RepairStep::InjectedTypedef { name: name.to_string() },
+            ))
+        }
+        // An identifier where a declaration was expected is how the parser
+        // reports an unknown *return* type at file scope — the exact
+        // out-of-context-typedef shape type inference targets; repair keeps
+        // a backstop for when that stage is disabled.
+        ErrorKind::Parse
+            if msg.starts_with("expected declaration")
+                && quoted(msg).is_some_and(is_typedefable) =>
+        {
+            let name = quoted(msg).expect("guard checked");
+            Some((
+                format!("typedef long {name};\n{hypothesis}"),
+                RepairStep::InjectedTypedef { name: name.to_string() },
+            ))
+        }
+        ErrorKind::Parse | ErrorKind::Lex if err.line() >= hyp_first_line => {
+            // Last resort: delete the offending line inside the hypothesis.
+            let hyp_line = (err.line() - hyp_first_line) as usize;
+            let lines: Vec<&str> = hypothesis.lines().collect();
+            if hyp_line >= lines.len() || lines[hyp_line].trim().is_empty() {
+                return None;
+            }
+            // Never delete the signature line — that guarantees failure.
+            if hyp_line == 0 {
+                return None;
+            }
+            let mut kept: Vec<&str> = Vec::with_capacity(lines.len() - 1);
+            for (i, l) in lines.iter().enumerate() {
+                if i != hyp_line {
+                    kept.push(l);
+                }
+            }
+            Some((
+                kept.join("\n"),
+                RepairStep::DeletedLine { line: err.line() },
+            ))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slade_minic::ErrorKind;
+
+    fn err(kind: ErrorKind, msg: &str, line: u32) -> MiniCError {
+        MiniCError::new(kind, msg, line)
+    }
+
+    #[test]
+    fn unknown_identifier_gets_declared() {
+        let hyp = "int f(int a) { return a + counter; }";
+        let e = err(ErrorKind::Type, "unknown identifier `counter`", 2);
+        let (fixed, step) = fix_for_error(hyp, &e, 2).unwrap();
+        assert!(fixed.starts_with("long counter;\n"));
+        assert_eq!(step, RepairStep::DeclaredIdentifier { name: "counter".into() });
+    }
+
+    #[test]
+    fn subscripted_identifier_gets_array_storage() {
+        let hyp = "int f(int i) { return table[i]; }";
+        let e = err(ErrorKind::Type, "unknown identifier `table`", 2);
+        let (fixed, _) = fix_for_error(hyp, &e, 2).unwrap();
+        assert!(fixed.starts_with("long table[64];\n"), "{fixed}");
+    }
+
+    #[test]
+    fn unknown_type_gets_typedef() {
+        let hyp = "my_int f(my_int a) { return a; }";
+        let e = err(ErrorKind::Parse, "unknown type name `my_int`", 2);
+        let (fixed, step) = fix_for_error(hyp, &e, 2).unwrap();
+        assert!(fixed.starts_with("typedef long my_int;\n"));
+        assert_eq!(step, RepairStep::InjectedTypedef { name: "my_int".into() });
+    }
+
+    #[test]
+    fn garbled_line_is_deleted() {
+        let hyp = "int f(int a) {\n%%%garbage%%%\nreturn a;\n}";
+        let e = err(ErrorKind::Parse, "expected `;`, found `%`", 3);
+        // Hypothesis starts at full-program line 2: error line 3 = hyp line 1.
+        let (fixed, step) = fix_for_error(hyp, &e, 2).unwrap();
+        assert!(!fixed.contains("garbage"));
+        assert_eq!(step, RepairStep::DeletedLine { line: 3 });
+    }
+
+    #[test]
+    fn signature_line_is_never_deleted() {
+        let hyp = "int f(int a( {\nreturn a;\n}";
+        let e = err(ErrorKind::Parse, "expected `)`, found `(`", 5);
+        assert!(fix_for_error(hyp, &e, 5).is_none());
+    }
+
+    #[test]
+    fn context_errors_are_not_ours_to_fix() {
+        let hyp = "int f(void) { return 1; }";
+        let e = err(ErrorKind::Parse, "expected declaration, found `@`", 1);
+        // Error at line 1, hypothesis starts at line 4: context problem.
+        assert!(fix_for_error(hyp, &e, 4).is_none());
+    }
+
+    #[test]
+    fn non_identifier_names_are_rejected() {
+        let hyp = "int f(void) { return 1; }";
+        let e = err(ErrorKind::Type, "unknown identifier `1bad`", 2);
+        assert!(fix_for_error(hyp, &e, 2).is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! Text-level structural repairs applied before any parse attempt.
+//!
+//! Neural decoders fail in characteristic ways: they stop mid-token when
+//! the length budget runs out (unbalanced delimiters, unterminated string
+//! literals) or keep sampling past the function's closing brace (trailing
+//! garbage). These repairs normalize exactly those shapes and nothing
+//! else — a structurally well-formed hypothesis passes through unchanged.
+
+use crate::RepairStep;
+
+/// Scanner state shared by the fixes: tracks whether a byte position is
+/// inside a string literal, character literal, or comment so delimiter
+/// counting ignores quoted text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctx {
+    Code,
+    Str,
+    Chr,
+    LineComment,
+    BlockComment,
+}
+
+/// Walks `src`, invoking `f(position, character, context)` for every char.
+/// Returns the context the scan ended in.
+fn scan(src: &str, mut f: impl FnMut(usize, char, Ctx)) -> Ctx {
+    let mut ctx = Ctx::Code;
+    let mut prev = '\0';
+    let mut chars = src.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        match ctx {
+            Ctx::Code => {
+                match c {
+                    '"' => ctx = Ctx::Str,
+                    '\'' => ctx = Ctx::Chr,
+                    '/' if chars.peek().map(|&(_, n)| n) == Some('/') => {
+                        ctx = Ctx::LineComment;
+                    }
+                    '/' if chars.peek().map(|&(_, n)| n) == Some('*') => {
+                        ctx = Ctx::BlockComment;
+                    }
+                    _ => {}
+                }
+                f(i, c, Ctx::Code);
+            }
+            Ctx::Str => {
+                f(i, c, Ctx::Str);
+                if c == '"' && prev != '\\' {
+                    ctx = Ctx::Code;
+                }
+            }
+            Ctx::Chr => {
+                f(i, c, Ctx::Chr);
+                if c == '\'' && prev != '\\' {
+                    ctx = Ctx::Code;
+                }
+            }
+            Ctx::LineComment => {
+                f(i, c, Ctx::LineComment);
+                if c == '\n' {
+                    ctx = Ctx::Code;
+                }
+            }
+            Ctx::BlockComment => {
+                f(i, c, Ctx::BlockComment);
+                if c == '/' && prev == '*' && i > 0 {
+                    ctx = Ctx::Code;
+                }
+            }
+        }
+        // An escaped backslash must not hide the following quote.
+        prev = if prev == '\\' && c == '\\' { '\0' } else { c };
+    }
+    ctx
+}
+
+/// Closes an unterminated string or character literal at the end of the
+/// hypothesis (the decoder ran out of budget mid-literal).
+pub fn close_literals(src: &str) -> (String, Option<RepairStep>) {
+    let end = scan(src, |_, _, _| {});
+    match end {
+        Ctx::Str => (format!("{src}\""), Some(RepairStep::ClosedStringLiteral)),
+        Ctx::Chr => (format!("{src}'"), Some(RepairStep::ClosedStringLiteral)),
+        Ctx::BlockComment => (format!("{src}*/"), Some(RepairStep::ClosedStringLiteral)),
+        _ => (src.to_string(), None),
+    }
+}
+
+/// Drops non-whitespace text after the last top-level `}` — the "kept
+/// sampling past the end" failure. Text is only removed when a top-level
+/// close brace exists and something other than whitespace follows it.
+pub fn truncate_trailing_garbage(src: &str) -> (String, Option<RepairStep>) {
+    let mut depth: i32 = 0;
+    let mut last_close: Option<usize> = None;
+    scan(src, |i, c, ctx| {
+        if ctx != Ctx::Code {
+            return;
+        }
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth <= 0 {
+                    last_close = Some(i);
+                    depth = depth.max(0);
+                }
+            }
+            _ => {}
+        }
+    });
+    let Some(pos) = last_close else { return (src.to_string(), None) };
+    let tail = &src[pos + 1..];
+    if tail.trim().is_empty() {
+        return (src.to_string(), None);
+    }
+    let removed = tail.trim().len();
+    (
+        src[..=pos].to_string(),
+        Some(RepairStep::TruncatedTrailingGarbage { removed_chars: removed }),
+    )
+}
+
+/// Balances `()`, `{}` and `[]`: unmatched closers are dropped, missing
+/// closers are appended in nesting order. Quoted text and comments are
+/// ignored by the counter.
+pub fn balance_delimiters(src: &str) -> (String, Option<RepairStep>) {
+    let mut stack: Vec<char> = Vec::new();
+    let mut drop_positions: Vec<usize> = Vec::new();
+    scan(src, |i, c, ctx| {
+        if ctx != Ctx::Code {
+            return;
+        }
+        match c {
+            '(' | '{' | '[' => stack.push(c),
+            ')' | '}' | ']' => {
+                let opener = match c {
+                    ')' => '(',
+                    '}' => '{',
+                    _ => '[',
+                };
+                if stack.last() == Some(&opener) {
+                    stack.pop();
+                } else {
+                    // Either nothing open or a mismatched nesting: drop it.
+                    drop_positions.push(i);
+                }
+            }
+            _ => {}
+        }
+    });
+    if stack.is_empty() && drop_positions.is_empty() {
+        return (src.to_string(), None);
+    }
+    let mut out = String::with_capacity(src.len() + stack.len());
+    let mut drops = drop_positions.iter().copied().peekable();
+    for (i, c) in src.char_indices() {
+        if drops.peek() == Some(&i) {
+            drops.next();
+            continue;
+        }
+        out.push(c);
+    }
+    let mut appended = String::new();
+    for opener in stack.iter().rev() {
+        appended.push(match opener {
+            '(' => ')',
+            '{' => '}',
+            _ => ']',
+        });
+    }
+    // Closing braces read better on their own lines.
+    if appended.contains('}') && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str(&appended);
+    let stripped = drop_positions.len();
+    (out, Some(RepairStep::BalancedDelimiters { appended, stripped }))
+}
+
+/// Runs the structural fixes in dependency order (literals first so the
+/// delimiter scan sees correct quoting, truncation before balancing so
+/// appended braces don't legitimize garbage). Returns the cleaned text and
+/// the steps that actually changed something.
+pub fn sanitize(src: &str) -> (String, Vec<RepairStep>) {
+    let mut steps = Vec::new();
+    let (s, step) = close_literals(src);
+    steps.extend(step);
+    let (s, step) = truncate_trailing_garbage(&s);
+    steps.extend(step);
+    let (s, step) = balance_delimiters(&s);
+    steps.extend(step);
+    (s, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_text_is_untouched() {
+        let src = "int f(int a) { return a + 1; }";
+        let (out, steps) = sanitize(src);
+        assert_eq!(out, src);
+        assert!(steps.is_empty());
+    }
+
+    #[test]
+    fn missing_closers_are_appended() {
+        let (out, step) = balance_delimiters("int f(int a) { if (a) { return 1;");
+        assert!(out.ends_with("}}"), "{out}");
+        assert!(matches!(step, Some(RepairStep::BalancedDelimiters { .. })));
+    }
+
+    #[test]
+    fn stray_closers_are_dropped() {
+        let (out, _) = balance_delimiters("int f(void) { return 1; } } )");
+        assert_eq!(out.matches('}').count(), 1);
+        assert!(!out.contains(')') || out.contains('('));
+    }
+
+    #[test]
+    fn unterminated_string_is_closed() {
+        let (out, step) = close_literals("char *s = \"abc");
+        assert!(out.ends_with('"'));
+        assert_eq!(step, Some(RepairStep::ClosedStringLiteral));
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_count() {
+        let src = "int f(void) { puts(\"}{\"); return 0; }";
+        let (out, step) = balance_delimiters(src);
+        assert_eq!(out, src);
+        assert!(step.is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_is_removed() {
+        let src = "int f(void) { return 1; }\nint g(int x { return";
+        let (out, step) = truncate_trailing_garbage(src);
+        assert_eq!(out, "int f(void) { return 1; }");
+        assert!(matches!(step, Some(RepairStep::TruncatedTrailingGarbage { .. })));
+    }
+
+    #[test]
+    fn complete_second_function_is_kept() {
+        let src = "int f(void) { return 1; }\nint g(void) { return 2; }";
+        let (out, step) = truncate_trailing_garbage(src);
+        assert_eq!(out, src);
+        assert!(step.is_none());
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_closed() {
+        let (out, _) = close_literals("int f(void) { return 1; } /* trailing");
+        assert!(out.ends_with("*/"));
+    }
+}

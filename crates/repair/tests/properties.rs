@@ -1,0 +1,90 @@
+//! Property tests for the repair loop's safety contracts:
+//! never panic, never "fix" something into a non-compiling state, and
+//! never touch already-valid hypotheses.
+
+use proptest::prelude::*;
+use slade_repair::{repair, sanitize, try_compile};
+
+/// C-flavoured text: identifiers, digits, operators, delimiters, quotes —
+/// weighted so delimiters and quotes (the repair triggers) are common.
+fn c_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => "[a-z_]{1,6}",
+            1 => "[0-9]{1,3}",
+            2 => prop::sample::select(vec![
+                "{", "}", "(", ")", "[", "]", ";", ",", "+", "-", "*", "/", "=",
+                "\"", "'", "->", "&&", "||", "<", ">", "int", "long", "return",
+                "if", "while", "for", " ", "\n",
+            ])
+            .prop_map(str::to_string),
+        ],
+        0..60,
+    )
+    .prop_map(|parts| parts.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Repair must never panic and, when it claims success, the result must
+    /// actually compile in the empty context.
+    #[test]
+    fn repair_is_safe_on_arbitrary_soup(src in c_soup()) {
+        let report = repair(&src, "");
+        if let Some(fixed) = &report.source {
+            prop_assert!(try_compile(fixed, "").is_ok(),
+                "claimed repaired but does not compile:\n{fixed}");
+        }
+    }
+
+    /// Structural sanitation always yields balanced delimiters outside
+    /// string/char literals (counted naively after stripping quotes).
+    #[test]
+    fn sanitize_balances_delimiters(src in c_soup()) {
+        let (out, _) = sanitize(&src);
+        // Strip string/char literal contents with the same simple rule the
+        // fixer uses: once literals are closed, quotes pair up.
+        let mut depth_paren = 0i64;
+        let mut depth_brace = 0i64;
+        let mut depth_brack = 0i64;
+        let mut in_str = false;
+        let mut in_chr = false;
+        let mut prev = '\0';
+        for c in out.chars() {
+            if in_str {
+                if c == '"' && prev != '\\' { in_str = false; }
+            } else if in_chr {
+                if c == '\'' && prev != '\\' { in_chr = false; }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '\'' => in_chr = true,
+                    '(' => depth_paren += 1,
+                    ')' => depth_paren -= 1,
+                    '{' => depth_brace += 1,
+                    '}' => depth_brace -= 1,
+                    '[' => depth_brack += 1,
+                    ']' => depth_brack -= 1,
+                    _ => {}
+                }
+                prop_assert!(depth_paren >= 0 && depth_brace >= 0 && depth_brack >= 0,
+                    "negative depth in: {out}");
+            }
+            prev = if prev == '\\' && c == '\\' { '\0' } else { c };
+        }
+        prop_assert_eq!(depth_paren, 0, "unbalanced parens: {}", &out);
+        prop_assert_eq!(depth_brace, 0, "unbalanced braces: {}", &out);
+        prop_assert_eq!(depth_brack, 0, "unbalanced brackets: {}", &out);
+    }
+
+    /// A hypothesis that already compiles is returned byte-identical with
+    /// an empty step list, for any simple function body expression.
+    #[test]
+    fn valid_functions_pass_through(a in 0i64..100, b in 0i64..100) {
+        let hyp = format!("long f(long x) {{ return x * {a} + {b}; }}");
+        let report = repair(&hyp, "");
+        prop_assert!(report.was_already_valid());
+        prop_assert_eq!(report.source.as_deref(), Some(hyp.as_str()));
+    }
+}

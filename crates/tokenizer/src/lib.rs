@@ -1,0 +1,615 @@
+//! Tokenizers for assembly and C, per the paper's §IV.
+//!
+//! [`UnigramTokenizer`] reproduces SLaDe's scheme: UnigramLM subword pieces
+//! trained by EM over the corpus, a deliberately small vocabulary, numbers
+//! tokenized **digit by digit** (`512 → 5 1 2`), every punctuation sign its
+//! own token, whitespace normalized away except inside double quotes where
+//! spaces are protected with the metaspace character `▁`.
+//!
+//! [`WordTokenizer`] is the word-level baseline used by the BTC-like model —
+//! it suffers out-of-vocabulary tokens on unseen identifiers, which is one
+//! of the failure modes the paper's tokenizer exists to fix.
+//!
+//! # Example
+//!
+//! ```
+//! use slade_tokenizer::UnigramTokenizer;
+//!
+//! let corpus = ["int add(int a, int b) { return a + b; }".to_string()];
+//! let tok = UnigramTokenizer::train(&corpus, 200);
+//! let ids = tok.encode("int add2(int x) { return x + 512; }");
+//! let text = tok.decode(&ids);
+//! assert!(text.contains("add2"));
+//! assert!(text.contains("512"));
+//! ```
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Reserved token ids shared by both tokenizers.
+pub mod special {
+    /// Padding.
+    pub const PAD: u32 = 0;
+    /// Beginning of sequence.
+    pub const BOS: u32 = 1;
+    /// End of sequence.
+    pub const EOS: u32 = 2;
+    /// Unknown token.
+    pub const UNK: u32 = 3;
+    /// Span-corruption mask used by BART-style denoising pre-training
+    /// (the paper's §X future-work direction, implemented in `slade`).
+    pub const MASK: u32 = 4;
+    /// Number of reserved ids.
+    pub const COUNT: u32 = 5;
+}
+
+/// The metaspace marker protecting spaces inside string literals.
+pub const METASPACE: char = '\u{2581}';
+
+/// Pre-tokenization switches, exposing the paper's §IV design choices so
+/// each can be ablated independently (see `slade-eval`'s ablation suite).
+/// The defaults are the paper's recipe: digits split one per token,
+/// punctuation split one sign per token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenizerOptions {
+    /// Tokenize numbers digit by digit (`512 → 5 1 2`). When off, digit
+    /// runs stay glued to the surrounding word, so `512` (and `x2`) are
+    /// single pre-tokens — the inconsistent-segmentation failure mode the
+    /// paper's rule prevents.
+    pub digit_split: bool,
+    /// Split every punctuation sign into its own token. When off,
+    /// consecutive punctuation merges (`->` or `+=` become one pre-token).
+    pub punct_split: bool,
+}
+
+impl Default for TokenizerOptions {
+    fn default() -> Self {
+        TokenizerOptions { digit_split: true, punct_split: true }
+    }
+}
+
+/// Splits raw program text into pre-tokens with the paper's default rules:
+/// identifier/keyword words, single digits, single punctuation characters,
+/// and metaspace-protected string-literal characters.
+///
+/// SentencePiece-style: a pre-token that was preceded by whitespace in the
+/// original text carries a leading [`METASPACE`] marker, so decoding is a
+/// pure concatenation with `▁ → space` (whitespace runs normalize to one
+/// space). Spaces inside string literals become standalone `▁` tokens —
+/// the paper's "protect spaces only inside double quotes" rule.
+pub fn pretokenize(text: &str) -> Vec<String> {
+    pretokenize_with(text, TokenizerOptions::default())
+}
+
+/// [`pretokenize`] with explicit [`TokenizerOptions`].
+pub fn pretokenize_with(text: &str, opts: TokenizerOptions) -> Vec<String> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Kind {
+        Ident,
+        Punct,
+    }
+    let mut out: Vec<String> = Vec::new();
+    let mut word = String::new();
+    let mut kind = Kind::Ident;
+    let mut in_string = false;
+    let mut pending_space = false;
+    fn flush(word: &mut String, out: &mut Vec<String>) {
+        if !word.is_empty() {
+            out.push(std::mem::take(word));
+        }
+    }
+    let push_tok = |tok: String, out: &mut Vec<String>, pending: &mut bool| {
+        if *pending {
+            out.push(format!("{METASPACE}{tok}"));
+            *pending = false;
+        } else {
+            out.push(tok);
+        }
+    };
+    for c in text.chars() {
+        if in_string {
+            if c == '"' {
+                flush(&mut word, &mut out);
+                out.push("\"".to_string());
+                in_string = false;
+            } else if c == ' ' {
+                flush(&mut word, &mut out);
+                out.push(METASPACE.to_string());
+            } else if c.is_ascii_alphabetic() {
+                word.push(c);
+            } else {
+                flush(&mut word, &mut out);
+                out.push(c.to_string());
+            }
+            continue;
+        }
+        // A word-continuation character under the current options?
+        let is_wordy = c.is_ascii_alphabetic()
+            || c == '_'
+            || (!opts.digit_split && c.is_ascii_digit());
+        if c == '"' {
+            flush(&mut word, &mut out);
+            push_tok("\"".to_string(), &mut out, &mut pending_space);
+            in_string = true;
+        } else if c.is_ascii_digit() && opts.digit_split {
+            // Digits stand alone so numbers encode consistently.
+            flush(&mut word, &mut out);
+            push_tok(c.to_string(), &mut out, &mut pending_space);
+        } else if is_wordy {
+            if kind == Kind::Punct {
+                flush(&mut word, &mut out);
+            }
+            kind = Kind::Ident;
+            if pending_space && word.is_empty() {
+                word.push(METASPACE);
+                pending_space = false;
+            }
+            word.push(c);
+        } else if c.is_whitespace() {
+            flush(&mut word, &mut out);
+            pending_space = true;
+        } else if opts.punct_split {
+            flush(&mut word, &mut out);
+            push_tok(c.to_string(), &mut out, &mut pending_space);
+        } else {
+            // Punctuation runs merge into one pre-token.
+            if kind == Kind::Ident {
+                flush(&mut word, &mut out);
+            }
+            kind = Kind::Punct;
+            if pending_space && word.is_empty() {
+                word.push(METASPACE);
+                pending_space = false;
+            }
+            word.push(c);
+        }
+    }
+    flush(&mut word, &mut out);
+    out
+}
+
+/// A UnigramLM subword tokenizer (SentencePiece-style, trained with EM).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnigramTokenizer {
+    pieces: Vec<String>,
+    log_probs: Vec<f64>,
+    index: HashMap<String, u32>,
+    #[serde(default)]
+    options: TokenizerOptions,
+}
+
+impl UnigramTokenizer {
+    /// Trains a tokenizer over `corpus` targeting roughly `vocab_size`
+    /// pieces (excluding the reserved specials), with the paper's default
+    /// pre-tokenization rules. All single characters seen in the corpus are
+    /// always kept, so encoding never produces `<unk>` for corpus-like text.
+    pub fn train(corpus: &[String], vocab_size: usize) -> Self {
+        Self::train_with(corpus, vocab_size, TokenizerOptions::default())
+    }
+
+    /// [`UnigramTokenizer::train`] with explicit pre-tokenization options
+    /// (the ablation entry point; encoding honors the same options).
+    pub fn train_with(corpus: &[String], vocab_size: usize, options: TokenizerOptions) -> Self {
+        let mut pretoken_counts: HashMap<String, u64> = HashMap::new();
+        for text in corpus {
+            for t in pretokenize_with(text, options) {
+                *pretoken_counts.entry(t).or_insert(0) += 1;
+            }
+        }
+        // Seed vocabulary: all substrings up to length 8 of the pretokens.
+        let mut candidate_counts: HashMap<String, f64> = HashMap::new();
+        for (tok, count) in &pretoken_counts {
+            let chars: Vec<char> = tok.chars().collect();
+            for i in 0..chars.len() {
+                for len in 1..=8.min(chars.len() - i) {
+                    let piece: String = chars[i..i + len].iter().collect();
+                    *candidate_counts.entry(piece).or_insert(0.0) += *count as f64;
+                }
+            }
+        }
+        // Mandatory single characters: everything seen in the corpus plus
+        // the printable ASCII alphabet (the paper: "individual characters
+        // present in the train set ... are also part of the vocabulary"; we
+        // add full ASCII so digits/letters absent from a small corpus still
+        // encode character by character).
+        let mut singles: Vec<String> = candidate_counts
+            .keys()
+            .filter(|p| p.chars().count() == 1)
+            .cloned()
+            .collect();
+        for c in 0x20u8..0x7f {
+            singles.push((c as char).to_string());
+        }
+        singles.push(METASPACE.to_string());
+        singles.sort();
+        singles.dedup();
+        // Start from the most frequent multi-char candidates plus singles.
+        let mut multi: Vec<(String, f64)> = candidate_counts
+            .iter()
+            .filter(|(p, _)| p.chars().count() > 1)
+            .map(|(p, c)| (p.clone(), *c * p.chars().count() as f64))
+            .collect();
+        multi.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        multi.truncate(vocab_size.saturating_sub(singles.len()).max(16) * 2);
+        let mut pieces: Vec<String> = singles;
+        pieces.extend(multi.into_iter().map(|(p, _)| p));
+        pieces.sort();
+        pieces.dedup();
+        let mut log_probs = vec![0.0f64; pieces.len()];
+        let mut index: HashMap<String, u32> =
+            pieces.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect();
+        // Uniform init.
+        let init = -( (pieces.len() as f64).ln() );
+        log_probs.fill(init);
+        // EM rounds: segment with Viterbi, re-estimate piece probabilities,
+        // prune the least useful multi-char pieces.
+        for round in 0..3 {
+            let mut usage = vec![0.0f64; pieces.len()];
+            for (tok, count) in &pretoken_counts {
+                let seg = viterbi(tok, &index, &log_probs);
+                for id in seg {
+                    usage[id as usize] += *count as f64;
+                }
+            }
+            let total: f64 = usage.iter().sum::<f64>().max(1.0);
+            for (i, u) in usage.iter().enumerate() {
+                log_probs[i] = ((u + 0.1) / total).ln();
+            }
+            // Prune after the first rounds, keeping singles.
+            if round < 2 {
+                let keep_target = vocab_size.max(64);
+                if pieces.len() > keep_target {
+                    let mut order: Vec<usize> = (0..pieces.len()).collect();
+                    order.sort_by(|&a, &b| usage[b].total_cmp(&usage[a]));
+                    let mut keep = vec![false; pieces.len()];
+                    let mut kept = 0usize;
+                    for &i in &order {
+                        if kept >= keep_target {
+                            break;
+                        }
+                        keep[i] = true;
+                        kept += 1;
+                    }
+                    for (i, p) in pieces.iter().enumerate() {
+                        if p.chars().count() == 1 {
+                            keep[i] = true;
+                        }
+                    }
+                    let mut new_pieces = Vec::new();
+                    let mut new_probs = Vec::new();
+                    for i in 0..pieces.len() {
+                        if keep[i] {
+                            new_pieces.push(pieces[i].clone());
+                            new_probs.push(log_probs[i]);
+                        }
+                    }
+                    pieces = new_pieces;
+                    log_probs = new_probs;
+                    index = pieces
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (p.clone(), i as u32))
+                        .collect();
+                }
+            }
+        }
+        UnigramTokenizer { pieces, log_probs, index, options }
+    }
+
+    /// Total vocabulary size including the reserved specials.
+    pub fn vocab_size(&self) -> usize {
+        self.pieces.len() + special::COUNT as usize
+    }
+
+    /// The pre-tokenization options this tokenizer was trained with.
+    pub fn options(&self) -> TokenizerOptions {
+        self.options
+    }
+
+    /// Encodes text into token ids (without BOS/EOS).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::new();
+        for tok in pretokenize_with(text, self.options) {
+            if let Some(&id) = self.index.get(&tok) {
+                out.push(id + special::COUNT);
+                continue;
+            }
+            let seg = viterbi(&tok, &self.index, &self.log_probs);
+            if seg.is_empty() {
+                out.push(special::UNK);
+            } else {
+                out.extend(seg.into_iter().map(|id| id + special::COUNT));
+            }
+        }
+        out
+    }
+
+    /// Decodes ids back to text: pieces concatenate, `▁` becomes a space.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            if id < special::COUNT {
+                continue;
+            }
+            let piece = match self.pieces.get((id - special::COUNT) as usize) {
+                Some(p) => p,
+                None => continue,
+            };
+            for c in piece.chars() {
+                out.push(if c == METASPACE { ' ' } else { c });
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// The piece string for a token id, if it is not a special.
+    pub fn piece(&self, id: u32) -> Option<&str> {
+        if id < special::COUNT {
+            None
+        } else {
+            self.pieces.get((id - special::COUNT) as usize).map(|s| s.as_str())
+        }
+    }
+}
+
+/// Viterbi segmentation of one pretoken into known pieces; empty when some
+/// character is not covered (callers map that to `<unk>`).
+fn viterbi(token: &str, index: &HashMap<String, u32>, log_probs: &[f64]) -> Vec<u32> {
+    let chars: Vec<char> = token.chars().collect();
+    let n = chars.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    const NEG: f64 = -1e18;
+    let mut best = vec![NEG; n + 1];
+    let mut back: Vec<Option<(usize, u32)>> = vec![None; n + 1];
+    best[0] = 0.0;
+    for i in 0..n {
+        if best[i] <= NEG / 2.0 {
+            continue;
+        }
+        let max_len = 12.min(n - i);
+        let mut piece = String::new();
+        for len in 1..=max_len {
+            piece.push(chars[i + len - 1]);
+            if let Some(&id) = index.get(&piece) {
+                let score = best[i] + log_probs[id as usize];
+                if score > best[i + len] {
+                    best[i + len] = score;
+                    back[i + len] = Some((i, id));
+                }
+            }
+        }
+    }
+    if back[n].is_none() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut pos = n;
+    while pos > 0 {
+        let Some((prev, id)) = back[pos] else { return Vec::new() };
+        out.push(id);
+        pos = prev;
+    }
+    out.reverse();
+    out
+}
+
+/// Word-level tokenizer (the BTC baseline's scheme): whole pre-tokens are
+/// vocabulary entries; everything unseen becomes `<unk>`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WordTokenizer {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl WordTokenizer {
+    /// Trains on `corpus`, keeping the `vocab_size` most frequent words.
+    pub fn train(corpus: &[String], vocab_size: usize) -> Self {
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for text in corpus {
+            for t in pretokenize(text) {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut ordered: Vec<(String, u64)> = counts.into_iter().collect();
+        ordered.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ordered.truncate(vocab_size);
+        let words: Vec<String> = ordered.into_iter().map(|(w, _)| w).collect();
+        let index = words.iter().enumerate().map(|(i, w)| (w.clone(), i as u32)).collect();
+        WordTokenizer { words, index }
+    }
+
+    /// Total vocabulary size including specials.
+    pub fn vocab_size(&self) -> usize {
+        self.words.len() + special::COUNT as usize
+    }
+
+    /// Encodes text; unknown words become [`special::UNK`].
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        pretokenize(text)
+            .into_iter()
+            .map(|t| self.index.get(&t).map(|&i| i + special::COUNT).unwrap_or(special::UNK))
+            .collect()
+    }
+
+    /// Decodes ids, spacing words apart (`<unk>` renders as `UNK`).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut parts = Vec::new();
+        for &id in ids {
+            if id == special::UNK {
+                parts.push("UNK".to_string());
+            } else if id >= special::COUNT {
+                if let Some(w) = self.words.get((id - special::COUNT) as usize) {
+                    parts.push(w.trim_start_matches(METASPACE).to_string());
+                }
+            }
+        }
+        parts.join(" ")
+    }
+
+    /// Fraction of tokens in `text` that are out-of-vocabulary.
+    pub fn oov_rate(&self, text: &str) -> f64 {
+        let toks = pretokenize(text);
+        if toks.is_empty() {
+            return 0.0;
+        }
+        let oov = toks.iter().filter(|t| !self.index.contains_key(*t)).count();
+        oov as f64 / toks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretokenizer_splits_digits_individually() {
+        let toks = pretokenize("x = 512;");
+        let m = METASPACE;
+        assert_eq!(
+            toks,
+            vec![
+                "x".to_string(),
+                format!("{m}="),
+                format!("{m}5"),
+                "1".to_string(),
+                "2".to_string(),
+                ";".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn pretokenizer_splits_punctuation() {
+        let toks = pretokenize("a->b += c[i];");
+        let plain: Vec<String> =
+            toks.iter().map(|t| t.trim_start_matches(METASPACE).to_string()).collect();
+        assert_eq!(plain, vec!["a", "-", ">", "b", "+", "=", "c", "[", "i", "]", ";"]);
+    }
+
+    #[test]
+    fn pretokenizer_protects_string_spaces() {
+        let toks = pretokenize("s = \"a b\";");
+        assert!(toks.contains(&METASPACE.to_string()), "{toks:?}");
+    }
+
+    fn sample_corpus() -> Vec<String> {
+        vec![
+            "int add(int a, int b) { return a + b; }".to_string(),
+            "int sub(int a, int b) { return a - b; }".to_string(),
+            "void copy(int *dst, int *src, int n) { for (int i = 0; i < n; i++) dst[i] = src[i]; }".to_string(),
+            "movl %edi, %eax\naddl %esi, %eax\nret".to_string(),
+        ]
+    }
+
+    #[test]
+    fn unigram_roundtrips_seen_text() {
+        let tok = UnigramTokenizer::train(&sample_corpus(), 300);
+        let ids = tok.encode("int add(int a, int b) { return a + b; }");
+        let text = tok.decode(&ids);
+        // Round trip normalizes whitespace but preserves all symbols.
+        let norm = |s: &str| s.chars().filter(|c| !c.is_whitespace()).collect::<String>();
+        assert_eq!(norm(&text), norm("int add(int a, int b) { return a + b; }"));
+    }
+
+    #[test]
+    fn unigram_handles_unseen_identifiers_via_subwords() {
+        let tok = UnigramTokenizer::train(&sample_corpus(), 300);
+        let ids = tok.encode("int zz_unseen_name(int zq) { return zq; }");
+        assert!(!ids.contains(&special::UNK), "subwords must cover unseen identifiers");
+        let text = tok.decode(&ids);
+        assert!(text.contains("zz_unseen_name"), "{text}");
+    }
+
+    #[test]
+    fn numbers_encode_digit_by_digit() {
+        let tok = UnigramTokenizer::train(&sample_corpus(), 300);
+        let ids = tok.encode("512");
+        let pieces: Vec<&str> = ids.iter().filter_map(|&i| tok.piece(i)).collect();
+        assert_eq!(pieces, vec!["5", "1", "2"], "large numbers must not merge");
+    }
+
+    #[test]
+    fn decode_restores_number_adjacency() {
+        let tok = UnigramTokenizer::train(&sample_corpus(), 300);
+        let ids = tok.encode("return 512;");
+        let text = tok.decode(&ids);
+        assert!(text.contains("512"), "{text}");
+    }
+
+    #[test]
+    fn word_tokenizer_has_oov_on_unseen_names() {
+        let tok = WordTokenizer::train(&sample_corpus(), 100);
+        let ids = tok.encode("int zz_unseen_name(int zq) { return zq; }");
+        assert!(ids.contains(&special::UNK));
+        assert!(tok.oov_rate("zz_unseen_name qqq_what") > 0.0);
+    }
+
+    #[test]
+    fn vocab_size_is_bounded() {
+        let tok = UnigramTokenizer::train(&sample_corpus(), 120);
+        // Singles are always kept, so allow some slack above the target.
+        assert!(tok.vocab_size() < 400, "{}", tok.vocab_size());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let tok = UnigramTokenizer::train(&sample_corpus(), 120);
+        let json = serde_json::to_string(&tok).unwrap();
+        let back: UnigramTokenizer = serde_json::from_str(&json).unwrap();
+        assert_eq!(tok.encode("int x = 3;"), back.encode("int x = 3;"));
+    }
+
+    #[test]
+    fn default_options_match_paper_recipe() {
+        let opts = TokenizerOptions::default();
+        assert!(opts.digit_split && opts.punct_split);
+        // pretokenize and pretokenize_with(default) agree.
+        let text = "a[i] += 512; /* \"x y\" */";
+        assert_eq!(pretokenize(text), pretokenize_with(text, opts));
+    }
+
+    #[test]
+    fn digit_split_off_keeps_numbers_whole() {
+        let opts = TokenizerOptions { digit_split: false, punct_split: true };
+        let toks = pretokenize_with("x2 = 512;", opts);
+        let plain: Vec<String> =
+            toks.iter().map(|t| t.trim_start_matches(METASPACE).to_string()).collect();
+        assert_eq!(plain, vec!["x2", "=", "512", ";"]);
+    }
+
+    #[test]
+    fn punct_split_off_merges_operator_runs() {
+        let opts = TokenizerOptions { digit_split: true, punct_split: false };
+        let toks = pretokenize_with("a->b += c;", opts);
+        let plain: Vec<String> =
+            toks.iter().map(|t| t.trim_start_matches(METASPACE).to_string()).collect();
+        assert_eq!(plain, vec!["a", "->", "b", "+=", "c", ";"]);
+    }
+
+    #[test]
+    fn trained_options_are_used_for_encoding() {
+        let opts = TokenizerOptions { digit_split: false, punct_split: true };
+        let tok = UnigramTokenizer::train_with(&sample_corpus(), 300, opts);
+        assert_eq!(tok.options(), opts);
+        // "512" can now be a single piece (it appears nowhere in the corpus,
+        // so it segments to characters — but via word-level pretokens).
+        let ids = tok.encode("copy");
+        let pieces: Vec<&str> = ids.iter().filter_map(|&i| tok.piece(i)).collect();
+        assert_eq!(pieces.join(""), "copy");
+    }
+
+    #[test]
+    fn old_serialized_tokenizers_deserialize_with_default_options() {
+        let tok = UnigramTokenizer::train(&sample_corpus(), 120);
+        let mut json: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&tok).unwrap()).unwrap();
+        // Simulate a pre-options artifact by removing the field.
+        json.as_object_mut().unwrap().remove("options");
+        let back: UnigramTokenizer = serde_json::from_value(json).unwrap();
+        assert_eq!(back.options(), TokenizerOptions::default());
+    }
+}

@@ -1,0 +1,463 @@
+//! Type inference for partial C programs — the PsycheC stand-in (§VI-B).
+//!
+//! SLaDe's model may emit code referencing types it saw in training
+//! (`my_int`, `SClock`, …) that the evaluation context does not define. Like
+//! PsycheC, this crate (1) parses the partial program leniently, (2)
+//! generates constraints from syntax-directed usage rules, (3) solves them
+//! and synthesizes the missing `typedef`/`struct` declarations so the
+//! program compiles.
+//!
+//! # Example
+//!
+//! ```
+//! use slade_typeinf::infer_missing_types;
+//!
+//! let hypothesis = "my_int twice(my_int x) { return x + x; }";
+//! let header = infer_missing_types(hypothesis, "").unwrap();
+//! assert!(header.contains("typedef"));
+//! let full = format!("{header}\n{hypothesis}");
+//! assert!(slade_minic::parse_program(&full).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+use slade_minic::ast::{Expr, ExprKind, Item, Program, Stmt, StmtKind};
+use slade_minic::types::Type;
+use slade_minic::{parse_program, parse_program_lenient, Sema};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Inference failure: the program does not even parse leniently, or the
+/// synthesized header still does not make it compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferError(pub String);
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type inference failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for InferError {}
+
+/// What the solver concluded a type variable must be.
+#[derive(Debug, Clone, PartialEq)]
+enum Solved {
+    /// Scalar typedef to this MiniC type.
+    Scalar(Type),
+    /// Struct with the given fields.
+    Struct(BTreeMap<String, Type>),
+}
+
+/// Infers the missing type declarations of `hypothesis` given an evaluation
+/// `context` (which may already define some names). Returns a header to
+/// prepend; empty when nothing is missing.
+///
+/// # Errors
+///
+/// Fails if the hypothesis cannot be parsed leniently, or if the program
+/// still does not type-check after injection.
+pub fn infer_missing_types(hypothesis: &str, context: &str) -> Result<String, InferError> {
+    // Fast path: already compiles in context.
+    let combined = format!("{context}\n{hypothesis}");
+    if parse_program(&combined).and_then(|p| Sema::check(&p).map(|_| ())).is_ok() {
+        return Ok(String::new());
+    }
+    let program = parse_program_lenient(&combined)
+        .map_err(|e| InferError(format!("lenient parse: {e}")))?;
+    // Names already defined by the context or the hypothesis itself.
+    let defined: BTreeSet<String> = program
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Typedef { name, .. } => Some(name.clone()),
+            Item::Struct(def) => Some(def.name.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut vars: BTreeMap<String, Solved> = BTreeMap::new();
+    for unknown in &program.unknown_types {
+        if !defined.contains(unknown) {
+            vars.insert(unknown.clone(), Solved::Scalar(Type::int()));
+        }
+    }
+    // Undefined struct tags referenced as `struct S`.
+    let mut undefined_structs: BTreeSet<String> = BTreeSet::new();
+    collect_struct_tags(&program, &mut undefined_structs);
+    for tag in &undefined_structs {
+        if !defined.contains(tag) {
+            vars.entry(format!("struct {tag}")).or_insert(Solved::Struct(BTreeMap::new()));
+        }
+    }
+    if vars.is_empty() {
+        return Err(InferError("program is ill-typed but no unknown types found".into()));
+    }
+    // Constraint generation: walk every function, tracking variables whose
+    // declared type mentions an unknown name, and observe their usage.
+    let mut ctx = ConstraintCtx { vars: &mut vars, var_types: HashMap::new() };
+    for item in &program.items {
+        if let Item::Function(f) = item {
+            for (pname, pty) in &f.params {
+                ctx.bind(pname, pty);
+            }
+            if let Some(body) = &f.body {
+                ctx.walk_stmt(body);
+            }
+            ctx.var_types.clear();
+        }
+    }
+    // Synthesize the header.
+    let mut header = String::new();
+    for (name, solved) in &vars {
+        match solved {
+            Solved::Scalar(ty) => {
+                if let Some(tag) = name.strip_prefix("struct ") {
+                    // A tag never used by field: emit an opaque-ish struct.
+                    let _ = ty;
+                    header.push_str(&format!("struct {tag} {{ int __pad; }};\n"));
+                } else {
+                    header.push_str(&format!("typedef {} {name};\n", c_name(ty)));
+                }
+            }
+            Solved::Struct(fields) => {
+                let tag = name.strip_prefix("struct ").unwrap_or(name);
+                header.push_str(&format!("struct {tag} {{"));
+                if fields.is_empty() {
+                    header.push_str(" int __pad;");
+                } else {
+                    for (fname, fty) in fields {
+                        header.push_str(&format!(" {} {fname};", c_name(fty)));
+                    }
+                }
+                header.push_str(" };\n");
+                if !name.starts_with("struct ") {
+                    header.push_str(&format!("typedef struct {tag} {name};\n"));
+                }
+            }
+        }
+    }
+    // Verify the injection works.
+    let full = format!("{header}\n{combined}");
+    let p = parse_program(&full).map_err(|e| InferError(format!("after injection: {e}")))?;
+    Sema::check(&p).map_err(|e| InferError(format!("after injection: {e}")))?;
+    Ok(header)
+}
+
+fn c_name(ty: &Type) -> String {
+    slade_minic::pretty_type(ty)
+}
+
+fn collect_struct_tags(program: &Program, out: &mut BTreeSet<String>) {
+    let defined: BTreeSet<String> =
+        program.structs().map(|d| d.name.clone()).collect();
+    fn scan_type(ty: &Type, defined: &BTreeSet<String>, out: &mut BTreeSet<String>) {
+        match ty {
+            Type::Struct(tag) if !defined.contains(tag) => {
+                out.insert(tag.clone());
+            }
+            Type::Ptr(inner) | Type::Array(inner, _) => scan_type(inner, defined, out),
+            _ => {}
+        }
+    }
+    for item in &program.items {
+        match item {
+            Item::Function(f) => {
+                for (_, t) in &f.params {
+                    scan_type(t, &defined, out);
+                }
+                scan_type(&f.ret, &defined, out);
+                if let Some(body) = &f.body {
+                    scan_stmt_types(body, &defined, out);
+                }
+            }
+            Item::Global { ty, .. } => scan_type(ty, &defined, out),
+            _ => {}
+        }
+    }
+    fn scan_stmt_types(s: &Stmt, defined: &BTreeSet<String>, out: &mut BTreeSet<String>) {
+        match &s.kind {
+            StmtKind::Decl { ty, .. } => scan_type(ty, defined, out),
+            StmtKind::Block(ss) => ss.iter().for_each(|s| scan_stmt_types(s, defined, out)),
+            StmtKind::If { then_branch, else_branch, .. } => {
+                scan_stmt_types(then_branch, defined, out);
+                if let Some(e) = else_branch {
+                    scan_stmt_types(e, defined, out);
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. }
+            | StmtKind::For { body, .. } => scan_stmt_types(body, defined, out),
+            StmtKind::Labeled { stmt, .. } => scan_stmt_types(stmt, defined, out),
+            _ => {}
+        }
+    }
+}
+
+/// Tracks which local variables have unknown-typed declarations and turns
+/// their usages into constraints.
+struct ConstraintCtx<'a> {
+    vars: &'a mut BTreeMap<String, Solved>,
+    /// variable name → (type-var name, pointer depth)
+    var_types: HashMap<String, (String, usize)>,
+}
+
+impl ConstraintCtx<'_> {
+    fn bind(&mut self, var: &str, ty: &Type) {
+        let mut depth = 0usize;
+        let mut t = ty;
+        loop {
+            match t {
+                Type::Ptr(inner) | Type::Array(inner, _) => {
+                    depth += 1;
+                    t = inner;
+                }
+                Type::Named(name) if self.vars.contains_key(name) => {
+                    self.var_types.insert(var.to_string(), (name.clone(), depth));
+                    return;
+                }
+                Type::Struct(tag) => {
+                    let key = format!("struct {tag}");
+                    if self.vars.contains_key(&key) {
+                        self.var_types.insert(var.to_string(), (key, depth));
+                    }
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Block(ss) => ss.iter().for_each(|s| self.walk_stmt(s)),
+            StmtKind::Decl { name, ty, init } => {
+                self.bind(name, ty);
+                if let Some(e) = init {
+                    self.walk_expr(e);
+                }
+            }
+            StmtKind::Expr(e) | StmtKind::Return(Some(e)) => self.walk_expr(e),
+            StmtKind::If { cond, then_branch, else_branch } => {
+                self.walk_expr(cond);
+                self.walk_stmt(then_branch);
+                if let Some(e) = else_branch {
+                    self.walk_stmt(e);
+                }
+            }
+            StmtKind::While { cond, body } | StmtKind::DoWhile { body, cond } => {
+                self.walk_expr(cond);
+                self.walk_stmt(body);
+            }
+            StmtKind::For { init, cond, step, body } => {
+                if let Some(i) = init {
+                    self.walk_stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.walk_expr(c);
+                }
+                if let Some(st) = step {
+                    self.walk_expr(st);
+                }
+                self.walk_stmt(body);
+            }
+            StmtKind::Labeled { stmt, .. } => self.walk_stmt(stmt),
+            StmtKind::Switch { scrutinee, arms } => {
+                self.walk_expr(scrutinee);
+                for (_, body) in arms {
+                    for s in body {
+                        self.walk_stmt(s);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The type-var behind an expression, if it traces back to an
+    /// unknown-typed variable, with the residual pointer depth.
+    fn trace(&self, e: &Expr) -> Option<(String, usize)> {
+        match &e.kind {
+            ExprKind::Ident(name) => self.var_types.get(name).cloned(),
+            ExprKind::Unary(slade_minic::ast::UnOp::Deref, inner) => {
+                let (v, d) = self.trace(inner)?;
+                (d > 0).then(|| (v, d - 1))
+            }
+            ExprKind::Index { base, .. } => {
+                let (v, d) = self.trace(base)?;
+                (d > 0).then(|| (v, d - 1))
+            }
+            ExprKind::Cast { expr, .. } => self.trace(expr),
+            _ => None,
+        }
+    }
+
+    fn observe_field(&mut self, tv: &str, field: &str, ty: Type) {
+        let entry = self.vars.get_mut(tv);
+        if let Some(solved) = entry {
+            match solved {
+                Solved::Struct(fields) => {
+                    fields.entry(field.to_string()).or_insert(ty);
+                }
+                Solved::Scalar(_) => {
+                    let mut fields = BTreeMap::new();
+                    fields.insert(field.to_string(), ty);
+                    *solved = Solved::Struct(fields);
+                }
+            }
+        }
+    }
+
+    fn walk_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Member { base, field, arrow } => {
+                self.walk_expr(base);
+                let traced = if *arrow {
+                    self.trace(base).and_then(|(v, d)| (d >= 1).then_some(v))
+                } else {
+                    self.trace(base).and_then(|(v, d)| (d == 0).then_some(v))
+                };
+                if let Some(tv) = traced {
+                    // Field type guess: int unless used with float literals —
+                    // refined by the enclosing assignment below.
+                    self.observe_field(&tv, field, Type::int());
+                }
+            }
+            ExprKind::Assign { target, value, .. } => {
+                self.walk_expr(target);
+                self.walk_expr(value);
+                // `x->f += 1.5` → field f is double.
+                if let ExprKind::Member { base, field, arrow } = &target.kind {
+                    let traced = if *arrow {
+                        self.trace(base).and_then(|(v, d)| (d >= 1).then_some(v))
+                    } else {
+                        self.trace(base).and_then(|(v, d)| (d == 0).then_some(v))
+                    };
+                    if let Some(tv) = traced {
+                        if expr_is_floatish(value) {
+                            if let Some(Solved::Struct(fields)) = self.vars.get_mut(&tv) {
+                                fields.insert(field.clone(), Type::Double);
+                            }
+                        }
+                    }
+                }
+            }
+            ExprKind::Binary(_, l, r) => {
+                self.walk_expr(l);
+                self.walk_expr(r);
+                // Scalar unknowns used in float arithmetic become double.
+                for side in [l, r] {
+                    if let Some((tv, 0)) = self.trace(side) {
+                        let other = if std::ptr::eq(&**side, &**l) { r } else { l };
+                        if expr_is_floatish(other) {
+                            if let Some(s @ Solved::Scalar(_)) = self.vars.get_mut(&tv) {
+                                *s = Solved::Scalar(Type::Double);
+                            }
+                        }
+                    }
+                }
+            }
+            ExprKind::Unary(_, a) | ExprKind::Postfix(_, a) | ExprKind::Cast { expr: a, .. }
+            | ExprKind::SizeofExpr(a) => self.walk_expr(a),
+            ExprKind::Call { args, .. } => args.iter().for_each(|a| self.walk_expr(a)),
+            ExprKind::Index { base, index } => {
+                self.walk_expr(base);
+                self.walk_expr(index);
+            }
+            ExprKind::Ternary { cond, then_expr, else_expr } => {
+                self.walk_expr(cond);
+                self.walk_expr(then_expr);
+                self.walk_expr(else_expr);
+            }
+            ExprKind::Comma(a, b) => {
+                self.walk_expr(a);
+                self.walk_expr(b);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn expr_is_floatish(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::FloatLit(..) => true,
+        ExprKind::Binary(_, l, r) => expr_is_floatish(l) || expr_is_floatish(r),
+        ExprKind::Unary(_, a) => expr_is_floatish(a),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slade_minic::{Interpreter, Value};
+
+    fn check_runs(header: &str, hypothesis: &str, func: &str, args: &[Value]) -> i64 {
+        let full = format!("{header}\n{hypothesis}");
+        let p = parse_program(&full).unwrap_or_else(|e| panic!("{e}\n{full}"));
+        let mut i = Interpreter::new(&p).unwrap_or_else(|e| panic!("{e}\n{full}"));
+        i.call(func, args).unwrap().ret.unwrap().as_i64()
+    }
+
+    #[test]
+    fn infers_scalar_typedef() {
+        let hyp = "my_int twice(my_int x) { return x + x; }";
+        let header = infer_missing_types(hyp, "").unwrap();
+        assert!(header.contains("typedef int my_int;"), "{header}");
+        assert_eq!(check_runs(&header, hyp, "twice", &[Value::int(21)]), 42);
+    }
+
+    #[test]
+    fn infers_float_scalar_from_usage() {
+        let hyp = "real scale(real x) { return x * 1.5; }";
+        let header = infer_missing_types(hyp, "").unwrap();
+        assert!(header.contains("typedef double real;"), "{header}");
+    }
+
+    #[test]
+    fn infers_struct_fields_from_member_access() {
+        // The paper's clock_add failure case shape: unknown struct pointer.
+        let hyp = r#"
+            void clock_add(struct clock *ev, double d) {
+                if (ev) { ev->constev += 1; ev->constsp++; }
+            }
+        "#;
+        let header = infer_missing_types(hyp, "").unwrap();
+        assert!(header.contains("struct clock"), "{header}");
+        assert!(header.contains("constev"), "{header}");
+        assert!(header.contains("constsp"), "{header}");
+        let full = format!("{header}\n{hyp}");
+        assert!(parse_program(&full).and_then(|p| Sema::check(&p).map(|_| ())).is_ok());
+    }
+
+    #[test]
+    fn infers_typedeffed_struct() {
+        let hyp = "int get_x(SClock *c) { return c->seqno; }";
+        let header = infer_missing_types(hyp, "").unwrap();
+        assert!(header.contains("typedef struct"), "{header}");
+        assert!(header.contains("seqno"), "{header}");
+    }
+
+    #[test]
+    fn respects_context_definitions() {
+        let ctx = "typedef long my_int;";
+        let hyp = "my_int id(my_int x) { return x; }";
+        let header = infer_missing_types(hyp, ctx).unwrap();
+        assert!(header.is_empty(), "context already defines it: {header}");
+    }
+
+    #[test]
+    fn fails_on_unparseable_garbage() {
+        assert!(infer_missing_types("int f( {", "").is_err());
+    }
+
+    #[test]
+    fn pointer_typedefs_survive_indexing() {
+        let hyp = "int first(vec_t *v) { return v[0].len; }";
+        let header = infer_missing_types(hyp, "").unwrap();
+        let full = format!("{header}\n{hyp}");
+        assert!(
+            parse_program(&full).and_then(|p| Sema::check(&p).map(|_| ())).is_ok(),
+            "{full}"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Neural + analytic integration (paper §X: "it would be interesting to
+//! investigate how learnable and analytic approaches could be best
+//! integrated").
+//!
+//! The hybrid is candidate-level: the rule-based lifter's output is tried
+//! *first*, then the neural beam candidates — the first hypothesis passing
+//! the IO tests wins. On easy `-O0` code the lifter's literal translation
+//! usually passes immediately; on vectorized `-O3` code, where the lifter
+//! collapses, the neural candidates carry the configuration.
+//!
+//! Run with: `cargo run --example hybrid_pipeline --release`
+
+use slade::{SladeBuilder, TrainProfile};
+use slade_baselines::ghidra_decompile;
+use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
+use slade_dataset::{generate_synth, generate_train, DatasetProfile};
+use slade_eval::{judge, reference_observations};
+use slade_minic::parse_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = DatasetProfile { train: 250, exebench_eval: 16, synth_per_category: 2 };
+    let train_items = generate_train(data, 5);
+    // The Synth suite includes the array/BLAS/DSP categories whose `-O3`
+    // vectorization is what defeats literal lifting.
+    let eval_items = generate_synth(data, 5, &train_items);
+
+    for opt in [OptLevel::O0, OptLevel::O3] {
+        println!("\n================ x86-64 {opt} ================");
+        let slade = SladeBuilder::new(Isa::X86_64, opt)
+            .profile(TrainProfile { max_src_len: 1024, epochs: 3, ..TrainProfile::tiny() })
+            .train(&train_items, 5);
+        let mut lifter_won = 0usize;
+        let mut neural_won = 0usize;
+        let mut neither: Vec<String> = Vec::new();
+        let mut lift_failed: Vec<String> = Vec::new();
+        for item in &eval_items {
+            let Ok(program) = parse_program(&item.full_src()) else { continue };
+            let Ok(asm) =
+                compile_function(&program, &item.name, CompileOpts::new(Isa::X86_64, opt))
+            else {
+                continue;
+            };
+            let Ok(reference) = reference_observations(item) else { continue };
+            // Candidate order: analytic lift first, then the neural beam.
+            let mut candidates: Vec<(String, String)> = Vec::new();
+            match ghidra_decompile(&asm, slade_asm::Isa::X86_64, &item.name) {
+                Ok(lifted) => candidates.push((lifted, String::new())),
+                Err(_) => lift_failed.push(format!("{:?}", item.category)),
+            }
+            let lifter_candidates = candidates.len();
+            candidates.extend(slade.decompile_with_types(&asm, &item.context_src));
+            let winner = candidates
+                .iter()
+                .position(|(hyp, header)| judge(item, &reference, hyp, header).correct);
+            match winner {
+                Some(i) if i < lifter_candidates => lifter_won += 1,
+                Some(_) => neural_won += 1,
+                None => neither.push(format!("{:?}", item.category)),
+            }
+        }
+        println!(
+            "first-passing candidate: lifter {lifter_won}, neural {neural_won}, \
+             none {} (of {} items)",
+            neither.len(),
+            lifter_won + neural_won + neither.len()
+        );
+        if !lift_failed.is_empty() {
+            println!("lift failures (unsupported instructions): {lift_failed:?}");
+        }
+        if !neither.is_empty() {
+            println!("carried by neither at this scale: {neither:?}");
+        }
+    }
+    println!(
+        "\nThe complementarity: at -O0 the literal lift passes the IO tests \
+         immediately, so the analytic half carries. At -O3 the vectorized \
+         categories defeat the lifter entirely (lift failures above) and only \
+         a neural candidate can cover them — at this example's tiny training \
+         scale the model rarely does, at the paper's scale it is what makes \
+         the hybrid strictly dominate both halves (see `cargo bench --bench \
+         ablations`, hybrid section)."
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: train a small SLaDe on generated data and decompile a
+//! function it has never seen.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use slade::{SladeBuilder, TrainProfile};
+use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
+use slade_dataset::{generate_exebench_eval, generate_train, DatasetProfile};
+use slade_eval::{judge, reference_observations};
+use slade_minic::parse_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a training set (the ExeBench stand-in) and train.
+    let data = DatasetProfile { train: 250, exebench_eval: 12, synth_per_category: 2 };
+    let train_items = generate_train(data, 7);
+    println!("training SLaDe (x86 -O0) on {} functions ...", train_items.len());
+    let slade = SladeBuilder::new(Isa::X86_64, OptLevel::O0)
+        .profile(TrainProfile { max_src_len: 1024, epochs: 3, ..TrainProfile::tiny() })
+        .train(&train_items, 7);
+
+    // 2. Pick a held-out function, compile it, and decompile the assembly.
+    let eval_items = generate_exebench_eval(data, 7, &train_items);
+    let item = &eval_items[0];
+    let program = parse_program(&item.full_src())?;
+    let asm = compile_function(&program, &item.name, CompileOpts::new(Isa::X86_64, OptLevel::O0))?;
+    println!("\n--- ground truth ---\n{}", item.func_src);
+    println!("--- assembly ({} lines) ---", asm.lines().count());
+
+    // 3. Beam-search candidates with type inference, then IO-test them.
+    let reference = reference_observations(item).map_err(std::io::Error::other)?;
+    for (rank, (hypothesis, header)) in
+        slade.decompile_with_types(&asm, &item.context_src).into_iter().enumerate()
+    {
+        let verdict = judge(item, &reference, &hypothesis, &header);
+        println!(
+            "\n--- candidate {rank} (compiles: {}, IO-correct: {}) ---\n{hypothesis}",
+            verdict.compiles, verdict.correct
+        );
+        if verdict.correct {
+            println!("=> selected (first candidate passing the IO tests)");
+            break;
+        }
+    }
+    Ok(())
+}

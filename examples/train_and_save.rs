@@ -1,0 +1,44 @@
+//! Model persistence workflow: train once, save the decompiler (model +
+//! tokenizer) as a JSON artifact, reload it in a "deployment" step and
+//! verify the reloaded pipeline decodes identically.
+//!
+//! This is the workflow the paper's artifact ships (trained checkpoints +
+//! tokenizers, loaded for evaluation); the `slade-cli` binary wraps the
+//! same calls for the command line.
+//!
+//! Run with: `cargo run --example train_and_save --release`
+
+use slade::{Slade, SladeBuilder, TrainProfile};
+use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
+use slade_dataset::{generate_train, DatasetProfile};
+use slade_minic::parse_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = DatasetProfile { train: 150, exebench_eval: 8, synth_per_category: 2 };
+    let items = generate_train(data, 33);
+    println!("training on {} functions ...", items.len());
+    let slade = SladeBuilder::new(Isa::X86_64, OptLevel::O0)
+        .profile(TrainProfile { max_src_len: 1024, epochs: 3, ..TrainProfile::tiny() })
+        .train(&items, 33);
+
+    // Persist. The artifact is plain JSON: weights, tokenizer pieces,
+    // beam configuration — everything inference needs.
+    let path = std::env::temp_dir().join("slade_model.json");
+    std::fs::write(&path, slade.to_json())?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("saved {} ({bytes} bytes)", path.display());
+
+    // Reload in a fresh "process" and compare behaviour.
+    let reloaded = Slade::from_json(&std::fs::read_to_string(&path)?)
+        .map_err(std::io::Error::other)?;
+    let program = parse_program("int sum3(int a, int b, int c) { return a + b + c; }")?;
+    let asm =
+        compile_function(&program, "sum3", CompileOpts::new(Isa::X86_64, OptLevel::O0))?;
+    let a = slade.decompile(&asm);
+    let b = reloaded.decompile(&asm);
+    assert_eq!(a, b, "reloaded model must decode identically");
+    println!("reloaded model decodes identically ({} candidates)", b.len());
+    println!("top candidate:\n{}", b.first().map(String::as_str).unwrap_or("<none>"));
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,252 @@
+//! `slade-cli` — train, persist, and run the SLaDe decompiler pipeline
+//! from the command line.
+//!
+//! ```text
+//! slade-cli train     --isa x86|arm --opt O0|O3 --out model.json
+//!                     [--profile tiny|default] [--items N] [--seed N]
+//! slade-cli compile   --src file.c --func name --isa x86|arm --opt O0|O3
+//! slade-cli decompile --model model.json --asm file.s [--context file.c] [--beam K]
+//! slade-cli eval      --model model.json [--items N] [--seed N] [--repair]
+//! ```
+//!
+//! `train` writes a self-contained JSON artifact (weights + tokenizer +
+//! target configuration); `decompile` prints beam candidates with inferred
+//! type headers; `eval` scores a model on freshly generated held-out items
+//! with the same IO harness as the paper's figures.
+
+use slade::{Slade, SladeBuilder, TrainProfile};
+use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
+use slade_dataset::{generate_exebench_eval, generate_train, DatasetProfile};
+use slade_eval::{evaluate, summarize, Tool, ToolContext};
+use slade_minic::parse_program;
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Prints to stdout, ignoring broken pipes (`slade-cli ... | head` must
+/// not panic).
+fn emit(text: std::fmt::Arguments<'_>) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{text}");
+}
+
+macro_rules! put {
+    ($($arg:tt)*) => { emit(format_args!($($arg)*)) };
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "train" => cmd_train(&flags),
+        "compile" => cmd_compile(&flags),
+        "decompile" => cmd_decompile(&flags),
+        "eval" => cmd_eval(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  slade-cli train     --isa x86|arm --opt O0|O3 --out model.json
+                      [--profile tiny|default] [--items N] [--seed N]
+  slade-cli compile   --src file.c --func name --isa x86|arm --opt O0|O3
+  slade-cli decompile --model model.json --asm file.s [--context file.c] [--beam K]
+  slade-cli eval      --model model.json [--items N] [--seed N] [--repair]";
+
+/// `--key value` and bare `--flag` arguments.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, found `{}`", args[i]))?;
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            out.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            out.insert(key.to_string(), String::new());
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn parse_isa(flags: &HashMap<String, String>) -> Result<Isa, String> {
+    match flags.get("isa").map(String::as_str) {
+        Some("x86") | Some("x86_64") | Some("x86-64") => Ok(Isa::X86_64),
+        Some("arm") | Some("arm64") | Some("aarch64") => Ok(Isa::Arm64),
+        Some(other) => Err(format!("unknown --isa `{other}` (x86 or arm)")),
+        None => Err("missing --isa".to_string()),
+    }
+}
+
+fn parse_opt(flags: &HashMap<String, String>) -> Result<OptLevel, String> {
+    match flags.get("opt").map(String::as_str) {
+        Some("O0") | Some("o0") | Some("0") => Ok(OptLevel::O0),
+        Some("O3") | Some("o3") | Some("3") => Ok(OptLevel::O3),
+        Some(other) => Err(format!("unknown --opt `{other}` (O0 or O3)")),
+        None => Err("missing --opt".to_string()),
+    }
+}
+
+fn numeric(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+    }
+}
+
+/// The persisted artifact: the trained pipeline plus its target
+/// configuration, so `eval`/`decompile` need no extra flags.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Artifact {
+    isa: String,
+    opt: String,
+    slade: Slade,
+}
+
+impl Artifact {
+    fn isa(&self) -> Isa {
+        if self.isa == "arm" {
+            Isa::Arm64
+        } else {
+            Isa::X86_64
+        }
+    }
+
+    fn opt(&self) -> OptLevel {
+        if self.opt == "O3" {
+            OptLevel::O3
+        } else {
+            OptLevel::O0
+        }
+    }
+}
+
+fn load_artifact(flags: &HashMap<String, String>) -> Result<Artifact, String> {
+    let path = flags.get("model").ok_or("missing --model")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let isa = parse_isa(flags)?;
+    let opt = parse_opt(flags)?;
+    let out = flags.get("out").ok_or("missing --out")?;
+    let seed = numeric(flags, "seed", 7)?;
+    let items = numeric(flags, "items", 250)? as usize;
+    let profile = match flags.get("profile").map(String::as_str) {
+        Some("default") => TrainProfile::default_profile(),
+        // The tiny profile with a source-length cap that fits realistic
+        // `-O0` assembly (raw tiny truncates at 96 tokens and would skip
+        // most functions).
+        _ => TrainProfile { max_src_len: 1024, epochs: 3, ..TrainProfile::tiny() },
+    };
+    let data = DatasetProfile { train: items, exebench_eval: 8, synth_per_category: 2 };
+    let train_items = generate_train(data, seed);
+    eprintln!("training {isa} {opt} on {} functions ...", train_items.len());
+    let t0 = std::time::Instant::now();
+    let slade = SladeBuilder::new(isa, opt).profile(profile).train(&train_items, seed);
+    eprintln!("trained in {:.1}s", t0.elapsed().as_secs_f64());
+    let artifact = Artifact {
+        isa: if isa == Isa::Arm64 { "arm" } else { "x86" }.to_string(),
+        opt: format!("{opt}"),
+        slade,
+    };
+    let json = serde_json::to_string(&artifact).map_err(|e| e.to_string())?;
+    std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {out} ({} bytes)", json.len());
+    Ok(())
+}
+
+fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), String> {
+    let isa = parse_isa(flags)?;
+    let opt = parse_opt(flags)?;
+    let src_path = flags.get("src").ok_or("missing --src")?;
+    let func = flags.get("func").ok_or("missing --func")?;
+    let src = std::fs::read_to_string(src_path).map_err(|e| format!("{src_path}: {e}"))?;
+    let program = parse_program(&src).map_err(|e| e.to_string())?;
+    let asm = compile_function(&program, func, CompileOpts::new(isa, opt))
+        .map_err(|e| e.to_string())?;
+    put!("{asm}");
+    Ok(())
+}
+
+fn cmd_decompile(flags: &HashMap<String, String>) -> Result<(), String> {
+    let artifact = load_artifact(flags)?;
+    let asm_path = flags.get("asm").ok_or("missing --asm")?;
+    let asm = std::fs::read_to_string(asm_path).map_err(|e| format!("{asm_path}: {e}"))?;
+    let context = match flags.get("context") {
+        Some(p) => std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?,
+        None => String::new(),
+    };
+    let mut slade = artifact.slade;
+    if let Some(beam) = flags.get("beam") {
+        slade.set_beam(beam.parse().map_err(|_| "--beam expects a number")?);
+    }
+    for (rank, (hypothesis, header)) in
+        slade.decompile_with_types(&asm, &context).into_iter().enumerate()
+    {
+        put!("--- candidate {rank} ---");
+        if !header.trim().is_empty() {
+            put!("/* inferred types */\n{header}");
+        }
+        put!("{hypothesis}\n");
+    }
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let artifact = load_artifact(flags)?;
+    let seed = numeric(flags, "seed", 99)?;
+    let items = numeric(flags, "items", 24)? as usize;
+    let isa = artifact.isa();
+    let opt = artifact.opt();
+    // Fresh held-out items, deduplicated against nothing the model saw
+    // (different seed stream from any training run by default).
+    let data = DatasetProfile { train: 8, exebench_eval: items, synth_per_category: 1 };
+    let train_stub = generate_train(data, seed);
+    let eval_items = generate_exebench_eval(data, seed, &train_stub);
+    let pairs = slade::make_pairs(&eval_items, isa, opt);
+    let ctx = ToolContext {
+        isa,
+        opt,
+        slade: artifact.slade,
+        chatgpt: slade_baselines::ChatGptSim::new(&pairs),
+        btc: None,
+    };
+    let tool =
+        if flags.contains_key("repair") { Tool::SladeRepair } else { Tool::Slade };
+    eprintln!("evaluating {} on {} held-out items ({isa} {opt}) ...", tool.label(), eval_items.len());
+    let records = evaluate(&ctx, &eval_items, &[tool]);
+    let (acc, sim) = summarize(&records, tool);
+    let compiles = records.iter().filter(|r| r.compiles).count();
+    println!(
+        "items {}  compiles {}  IO-accuracy {acc:.1}%  edit-similarity {sim:.1}%",
+        records.len(),
+        compiles
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! SLaDe reproduction — facade crate.
+//!
+//! This workspace reproduces *SLaDe: A Portable Small Language Model
+//! Decompiler for Optimized Assembly* (CGO 2024) from scratch in Rust,
+//! including every substrate: the MiniC language (frontend + interpreter),
+//! an optimizing compiler for x86-64 and AArch64, emulators for both ISAs, the
+//! UnigramLM tokenizer, a CPU seq2seq Transformer, PsycheC-style type
+//! inference, the Ghidra/ChatGPT/BTC baselines, and the full evaluation
+//! harness.
+//!
+//! The facade re-exports each subsystem under a stable name; see the
+//! individual crates for the deep APIs and `DESIGN.md` for the system map.
+//!
+//! # Example
+//!
+//! ```
+//! use slade_repro::compiler::{compile_function, CompileOpts, Isa, OptLevel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = slade_repro::minic::parse_program("int one(void) { return 1; }")?;
+//! let asm = compile_function(&program, "one", CompileOpts::new(Isa::X86_64, OptLevel::O0))?;
+//! assert!(asm.contains("one:"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+/// The MiniC frontend and interpreter.
+pub use slade_minic as minic;
+
+/// The optimizing compiler (x86-64 / AArch64, `-O0` / `-O3`).
+pub use slade_compiler as compiler;
+
+/// Assembly parsing.
+pub use slade_asm as asm;
+
+/// x86-64 emulation of the emitted assembly.
+pub use slade_emu as emu;
+
+/// UnigramLM and word-level tokenizers.
+pub use slade_tokenizer as tokenizer;
+
+/// The from-scratch Transformer stack.
+pub use slade_nn as nn;
+
+/// PsycheC-style type inference.
+pub use slade_typeinf as typeinf;
+
+/// Heuristic program repair for hypotheses (paper §X future work).
+pub use slade_repair as repair;
+
+/// Dataset generation (ExeBench/Synth stand-ins).
+pub use slade_dataset as dataset;
+
+/// Baseline decompilers (Ghidra-like, ChatGPT-sim, BTC-like).
+pub use slade_baselines as baselines;
+
+/// The SLaDe pipeline itself.
+pub use slade as core;
+
+/// Metrics, IO harness and figure regenerators.
+pub use slade_eval as eval;

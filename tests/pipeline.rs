@@ -1,0 +1,275 @@
+//! Cross-crate integration tests: the full decompilation loop exercised
+//! end-to-end at tiny scale, plus cross-validation between the compiler,
+//! the emulator, the interpreter and the lifter on the same programs.
+
+use slade_asm::parse_asm;
+use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
+use slade_dataset::{generate_train, ArgSpec, DatasetProfile};
+use slade_emu::{Arg, Emulator};
+use slade_eval::{judge, reference_observations};
+use slade_minic::{parse_program, Interpreter, Value};
+
+/// For generated integer items: the compiled x86 assembly (run in the
+/// emulator) must agree with the ground-truth C (run in the interpreter) —
+/// the compiler correctness property everything else rests on.
+#[test]
+fn compiler_emulator_interpreter_agree_on_dataset_items() {
+    let items = generate_train(DatasetProfile::tiny(), 31);
+    let mut validated = 0;
+    for item in &items {
+        // Only context-free items whose inputs the emulator can mirror.
+        if !item.context_src.is_empty() {
+            continue;
+        }
+        let all_simple = item.inputs.iter().flatten().all(|a| {
+            matches!(a, ArgSpec::Int(_) | ArgSpec::IntBuf(_) | ArgSpec::CharBuf(_))
+        });
+        if !all_simple {
+            continue;
+        }
+        let program = parse_program(&item.full_src()).unwrap();
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let asm = match compile_function(&program, &item.name, CompileOpts::new(Isa::X86_64, opt))
+            {
+                Ok(a) => a,
+                Err(_) => continue,
+            };
+            let file = parse_asm(&asm, slade_asm::Isa::X86_64);
+            for input in &item.inputs {
+                // Interpreter run.
+                let mut interp = Interpreter::new(&program).unwrap();
+                let mut iargs = Vec::new();
+                let mut ibufs = Vec::new();
+                // Emulator run.
+                let mut emu = Emulator::new(file.clone());
+                let mut eargs = Vec::new();
+                let mut ebufs = Vec::new();
+                for spec in input {
+                    match spec {
+                        ArgSpec::Int(v) => {
+                            iargs.push(Value::long(*v));
+                            eargs.push(Arg::Int(*v as u64));
+                        }
+                        ArgSpec::IntBuf(vs) => {
+                            let bytes: Vec<u8> =
+                                vs.iter().flat_map(|v| v.to_le_bytes()).collect();
+                            let ip = interp.alloc_buffer(&bytes);
+                            ibufs.push((ip, bytes.len()));
+                            iargs.push(Value::Ptr(ip));
+                            let ep = emu.alloc_buffer(&bytes);
+                            ebufs.push((ep, bytes.len()));
+                            eargs.push(Arg::Int(ep));
+                        }
+                        ArgSpec::CharBuf(bs) => {
+                            let mut bytes = bs.clone();
+                            bytes.push(0);
+                            let ip = interp.alloc_buffer(&bytes);
+                            ibufs.push((ip, bytes.len()));
+                            iargs.push(Value::Ptr(ip));
+                            let ep = emu.alloc_buffer(&bytes);
+                            ebufs.push((ep, bytes.len()));
+                            eargs.push(Arg::Int(ep));
+                        }
+                        _ => unreachable!("filtered above"),
+                    }
+                }
+                let iret = interp.call(&item.name, &iargs);
+                let eret = emu.call(&item.name, &eargs);
+                match (iret, eret) {
+                    (Ok(io), Ok(ev)) => {
+                        if let Some(Value::Int(v, _)) = io.ret {
+                            assert_eq!(
+                                v as i32, ev as i32,
+                                "{} {opt}: return mismatch\n{}",
+                                item.name, item.func_src
+                            );
+                        }
+                        for ((ip, len), (ep, _)) in ibufs.iter().zip(&ebufs) {
+                            let ib = interp.read_buffer(*ip, *len).unwrap();
+                            let eb = emu.read_buffer(*ep, *len).unwrap();
+                            assert_eq!(ib, eb, "{} {opt}: buffer mismatch", item.name);
+                        }
+                        validated += 1;
+                    }
+                    // Both failing (e.g. division by zero on this input) is
+                    // agreement too.
+                    (Err(_), Err(_)) => validated += 1,
+                    (i, e) => panic!(
+                        "{} {opt}: one side failed: interp={i:?} emu={e:?}\n{}",
+                        item.name, item.func_src
+                    ),
+                }
+            }
+        }
+    }
+    assert!(validated >= 20, "only {validated} cross-validations ran");
+}
+
+/// Same cross-validation on ARM: the AArch64 backend's output, run in the
+/// ARM emulator, must agree with the interpreter on the ground-truth C.
+#[test]
+fn arm_backend_agrees_with_interpreter() {
+    use slade_emu::ArmEmulator;
+    let items = generate_train(DatasetProfile::tiny(), 57);
+    let mut validated = 0;
+    for item in &items {
+        if !item.context_src.is_empty() {
+            continue;
+        }
+        if !item.inputs.iter().flatten().all(|a| matches!(a, ArgSpec::Int(_) | ArgSpec::IntBuf(_)))
+        {
+            continue;
+        }
+        let program = parse_program(&item.full_src()).unwrap();
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let Ok(asm) =
+                compile_function(&program, &item.name, CompileOpts::new(Isa::Arm64, opt))
+            else {
+                continue;
+            };
+            let file = parse_asm(&asm, slade_asm::Isa::Arm64);
+            for input in item.inputs.iter().take(2) {
+                let mut interp = Interpreter::new(&program).unwrap();
+                let mut emu = ArmEmulator::new(file.clone());
+                let mut iargs = Vec::new();
+                let mut eargs = Vec::new();
+                let mut pairs = Vec::new();
+                for spec in input {
+                    match spec {
+                        ArgSpec::Int(v) => {
+                            iargs.push(Value::long(*v));
+                            eargs.push(Arg::Int(*v as u64));
+                        }
+                        ArgSpec::IntBuf(vs) => {
+                            let bytes: Vec<u8> =
+                                vs.iter().flat_map(|v| v.to_le_bytes()).collect();
+                            let ip = interp.alloc_buffer(&bytes);
+                            let ep = emu.alloc_buffer(&bytes);
+                            pairs.push((ip, ep, bytes.len()));
+                            iargs.push(Value::Ptr(ip));
+                            eargs.push(Arg::Int(ep));
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                let ir = interp.call(&item.name, &iargs);
+                let er = emu.call(&item.name, &eargs);
+                match (ir, er) {
+                    (Ok(io), Ok(ev)) => {
+                        if let Some(Value::Int(v, _)) = io.ret {
+                            assert_eq!(
+                                v as i32, ev as i32,
+                                "ARM {opt} {}: return mismatch\n{}",
+                                item.name, item.func_src
+                            );
+                        }
+                        for (ip, ep, len) in &pairs {
+                            assert_eq!(
+                                interp.read_buffer(*ip, *len).unwrap(),
+                                emu.read_buffer(*ep, *len).unwrap(),
+                                "ARM {opt} {}: buffer mismatch",
+                                item.name
+                            );
+                        }
+                        validated += 1;
+                    }
+                    (Err(_), Err(_)) => validated += 1,
+                    (i, e) => panic!(
+                        "ARM {opt} {}: divergence interp={i:?} emu={e:?}\n{}",
+                        item.name, item.func_src
+                    ),
+                }
+            }
+        }
+    }
+    assert!(validated >= 15, "only {validated} ARM cross-validations ran");
+}
+
+/// The Ghidra-like lifter's output, judged by the IO harness, should be
+/// correct for most straightforward x86 -O0 items — and its lift failures
+/// at -O3 must be reported as non-compiling, never as false positives.
+#[test]
+fn lifter_verdicts_are_sound() {
+    let items = generate_train(DatasetProfile::tiny(), 77);
+    let mut correct = 0;
+    let mut total = 0;
+    for item in items.iter().take(15) {
+        let program = parse_program(&item.full_src()).unwrap();
+        let Ok(asm) =
+            compile_function(&program, &item.name, CompileOpts::new(Isa::X86_64, OptLevel::O0))
+        else {
+            continue;
+        };
+        let Ok(reference) = reference_observations(item) else { continue };
+        match slade_baselines::ghidra_decompile(&asm, slade_asm::Isa::X86_64, &item.name) {
+            Ok(hyp) => {
+                let v = judge(item, &reference, &hyp, "");
+                total += 1;
+                if v.correct {
+                    correct += 1;
+                }
+            }
+            Err(_) => {
+                total += 1;
+            }
+        }
+    }
+    assert!(total >= 8, "too few items evaluated");
+    assert!(
+        correct * 3 >= total,
+        "lifter correct on only {correct}/{total} O0 items"
+    );
+}
+
+/// Type inference rescues a hypothesis with an unknown typedef so that the
+/// IO harness can accept it — the mechanism behind the paper's Fig. 10.
+#[test]
+fn typeinf_rescues_unknown_typedef_hypothesis() {
+    let items = generate_train(DatasetProfile::tiny(), 13);
+    let item = items
+        .iter()
+        .find(|i| {
+            i.context_src.is_empty()
+                && i.func_src.starts_with("int ")
+                && i.inputs[0].len() == 2
+                && i.inputs[0].iter().all(|a| matches!(a, ArgSpec::Int(_)))
+        })
+        .expect("simple two-int item");
+    let reference = reference_observations(item).unwrap();
+    // A hypothesis that is semantically the ground truth but spelled with
+    // an unknown typedef, as SLaDe's model does.
+    let hyp = item
+        .func_src
+        .replacen("int ", "my_int ", 1)
+        .replace("(int ", "(my_int ");
+    let v_without = judge(item, &reference, &hyp, "");
+    assert!(!v_without.compiles, "should not compile without the typedef: {hyp}");
+    let header = slade_typeinf::infer_missing_types(&hyp, &item.context_src).unwrap();
+    let v_with = judge(item, &reference, &hyp, &header);
+    assert!(v_with.compiles, "typeinf header failed: {header}");
+    assert!(v_with.correct, "rescued hypothesis should pass IO");
+}
+
+/// The whole SLaDe loop at unit-test scale: train, decompile, type-infer,
+/// IO-select. We only assert structural invariants (candidates produced,
+/// verdicts computed), not model quality.
+#[test]
+fn slade_pipeline_end_to_end_tiny() {
+    use slade::{SladeBuilder, TrainProfile};
+    let items = generate_train(DatasetProfile::tiny(), 3);
+    let slade = SladeBuilder::new(Isa::X86_64, OptLevel::O0)
+        .profile(TrainProfile::tiny())
+        .beam(2)
+        .train(&items, 3);
+    let item = &items[0];
+    let program = parse_program(&item.full_src()).unwrap();
+    let asm =
+        compile_function(&program, &item.name, CompileOpts::new(Isa::X86_64, OptLevel::O0))
+            .unwrap();
+    let reference = reference_observations(item).unwrap();
+    let candidates = slade.decompile_with_types(&asm, &item.context_src);
+    assert!(!candidates.is_empty());
+    for (hyp, header) in candidates {
+        let _ = judge(item, &reference, &hyp, &header);
+    }
+}
