@@ -427,7 +427,8 @@ mod tests {
 
     #[test]
     fn parses_whole_function_with_labels() {
-        let text = "\t.text\n\t.globl f\nf:\n\tmovl %edi, %eax\n.L1:\n\taddl $1, %eax\n\tjmp .L1\n";
+        let text =
+            "\t.text\n\t.globl f\nf:\n\tmovl %edi, %eax\n.L1:\n\taddl $1, %eax\n\tjmp .L1\n";
         let file = parse_asm(text, Isa::X86_64);
         let f = file.function("f").unwrap();
         assert_eq!(f.instructions().count(), 3);

@@ -25,7 +25,11 @@ use slade_tokenizer::{special, WordTokenizer};
 /// Returns a [`LiftError`] when the assembly contains constructs the lifter
 /// does not model (vector instructions, unknown mnemonics) — Ghidra's
 /// optimized-code failure mode.
-pub fn ghidra_decompile(asm_text: &str, isa: Isa, func_name: &str) -> Result<String, LiftError> {
+pub fn ghidra_decompile(
+    asm_text: &str,
+    isa: Isa,
+    func_name: &str,
+) -> Result<String, LiftError> {
     let file = parse_asm(asm_text, isa);
     let func = file
         .function(func_name)
@@ -50,15 +54,15 @@ impl ChatGptSim {
     /// Builds the simulator from a corpus of `(assembly, c_source)` pairs —
     /// "what the web crawl contained".
     pub fn new(corpus: &[(String, String)]) -> Self {
-        let corpus = corpus
-            .iter()
-            .map(|(asm, c)| (bigram_profile(asm), c.clone()))
-            .collect();
+        let corpus = corpus.iter().map(|(asm, c)| (bigram_profile(asm), c.clone())).collect();
         ChatGptSim { corpus }
     }
 
     /// Builds the simulator from dataset items compiled for one target.
-    pub fn from_items(items: &[DatasetItem], asm_for: impl Fn(&DatasetItem) -> Option<String>) -> Self {
+    pub fn from_items(
+        items: &[DatasetItem],
+        asm_for: impl Fn(&DatasetItem) -> Option<String>,
+    ) -> Self {
         let corpus: Vec<(String, String)> = items
             .iter()
             .filter_map(|it| asm_for(it).map(|asm| (asm, it.func_src.clone())))
@@ -150,8 +154,8 @@ fn replace_ident(text: &str, from: &str, to: &str) -> String {
     let mut i = 0;
     while i < bytes.len() {
         if text[i..].starts_with(from) {
-            let before_ok = i == 0
-                || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            let before_ok =
+                i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
             let after = i + from.len();
             let after_ok = after >= bytes.len()
                 || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
@@ -246,11 +250,7 @@ mod tests {
         let c = ghidra_decompile(&asm, Isa::X86_64, "twice").unwrap();
         let lifted = slade_minic::parse_program(&c).unwrap();
         let mut i = slade_minic::Interpreter::new(&lifted).unwrap();
-        let out = i
-            .call("twice", &[slade_minic::Value::long(21)])
-            .unwrap()
-            .ret
-            .unwrap();
+        let out = i.call("twice", &[slade_minic::Value::long(21)]).unwrap().ret.unwrap();
         assert_eq!(out.as_i64() as i32, 42);
     }
 }

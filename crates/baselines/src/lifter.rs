@@ -20,7 +20,7 @@ pub struct LiftError(pub String);
 
 /// Operand accessor that converts malformed (truncated) operand lists into
 /// lift errors instead of index panics — hostile assembly must lift-fail.
-fn arg<'a>(ops: &'a [Operand], i: usize) -> Result<&'a Operand, LiftError> {
+fn arg(ops: &[Operand], i: usize) -> Result<&Operand, LiftError> {
     ops.get(i).ok_or_else(|| LiftError(format!("missing operand {i}")))
 }
 
@@ -38,7 +38,11 @@ impl std::error::Error for LiftError {}
 ///
 /// Fails on instructions outside the supported subset (vector ops, unknown
 /// mnemonics) — the Ghidra-like failure mode on optimized code.
-pub fn lift(func: &AsmFunction, isa: Isa, rodata: &HashMap<String, Vec<u8>>) -> Result<String, LiftError> {
+pub fn lift(
+    func: &AsmFunction,
+    isa: Isa,
+    rodata: &HashMap<String, Vec<u8>>,
+) -> Result<String, LiftError> {
     match isa {
         Isa::X86_64 => X86Lifter::new(func, rodata).lift(),
         Isa::Arm64 => ArmLifter::new(func, rodata).lift(),
@@ -148,9 +152,7 @@ impl<'a> X86Lifter<'a> {
                         .map(|&b| escape_c_byte(b))
                         .collect();
                     // Reuse existing entry for the same label.
-                    if let Some((v, _)) =
-                        self.strings.iter().find(|(_, t)| *t == text)
-                    {
+                    if let Some((v, _)) = self.strings.iter().find(|(_, t)| *t == text) {
                         return Ok(format!("(unsigned long){}", v.clone()));
                     }
                     self.strings.push((var.clone(), text));
@@ -247,14 +249,16 @@ impl<'a> X86Lifter<'a> {
                 }
                 Line::Inst(inst) => {
                     // Pattern: movl $bits, %eax ; movd %eax, %xmm0 (float const)
-                    if inst.mnemonic == "movd" || (inst.mnemonic == "movq" && is_xmm_dst(inst)) {
+                    if inst.mnemonic == "movd" || (inst.mnemonic == "movq" && is_xmm_dst(inst))
+                    {
                         if let (Operand::Reg(src), Operand::Reg(dst)) =
                             (&inst.operands[0], &inst.operands[1])
                         {
                             if dst.starts_with("xmm") {
                                 let base = canonical_x86(src);
                                 if let Some(&bits) = self.const_in_reg.get(&base) {
-                                    let n: usize = dst[3..].parse().unwrap_or(0);
+                                    let n: usize =
+                                        dst.strip_prefix("xmm").unwrap().parse().unwrap_or(0);
                                     let var = self.xmm(n);
                                     let lit = if inst.mnemonic == "movd" {
                                         format!("{:?}", f32::from_bits(bits as u32) as f64)
@@ -277,8 +281,7 @@ impl<'a> X86Lifter<'a> {
         let mut out = String::new();
         let plist: Vec<String> =
             params.iter().map(|p| format!("unsigned long r_{p}")).collect();
-        let fplist: Vec<String> =
-            (0..uses_xmm_args).map(|n| format!("double f_{n}")).collect();
+        let fplist: Vec<String> = (0..uses_xmm_args).map(|n| format!("double f_{n}")).collect();
         let all: Vec<String> = plist.into_iter().chain(fplist).collect();
         out.push_str(&format!(
             "long {}({}) {{\n",
@@ -502,7 +505,8 @@ impl<'a> X86Lifter<'a> {
                     fi += 1;
                 }
                 let rax = self.reg64("rax");
-                self.body.push(format!("{rax} = (unsigned long){callee}({});", args.join(", ")));
+                self.body
+                    .push(format!("{rax} = (unsigned long){callee}({});", args.join(", ")));
                 self.armed_int.clear();
                 self.armed_f.clear();
             }
@@ -514,10 +518,8 @@ impl<'a> X86Lifter<'a> {
                         let n: usize = d[3..].parse().unwrap_or(0);
                         let var = self.xmm(n);
                         self.body.push(format!("{var} = {v};"));
-                        if n < 8 {
-                            if !self.armed_f.contains(&n) {
-                                self.armed_f.push(n);
-                            }
+                        if n < 8 && !self.armed_f.contains(&n) {
+                            self.armed_f.push(n);
                         }
                     }
                     (Operand::Reg(s), dst) if s.starts_with("xmm") => {
@@ -540,27 +542,35 @@ impl<'a> X86Lifter<'a> {
                     _ => "/",
                 };
                 let b = self.read_float(arg(ops, 0)?, single)?;
-                let Operand::Reg(d) = arg(ops, 1)? else { return Err(LiftError("fp dst".into())) };
+                let Operand::Reg(d) = arg(ops, 1)? else {
+                    return Err(LiftError("fp dst".into()));
+                };
                 let n: usize = d[3..].parse().unwrap_or(0);
                 let var = self.xmm(n);
                 self.body.push(format!("{var} = {var} {op} {b};"));
             }
             "cvtsi2ss" | "cvtsi2sd" => {
                 let v = self.read(arg(ops, 0)?, 'l')?;
-                let Operand::Reg(d) = arg(ops, 1)? else { return Err(LiftError("cvt dst".into())) };
+                let Operand::Reg(d) = arg(ops, 1)? else {
+                    return Err(LiftError("cvt dst".into()));
+                };
                 let n: usize = d[3..].parse().unwrap_or(0);
                 let var = self.xmm(n);
                 self.body.push(format!("{var} = (double)(int)({v});"));
             }
             "cvtsi2ssq" | "cvtsi2sdq" => {
                 let v = self.read(arg(ops, 0)?, 'q')?;
-                let Operand::Reg(d) = arg(ops, 1)? else { return Err(LiftError("cvt dst".into())) };
+                let Operand::Reg(d) = arg(ops, 1)? else {
+                    return Err(LiftError("cvt dst".into()));
+                };
                 let n: usize = d[3..].parse().unwrap_or(0);
                 let var = self.xmm(n);
                 self.body.push(format!("{var} = (double)(long)({v});"));
             }
             "cvttss2si" | "cvttsd2si" | "cvttss2siq" | "cvttsd2siq" => {
-                let Operand::Reg(s) = arg(ops, 0)? else { return Err(LiftError("cvt src".into())) };
+                let Operand::Reg(s) = arg(ops, 0)? else {
+                    return Err(LiftError("cvt src".into()));
+                };
                 let n: usize = s[3..].parse().unwrap_or(0);
                 let var = self.xmm(n);
                 let wide = m.ends_with('q');
@@ -917,7 +927,9 @@ impl<'a> ArmLifter<'a> {
             "stp" | "ldp" | "nop" => {} // prologue/epilogue bookkeeping
             "ret" => self.body.push("return x_0;".to_string()),
             "mov" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("mov dst".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("mov dst".into()));
+                };
                 let v = match arg(ops, 1)? {
                     Operand::Imm(v) => format!("{v}"),
                     Operand::Reg(r) => self.reg_expr(r)?.0,
@@ -927,14 +939,22 @@ impl<'a> ArmLifter<'a> {
                 self.const_in_reg.remove(&reg_num(dst));
             }
             "movz" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("movz".into())) };
-                let &Operand::Imm(v) = arg(ops, 1)? else { return Err(LiftError("movz imm".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("movz".into()));
+                };
+                let &Operand::Imm(v) = arg(ops, 1)? else {
+                    return Err(LiftError("movz imm".into()));
+                };
                 self.write_reg(dst, format!("{v}"))?;
                 self.const_in_reg.insert(reg_num(dst), v);
             }
             "movk" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("movk".into())) };
-                let &Operand::Imm(v) = arg(ops, 1)? else { return Err(LiftError("movk imm".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("movk".into()));
+                };
+                let &Operand::Imm(v) = arg(ops, 1)? else {
+                    return Err(LiftError("movk imm".into()));
+                };
                 let shift = match ops.get(2) {
                     Some(Operand::Lsl(s)) => *s,
                     _ => 0,
@@ -948,8 +968,12 @@ impl<'a> ArmLifter<'a> {
             }
             "fmov" => {
                 // Bit move x→d: recover the literal from tracked constants.
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("fmov".into())) };
-                let Operand::Reg(src) = arg(ops, 1)? else { return Err(LiftError("fmov".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("fmov".into()));
+                };
+                let Operand::Reg(src) = arg(ops, 1)? else {
+                    return Err(LiftError("fmov".into()));
+                };
                 let bits = self
                     .const_in_reg
                     .get(&reg_num(src))
@@ -963,7 +987,9 @@ impl<'a> ArmLifter<'a> {
                 self.write_reg(dst, lit)?;
             }
             "ldr" | "ldrb" | "ldrsb" | "ldrh" | "ldrsh" | "ldrsw" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("ldr dst".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("ldr dst".into()));
+                };
                 let addr = self.mem_addr(arg(ops, 1)?)?;
                 let expr = match (m, dst.chars().next().unwrap_or('x')) {
                     ("ldrb", _) => format!("*(unsigned char*)({addr})"),
@@ -980,12 +1006,16 @@ impl<'a> ArmLifter<'a> {
                 self.const_in_reg.remove(&reg_num(dst));
             }
             "str" | "strb" | "strh" => {
-                let Operand::Reg(src) = arg(ops, 0)? else { return Err(LiftError("str src".into())) };
+                let Operand::Reg(src) = arg(ops, 0)? else {
+                    return Err(LiftError("str src".into()));
+                };
                 let addr = self.mem_addr(arg(ops, 1)?)?;
                 let (v, _) = self.reg_expr(src)?;
                 let stmt = match (m, src.chars().next().unwrap_or('x')) {
                     ("strb", _) => format!("*(unsigned char*)({addr}) = (unsigned char)({v});"),
-                    ("strh", _) => format!("*(unsigned short*)({addr}) = (unsigned short)({v});"),
+                    ("strh", _) => {
+                        format!("*(unsigned short*)({addr}) = (unsigned short)({v});")
+                    }
                     (_, 'w') => format!("*(unsigned int*)({addr}) = (unsigned int)({v});"),
                     (_, 'x') => format!("*(unsigned long*)({addr}) = {v};"),
                     (_, 's') => format!("*(float*)({addr}) = (float){v};"),
@@ -995,12 +1025,18 @@ impl<'a> ArmLifter<'a> {
                 self.body.push(stmt);
             }
             "adrp" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("adrp".into())) };
-                let Operand::Sym(sym) = arg(ops, 1)? else { return Err(LiftError("adrp sym".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("adrp".into()));
+                };
+                let Operand::Sym(sym) = arg(ops, 1)? else {
+                    return Err(LiftError("adrp sym".into()));
+                };
                 self.pending_adrp.insert(reg_num(dst), sym.clone());
             }
             "add" if ops.len() == 3 && matches!(ops[2], Operand::Lo12(_)) => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("add lo12".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("add lo12".into()));
+                };
                 let Operand::Lo12(sym) = arg(ops, 2)? else { unreachable!() };
                 let expr = if let Some(bytes) = self.rodata.get(sym) {
                     let text: String = bytes[..bytes.len().saturating_sub(1)]
@@ -1022,7 +1058,9 @@ impl<'a> ArmLifter<'a> {
             }
             "add" | "sub" | "mul" | "sdiv" | "udiv" | "and" | "orr" | "eor" | "lsl" | "asr"
             | "lsr" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("alu dst".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("alu dst".into()));
+                };
                 let (a, wide) = match arg(ops, 1)? {
                     Operand::Reg(r) => self.reg_expr(r)?,
                     Operand::Imm(v) => (format!("{v}"), true),
@@ -1052,19 +1090,25 @@ impl<'a> ArmLifter<'a> {
             }
             "msub" => {
                 // msub d, a, b, c  =>  d = c - a*b
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("msub".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("msub".into()));
+                };
                 let a = self.op_expr(arg(ops, 1)?)?;
                 let b = self.op_expr(arg(ops, 2)?)?;
                 let c = self.op_expr(arg(ops, 3)?)?;
                 self.write_reg(dst, format!("{c} - ({a}) * ({b})"))?;
             }
             "sxtw" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("sxtw".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("sxtw".into()));
+                };
                 let v = self.op_expr(arg(ops, 1)?)?;
                 self.write_reg(dst, format!("(long)(int)({v})"))?;
             }
             "sxtb" | "uxtb" | "sxth" | "uxth" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("ext".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("ext".into()));
+                };
                 let v = self.op_expr(arg(ops, 1)?)?;
                 let cast = match m {
                     "sxtb" => "(int)(char)",
@@ -1093,14 +1137,20 @@ impl<'a> ArmLifter<'a> {
                 self.pending_cmp = Some(("fcmp_a".into(), "fcmp_b".into(), 'f'));
             }
             "cset" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("cset".into())) };
-                let Operand::Cond(cc) = arg(ops, 1)? else { return Err(LiftError("cset cc".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("cset".into()));
+                };
+                let Operand::Cond(cc) = arg(ops, 1)? else {
+                    return Err(LiftError("cset cc".into()));
+                };
                 let cond = self.cond_expr(cc)?;
                 self.write_reg(dst, format!("({cond}) ? 1 : 0"))?;
             }
             "cbnz" => {
                 let v = self.op_expr(arg(ops, 0)?)?;
-                let Operand::Sym(l) = arg(ops, 1)? else { return Err(LiftError("cbnz".into())) };
+                let Operand::Sym(l) = arg(ops, 1)? else {
+                    return Err(LiftError("cbnz".into()));
+                };
                 self.body.push(format!("if (({v}) != 0) goto {};", label_c(l)));
             }
             "b" => {
@@ -1109,11 +1159,15 @@ impl<'a> ArmLifter<'a> {
             }
             _ if m.starts_with("b.") => {
                 let cond = self.cond_expr(&m[2..])?;
-                let Operand::Sym(l) = arg(ops, 0)? else { return Err(LiftError("b.cc".into())) };
+                let Operand::Sym(l) = arg(ops, 0)? else {
+                    return Err(LiftError("b.cc".into()));
+                };
                 self.body.push(format!("if ({cond}) goto {};", label_c(l)));
             }
             "bl" => {
-                let Operand::Sym(callee) = arg(ops, 0)? else { return Err(LiftError("bl".into())) };
+                let Operand::Sym(callee) = arg(ops, 0)? else {
+                    return Err(LiftError("bl".into()));
+                };
                 let mut args = Vec::new();
                 let mut i = 0;
                 while self.armed_int.contains(&i) {
@@ -1131,7 +1185,9 @@ impl<'a> ArmLifter<'a> {
                 self.armed_f.clear();
             }
             "fadd" | "fsub" | "fmul" | "fdiv" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("fp dst".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("fp dst".into()));
+                };
                 let a = self.op_expr(arg(ops, 1)?)?;
                 let b = self.op_expr(arg(ops, 2)?)?;
                 let op = match m {
@@ -1143,28 +1199,37 @@ impl<'a> ArmLifter<'a> {
                 self.write_reg(dst, format!("{a} {op} {b}"))?;
             }
             "scvtf" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("scvtf".into())) };
-                let Operand::Reg(src) = arg(ops, 1)? else { return Err(LiftError("scvtf".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("scvtf".into()));
+                };
+                let Operand::Reg(src) = arg(ops, 1)? else {
+                    return Err(LiftError("scvtf".into()));
+                };
                 let (v, _) = self.reg_expr(src)?;
                 let cast = if src.starts_with('w') { "(int)" } else { "(long)" };
                 self.write_reg(dst, format!("(double){cast}({v})"))?;
             }
             "fcvtzs" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("fcvtzs".into())) };
-                let Operand::Reg(src) = arg(ops, 1)? else { return Err(LiftError("fcvtzs".into())) };
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("fcvtzs".into()));
+                };
+                let Operand::Reg(src) = arg(ops, 1)? else {
+                    return Err(LiftError("fcvtzs".into()));
+                };
                 let (v, _) = self.reg_expr(src)?;
                 let cast = if dst.starts_with('w') { "(int)" } else { "(long)" };
                 self.write_reg(dst, format!("{cast}({v})"))?;
             }
             "fcvt" => {
-                let Operand::Reg(dst) = arg(ops, 0)? else { return Err(LiftError("fcvt".into())) };
-                let Operand::Reg(src) = arg(ops, 1)? else { return Err(LiftError("fcvt".into())) };
-                let (v, _) = self.reg_expr(src)?;
-                let expr = if dst.starts_with('s') {
-                    format!("(double)(float)({v})")
-                } else {
-                    v
+                let Operand::Reg(dst) = arg(ops, 0)? else {
+                    return Err(LiftError("fcvt".into()));
                 };
+                let Operand::Reg(src) = arg(ops, 1)? else {
+                    return Err(LiftError("fcvt".into()));
+                };
+                let (v, _) = self.reg_expr(src)?;
+                let expr =
+                    if dst.starts_with('s') { format!("(double)(float)({v})") } else { v };
                 self.write_reg(dst, expr)?;
             }
             other => return Err(LiftError(format!("unsupported instruction `{other}`"))),
@@ -1216,10 +1281,40 @@ fn arm_params(f: &AsmFunction) -> (usize, usize) {
     for inst in f.instructions() {
         let dst_first = matches!(
             inst.mnemonic.as_str(),
-            "mov" | "movz" | "movk" | "fmov" | "ldr" | "ldrb" | "ldrsb" | "ldrh" | "ldrsh"
-                | "add" | "sub" | "mul" | "sdiv" | "udiv" | "and" | "orr" | "eor" | "lsl"
-                | "asr" | "lsr" | "msub" | "sxtw" | "sxtb" | "uxtb" | "sxth" | "uxth"
-                | "cset" | "scvtf" | "fcvtzs" | "fcvt" | "fadd" | "fsub" | "fmul" | "fdiv"
+            "mov"
+                | "movz"
+                | "movk"
+                | "fmov"
+                | "ldr"
+                | "ldrb"
+                | "ldrsb"
+                | "ldrh"
+                | "ldrsh"
+                | "add"
+                | "sub"
+                | "mul"
+                | "sdiv"
+                | "udiv"
+                | "and"
+                | "orr"
+                | "eor"
+                | "lsl"
+                | "asr"
+                | "lsr"
+                | "msub"
+                | "sxtw"
+                | "sxtb"
+                | "uxtb"
+                | "sxth"
+                | "uxth"
+                | "cset"
+                | "scvtf"
+                | "fcvtzs"
+                | "fcvt"
+                | "fadd"
+                | "fsub"
+                | "fmul"
+                | "fdiv"
                 | "adrp"
         );
         for (i, op) in inst.operands.iter().enumerate() {
@@ -1267,7 +1362,12 @@ mod tests {
     use slade_compiler::{compile_function, CompileOpts, OptLevel};
     use slade_minic::{parse_program, Interpreter, Value};
 
-    fn lift_src(src: &str, name: &str, isa: slade_compiler::Isa, opt: OptLevel) -> Result<String, LiftError> {
+    fn lift_src(
+        src: &str,
+        name: &str,
+        isa: slade_compiler::Isa,
+        opt: OptLevel,
+    ) -> Result<String, LiftError> {
         let p = parse_program(src).unwrap();
         let asm = compile_function(&p, name, CompileOpts::new(isa, opt)).unwrap();
         let aisa = match isa {
@@ -1290,7 +1390,8 @@ mod tests {
 
     #[test]
     fn lifted_x86_loop_matches_ground_truth() {
-        let src = "int total(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }";
+        let src =
+            "int total(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }";
         let c = lift_src(src, "total", slade_compiler::Isa::X86_64, OptLevel::O0).unwrap();
         let p = parse_program(&c).unwrap_or_else(|e| panic!("{e}\n{c}"));
         let mut i = Interpreter::new(&p).unwrap();
@@ -1302,8 +1403,7 @@ mod tests {
 
     #[test]
     fn lifted_pointer_function_writes_through() {
-        let src =
-            "void bump(int *a, int v, int n) { for (int i = 0; i < n; i++) a[i] += v; }";
+        let src = "void bump(int *a, int v, int n) { for (int i = 0; i < n; i++) a[i] += v; }";
         let c = lift_src(src, "bump", slade_compiler::Isa::X86_64, OptLevel::O0).unwrap();
         let p = parse_program(&c).unwrap_or_else(|e| panic!("{e}\n{c}"));
         let mut interp = Interpreter::new(&p).unwrap();
@@ -1312,9 +1412,7 @@ mod tests {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
         let buf = interp.alloc_buffer(&bytes);
-        interp
-            .call("bump", &[Value::Ptr(buf), Value::long(10), Value::long(3)])
-            .unwrap();
+        interp.call("bump", &[Value::Ptr(buf), Value::long(10), Value::long(3)]).unwrap();
         let out = interp.read_buffer(buf, 12).unwrap();
         let vals: Vec<i32> =
             out.chunks(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
@@ -1349,7 +1447,8 @@ mod tests {
 
     #[test]
     fn extern_calls_guess_arity_from_armed_registers() {
-        let src = "int helper(int a, int b) { return a + b; } int f(int x) { return helper(x, 3); }";
+        let src =
+            "int helper(int a, int b) { return a + b; } int f(int x) { return helper(x, 3); }";
         let c = lift_src(src, "f", slade_compiler::Isa::X86_64, OptLevel::O0).unwrap();
         assert!(c.contains("helper(r_rdi, r_rsi)") || c.contains("helper(r_rdi,"), "{c}");
     }

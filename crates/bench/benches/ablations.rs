@@ -20,12 +20,8 @@ fn main() {
         return;
     }
     let data = DatasetProfile { train: 260, exebench_eval: 40, synth_per_category: 4 };
-    let train = TrainProfile {
-        epochs: 3,
-        max_src_len: 1024,
-        max_tgt_len: 96,
-        ..TrainProfile::tiny()
-    };
+    let train =
+        TrainProfile { epochs: 3, max_src_len: 1024, max_tgt_len: 96, ..TrainProfile::tiny() };
     eprintln!("[ablations bench] generating data and training variants...");
     let t0 = std::time::Instant::now();
     let setup = AblationSetup::build(data, train, 2024);

@@ -20,12 +20,8 @@ fn main() {
     let data = DatasetProfile { train: 260, exebench_eval: 40, synth_per_category: 4 };
     // Assembly is token-verbose: the source-length cap must fit realistic
     // -O0 functions or the model trains on (almost) nothing.
-    let train = TrainProfile {
-        epochs: 3,
-        max_src_len: 1024,
-        max_tgt_len: 96,
-        ..TrainProfile::tiny()
-    };
+    let train =
+        TrainProfile { epochs: 3, max_src_len: 1024, max_tgt_len: 96, ..TrainProfile::tiny() };
     eprintln!("[figures bench] training 4 configurations at bench profile...");
     let t0 = std::time::Instant::now();
     let repro = Reproduction::build(data, train, 2024);

@@ -6,26 +6,36 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
 use slade_minic::parse_program;
 
-const SRC: &str = "int total(int *a, int n) { int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }";
+const SRC: &str =
+    "int total(int *a, int n) { int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }";
 
 fn bench_compile(c: &mut Criterion) {
     let p = parse_program(SRC).unwrap();
     c.bench_function("compile_x86_o0", |b| {
-        b.iter(|| compile_function(&p, "total", CompileOpts::new(Isa::X86_64, OptLevel::O0)).unwrap())
+        b.iter(|| {
+            compile_function(&p, "total", CompileOpts::new(Isa::X86_64, OptLevel::O0)).unwrap()
+        })
     });
     c.bench_function("compile_x86_o3", |b| {
-        b.iter(|| compile_function(&p, "total", CompileOpts::new(Isa::X86_64, OptLevel::O3)).unwrap())
+        b.iter(|| {
+            compile_function(&p, "total", CompileOpts::new(Isa::X86_64, OptLevel::O3)).unwrap()
+        })
     });
     c.bench_function("compile_arm_o3", |b| {
-        b.iter(|| compile_function(&p, "total", CompileOpts::new(Isa::Arm64, OptLevel::O3)).unwrap())
+        b.iter(|| {
+            compile_function(&p, "total", CompileOpts::new(Isa::Arm64, OptLevel::O3)).unwrap()
+        })
     });
 }
 
 fn bench_lift_and_emulate(c: &mut Criterion) {
     let p = parse_program(SRC).unwrap();
-    let asm = compile_function(&p, "total", CompileOpts::new(Isa::X86_64, OptLevel::O0)).unwrap();
+    let asm =
+        compile_function(&p, "total", CompileOpts::new(Isa::X86_64, OptLevel::O0)).unwrap();
     c.bench_function("ghidra_lift_x86_o0", |b| {
-        b.iter(|| slade_baselines::ghidra_decompile(&asm, slade_asm::Isa::X86_64, "total").unwrap())
+        b.iter(|| {
+            slade_baselines::ghidra_decompile(&asm, slade_asm::Isa::X86_64, "total").unwrap()
+        })
     });
     c.bench_function("emulate_x86_loop", |b| {
         let file = slade_asm::parse_asm(&asm, slade_asm::Isa::X86_64);
@@ -39,7 +49,8 @@ fn bench_lift_and_emulate(c: &mut Criterion) {
         b.iter(|| {
             let mut i = slade_minic::Interpreter::new(&p).unwrap();
             let buf = i.alloc_buffer(&[1u8; 64]);
-            i.call("total", &[slade_minic::Value::Ptr(buf), slade_minic::Value::int(16)]).unwrap()
+            i.call("total", &[slade_minic::Value::Ptr(buf), slade_minic::Value::int(16)])
+                .unwrap()
         })
     });
 }
@@ -59,9 +70,7 @@ fn bench_model_forward(c: &mut Criterion) {
     let model = slade_nn::Seq2Seq::new(slade_nn::TransformerConfig::tiny(64), 0);
     let src: Vec<u32> = (4..20).collect();
     c.bench_function("transformer_encode_16tok", |b| b.iter(|| model.encode(&src)));
-    c.bench_function("transformer_greedy_decode", |b| {
-        b.iter(|| model.greedy(&src, 1, 2, 16))
-    });
+    c.bench_function("transformer_greedy_decode", |b| b.iter(|| model.greedy(&src, 1, 2, 16)));
     // KV-cached vs full-recompute decoding of a 24-token prefix: the
     // incremental path is what makes beam-5 evaluation tractable.
     let mem = model.encode(&src);
@@ -85,8 +94,38 @@ fn bench_model_forward(c: &mut Criterion) {
             last
         })
     });
-    c.bench_function("beam5_decode_16tok", |b| {
-        b.iter(|| model.beam_search(&src, 1, 2, 16, 5))
+    c.bench_function("beam5_decode_16tok", |b| b.iter(|| model.beam_search(&src, 1, 2, 16, 5)));
+}
+
+/// Decode throughput, batch = 1 vs batch = 8, on the `small` profile: the
+/// sequential loop decodes the 8 requests one at a time on the
+/// per-hypothesis reference path (one cloned `DecoderState` per surviving
+/// beam — the pre-engine shape), the batched row runs all 8 through one
+/// `InferenceEngine::decode_batch` call. Both decode the same token
+/// budget, so ns/iter compares directly; the engine's acceptance target
+/// is ≥ 2× throughput at batch = 8.
+fn bench_batched_decode(c: &mut Criterion) {
+    use slade_nn::{DecodeRequest, InferenceEngine, Seq2Seq, TransformerConfig};
+    let model = Seq2Seq::new(TransformerConfig::small(512), 7);
+    let engine = InferenceEngine::new(&model);
+    let requests: Vec<DecodeRequest> = (0..8)
+        .map(|i| DecodeRequest {
+            src: (0..24u32).map(|t| 4 + (t * 7 + i) % 480).collect(),
+            bos: 1,
+            eos: 2,
+            max_len: 24,
+            beam: 5,
+        })
+        .collect();
+    c.bench_function("decode8_sequential_scalar", |b| {
+        b.iter(|| requests.iter().map(|r| engine.decode_scalar(r).len()).sum::<usize>())
+    });
+    c.bench_function("decode8_batched_engine", |b| {
+        b.iter(|| engine.decode_batch(&requests).len())
+    });
+    let single = &requests[..1];
+    c.bench_function("decode1_batched_engine", |b| {
+        b.iter(|| engine.decode_batch(single).len())
     });
 }
 
@@ -113,6 +152,7 @@ criterion_group! {
     bench_lift_and_emulate,
     bench_tokenizer_and_metrics,
     bench_model_forward,
+    bench_batched_decode,
     bench_repair_and_typeinf
 }
 criterion_main!(benches);

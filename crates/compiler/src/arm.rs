@@ -5,6 +5,10 @@
 //! auto-vectorization (the source-level vectorizer only fires for x86, as
 //! the paper's motivating example does); `-O3` still unrolls.
 
+// `to_rax`/`from_scratch` etc. are emit helpers ("emit code moving v to/from
+// rax"), not conversions; the conversion naming lint does not apply.
+#![allow(clippy::wrong_self_convention)]
+
 use crate::ir::*;
 use crate::regalloc::{allocate, Allocation};
 use crate::{CompileError, CompileOpts, OptLevel, Result};
@@ -137,10 +141,12 @@ impl<'m> Emitter<'m> {
                 _ => {
                     if int_idx < 8 {
                         let wide = ty == Ty::I64;
-                        let arg = if wide { format!("x{int_idx}") } else { format!("w{int_idx}") };
+                        let arg =
+                            if wide { format!("x{int_idx}") } else { format!("w{int_idx}") };
                         match self.locs[vreg as usize] {
                             Loc::Reg(p) => {
-                                let dst = if wide { POOL[p as usize].1 } else { POOL[p as usize].0 };
+                                let dst =
+                                    if wide { POOL[p as usize].1 } else { POOL[p as usize].0 };
                                 self.line(&format!("mov {dst}, {arg}"));
                             }
                             Loc::Mem(off) => {
@@ -240,8 +246,12 @@ impl<'m> Emitter<'m> {
     fn mov_imm(&mut self, reg_w: &str, reg_x: &str, val: i64, wide: bool) {
         if wide {
             let bits = val as u64;
-            let chunks =
-                [bits & 0xffff, (bits >> 16) & 0xffff, (bits >> 32) & 0xffff, (bits >> 48) & 0xffff];
+            let chunks = [
+                bits & 0xffff,
+                (bits >> 16) & 0xffff,
+                (bits >> 32) & 0xffff,
+                (bits >> 48) & 0xffff,
+            ];
             self.line(&format!("movz {reg_x}, #{}", chunks[0]));
             for (i, c) in chunks.iter().enumerate().skip(1) {
                 if *c != 0 {
@@ -390,8 +400,11 @@ impl<'m> Emitter<'m> {
                         _ => {
                             if int_idx < 8 {
                                 let wide = matches!(ty, Ty::I64);
-                                let arg =
-                                    if wide { format!("x{int_idx}") } else { format!("w{int_idx}") };
+                                let arg = if wide {
+                                    format!("x{int_idx}")
+                                } else {
+                                    format!("w{int_idx}")
+                                };
                                 match self.locs[*v as usize] {
                                     Loc::Reg(p) => {
                                         let src = if wide {
@@ -439,7 +452,9 @@ impl<'m> Emitter<'m> {
                     self.from_scratch(*dst, 8);
                 }
             }
-            Inst::VecLoad { .. } | Inst::VecSplat { .. } | Inst::VecBin { .. }
+            Inst::VecLoad { .. }
+            | Inst::VecSplat { .. }
+            | Inst::VecBin { .. }
             | Inst::VecStore { .. } => {
                 return Err(CompileError::Unsupported("vector ops on ARM backend".into()));
             }
@@ -651,8 +666,7 @@ impl<'m> Emitter<'m> {
                 for (i, reg) in used.iter().enumerate() {
                     self.line(&format!(
                         "ldr {}, [x29, #{}]",
-                        POOL[*reg as usize].1,
-                        save_offsets[i]
+                        POOL[*reg as usize].1, save_offsets[i]
                     ));
                 }
                 self.line(&format!("ldp x29, x30, [sp], #{}", self.frame));
@@ -751,11 +765,7 @@ mod tests {
 
     #[test]
     fn unsigned_compare_uses_unsigned_conditions() {
-        let a = asm(
-            "int f(unsigned a, unsigned b) { return a < b; }",
-            "f",
-            OptLevel::O0,
-        );
+        let a = asm("int f(unsigned a, unsigned b) { return a < b; }", "f", OptLevel::O0);
         assert!(a.contains("cset w8, lo"), "{a}");
     }
 }

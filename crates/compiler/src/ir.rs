@@ -383,7 +383,9 @@ impl Inst {
     /// Registers this instruction reads.
     pub fn uses(&self) -> Vec<VReg> {
         match self {
-            Inst::IConst { .. } | Inst::FConst { .. } | Inst::SlotAddr { .. }
+            Inst::IConst { .. }
+            | Inst::FConst { .. }
+            | Inst::SlotAddr { .. }
             | Inst::GlobalAddr { .. } => vec![],
             Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } | Inst::VecBin { a, b, .. } => {
                 vec![*a, *b]
@@ -524,8 +526,18 @@ mod tests {
     #[test]
     fn pred_swapping_is_involutive() {
         for p in [
-            Pred::Eq, Pred::Ne, Pred::LtS, Pred::LeS, Pred::GtS, Pred::GeS, Pred::LtU,
-            Pred::LeU, Pred::GtU, Pred::GeU, Pred::FLt, Pred::FGe,
+            Pred::Eq,
+            Pred::Ne,
+            Pred::LtS,
+            Pred::LeS,
+            Pred::GtS,
+            Pred::GeS,
+            Pred::LtU,
+            Pred::LeU,
+            Pred::GtU,
+            Pred::GeU,
+            Pred::FLt,
+            Pred::FGe,
         ] {
             assert_eq!(p.swapped().swapped(), p);
         }

@@ -97,7 +97,10 @@ impl Transform<'_> {
         }
         // The invariant expression must not mention the induction variable
         // or contain calls.
-        if mentions(&inv, &ivar) || has_call(&inv) || mentions(&bound, &ivar) || has_call(&bound)
+        if mentions(&inv, &ivar)
+            || has_call(&inv)
+            || mentions(&bound, &ivar)
+            || has_call(&bound)
         {
             return None;
         }
@@ -107,11 +110,7 @@ impl Transform<'_> {
         }
         let iv = || ident(&ivar);
         // Vector main loop: for (; i + 3 < bound; i += 4) __vec_op_i32(arr + i, inv, code);
-        let vec_cond = binary(
-            BinOp::Lt,
-            binary(BinOp::Add, iv(), int_lit(3)),
-            bound.clone(),
-        );
+        let vec_cond = binary(BinOp::Lt, binary(BinOp::Add, iv(), int_lit(3)), bound.clone());
         let vec_step = assign_op(BinOp::Add, iv(), int_lit(4));
         let vec_body = expr_stmt(call(
             "__vec_op_i32",
@@ -138,10 +137,7 @@ impl Transform<'_> {
             },
             line: s.line,
         };
-        let mut stmts = Vec::new();
-        stmts.push(init_stmt);
-        stmts.push(vec_loop);
-        stmts.push(rem_loop);
+        let stmts = vec![init_stmt, vec_loop, rem_loop];
         Some(Stmt { kind: StmtKind::Block(stmts), line: s.line })
     }
 
@@ -176,11 +172,7 @@ impl Transform<'_> {
             }
             unrolled.push(b);
         }
-        let main_cond = binary(
-            BinOp::Lt,
-            binary(BinOp::Add, iv(), int_lit(3)),
-            bound.clone(),
-        );
+        let main_cond = binary(BinOp::Lt, binary(BinOp::Add, iv(), int_lit(3)), bound.clone());
         let main_step = assign_op(BinOp::Add, iv(), int_lit(4));
         let main_loop = Stmt {
             kind: StmtKind::For {
@@ -201,10 +193,7 @@ impl Transform<'_> {
             },
             line: s.line,
         };
-        Some(Stmt {
-            kind: StmtKind::Block(vec![init_stmt, main_loop, rem_loop]),
-            line: s.line,
-        })
+        Some(Stmt { kind: StmtKind::Block(vec![init_stmt, main_loop, rem_loop]), line: s.line })
     }
 }
 
@@ -416,7 +405,9 @@ fn idents_of(e: &Expr) -> Vec<String> {
     fn walk(e: &Expr, out: &mut Vec<String>) {
         match &e.kind {
             ExprKind::Ident(n) => out.push(n.clone()),
-            ExprKind::Unary(_, a) | ExprKind::Postfix(_, a) | ExprKind::Cast { expr: a, .. }
+            ExprKind::Unary(_, a)
+            | ExprKind::Postfix(_, a)
+            | ExprKind::Cast { expr: a, .. }
             | ExprKind::SizeofExpr(a) => walk(a, out),
             ExprKind::Binary(_, l, r) | ExprKind::Comma(l, r) => {
                 walk(l, out);
@@ -447,7 +438,9 @@ fn idents_of(e: &Expr) -> Vec<String> {
 fn has_call(e: &Expr) -> bool {
     match &e.kind {
         ExprKind::Call { .. } => true,
-        ExprKind::Unary(_, a) | ExprKind::Postfix(_, a) | ExprKind::Cast { expr: a, .. }
+        ExprKind::Unary(_, a)
+        | ExprKind::Postfix(_, a)
+        | ExprKind::Cast { expr: a, .. }
         | ExprKind::SizeofExpr(a) => has_call(a),
         ExprKind::Binary(_, l, r) | ExprKind::Comma(l, r) => has_call(l) || has_call(r),
         ExprKind::Assign { target, value, .. } => has_call(target) || has_call(value),
@@ -468,7 +461,9 @@ fn substitute(s: &mut Stmt, name: &str, replacement: &Expr) {
             return;
         }
         match &mut e.kind {
-            ExprKind::Unary(_, a) | ExprKind::Postfix(_, a) | ExprKind::Cast { expr: a, .. }
+            ExprKind::Unary(_, a)
+            | ExprKind::Postfix(_, a)
+            | ExprKind::Cast { expr: a, .. }
             | ExprKind::SizeofExpr(a) => in_expr(a, name, rep),
             ExprKind::Binary(_, l, r) | ExprKind::Comma(l, r) => {
                 in_expr(l, name, rep);
@@ -493,8 +488,12 @@ fn substitute(s: &mut Stmt, name: &str, replacement: &Expr) {
         }
     }
     match &mut s.kind {
-        StmtKind::Block(stmts) => stmts.iter_mut().for_each(|st| substitute(st, name, replacement)),
-        StmtKind::Decl { init: Some(e), .. } | StmtKind::Expr(e) => in_expr(e, name, replacement),
+        StmtKind::Block(stmts) => {
+            stmts.iter_mut().for_each(|st| substitute(st, name, replacement))
+        }
+        StmtKind::Decl { init: Some(e), .. } | StmtKind::Expr(e) => {
+            in_expr(e, name, replacement)
+        }
         StmtKind::If { cond, then_branch, else_branch } => {
             in_expr(cond, name, replacement);
             substitute(then_branch, name, replacement);
@@ -540,7 +539,11 @@ fn binary(op: BinOp, l: Expr, r: Expr) -> Expr {
 
 fn assign_op(op: BinOp, target: Expr, value: Expr) -> Expr {
     Expr {
-        kind: ExprKind::Assign { op: Some(op), target: Box::new(target), value: Box::new(value) },
+        kind: ExprKind::Assign {
+            op: Some(op),
+            target: Box::new(target),
+            value: Box::new(value),
+        },
         id: 0,
         line: 0,
     }

@@ -38,9 +38,8 @@ pub fn lower_function(
             .ok_or_else(|| CompileError::NoSuchFunction(name.to_string()))?;
         return Lowerer::new(&reparsed, &tm2, opts).lower(f);
     }
-    let f = program
-        .function(name)
-        .ok_or_else(|| CompileError::NoSuchFunction(name.to_string()))?;
+    let f =
+        program.function(name).ok_or_else(|| CompileError::NoSuchFunction(name.to_string()))?;
     Lowerer::new(program, tm, opts).lower(f)
 }
 
@@ -108,10 +107,7 @@ impl<'a> Lowerer<'a> {
             let slot = self.new_slot(mty.size().max(1), mty.size().max(1), pname);
             let addr = self.emit_slot_addr(slot);
             self.emit(Inst::Store { addr, src: vreg, ty: mty });
-            self.vars
-                .last_mut()
-                .unwrap()
-                .insert(pname.clone(), Place::Slot(slot, rty));
+            self.vars.last_mut().unwrap().insert(pname.clone(), Place::Slot(slot, rty));
         }
         let body = f.body.as_ref().expect("definition");
         self.prescan_labels(body);
@@ -211,10 +207,7 @@ impl<'a> Lowerer<'a> {
                 return Some(p.clone());
             }
         }
-        self.tm
-            .globals
-            .get(name)
-            .map(|t| Place::Global(name.to_string(), t.clone()))
+        self.tm.globals.get(name).map(|t| Place::Global(name.to_string(), t.clone()))
     }
 
     // ---- statements ----
@@ -231,11 +224,9 @@ impl<'a> Lowerer<'a> {
             }
             StmtKind::Decl { name, ty, init } => {
                 let rty = self.tm.layout.resolve(ty);
-                let size = self
-                    .tm
-                    .layout
-                    .size_of(&rty)
-                    .ok_or_else(|| CompileError::Unsupported(format!("sizeless local `{name}`")))?;
+                let size = self.tm.layout.size_of(&rty).ok_or_else(|| {
+                    CompileError::Unsupported(format!("sizeless local `{name}`"))
+                })?;
                 let align = self.tm.layout.align_of(&rty).unwrap_or(8);
                 let slot = self.new_slot(size, align, name);
                 self.vars
@@ -344,10 +335,7 @@ impl<'a> Lowerer<'a> {
                         let v = self.lower_expr(e)?;
                         let want = self.module.ret_ty;
                         let from = self.tm.value_type(e.id);
-                        let v = match want {
-                            Some(ty) => Some(self.convert_machine(v, &from, ty)),
-                            None => None,
-                        };
+                        let v = want.map(|ty| self.convert_machine(v, &from, ty));
                         self.set_term(Term::Ret(v));
                     }
                     None => self.set_term(Term::Ret(None)),
@@ -372,9 +360,19 @@ impl<'a> Lowerer<'a> {
                         Some(val) => {
                             let k = self.iconst(*val, Ty::I32);
                             let c = self.module.new_vreg(Ty::I32);
-                            self.emit(Inst::Cmp { pred: Pred::Eq, dst: c, a: v, b: k, ty: Ty::I32 });
+                            self.emit(Inst::Cmp {
+                                pred: Pred::Eq,
+                                dst: c,
+                                a: v,
+                                b: k,
+                                ty: Ty::I32,
+                            });
                             let next_test = self.new_block();
-                            self.set_term(Term::Br { cond: c, then_bb: *bb, else_bb: next_test });
+                            self.set_term(Term::Br {
+                                cond: c,
+                                then_bb: *bb,
+                                else_bb: next_test,
+                            });
                             self.switch_to(next_test);
                         }
                         None => default_target = *bb,
@@ -417,7 +415,9 @@ impl<'a> Lowerer<'a> {
             }
             StmtKind::Goto(label) => {
                 let Some(&target) = self.labels.get(label) else {
-                    return Err(CompileError::Unsupported(format!("goto unknown label `{label}`")));
+                    return Err(CompileError::Unsupported(format!(
+                        "goto unknown label `{label}`"
+                    )));
                 };
                 self.set_term(Term::Jmp(target));
                 let dead = self.new_block();
@@ -526,12 +526,7 @@ impl<'a> Lowerer<'a> {
                 if op.is_none() {
                     if let Type::Struct(name) = &tty {
                         // Struct copy through memcpy-style field-free copy.
-                        let size = self
-                            .tm
-                            .layout
-                            .layout_of(name)
-                            .map(|l| l.size)
-                            .unwrap_or(0);
+                        let size = self.tm.layout.layout_of(name).map(|l| l.size).unwrap_or(0);
                         let (src_addr, _) = self.lower_addr(value)?;
                         self.emit_struct_copy(addr, src_addr, size);
                         return Ok(addr);
@@ -956,20 +951,16 @@ impl<'a> Lowerer<'a> {
         let ret_minic = sig.map(|s| s.ret).unwrap_or(Type::int());
         let ret_ty = machine_ty_opt(&ret_minic);
         let dst = ret_ty.map(|t| self.module.new_vreg(t));
-        self.emit(Inst::Call {
-            dst,
-            callee: callee.to_string(),
-            args: argv,
-            arg_tys,
-            ret_ty,
-        });
+        self.emit(Inst::Call { dst, callee: callee.to_string(), args: argv, arg_tys, ret_ty });
         let _ = e;
         Ok(dst.unwrap_or_else(|| {
             // Void call in value position: materialize 0.
             let z = self.module.new_vreg(Ty::I32);
-            self.module.blocks[self.cur as usize]
-                .insts
-                .push(Inst::IConst { dst: z, val: 0, ty: Ty::I32 });
+            self.module.blocks[self.cur as usize].insts.push(Inst::IConst {
+                dst: z,
+                val: 0,
+                ty: Ty::I32,
+            });
             z
         }))
     }
@@ -1004,7 +995,9 @@ impl<'a> Lowerer<'a> {
         match &e.kind {
             ExprKind::Ident(name) => {
                 let Some(place) = self.lookup(name) else {
-                    return Err(CompileError::Unsupported(format!("unknown variable `{name}`")));
+                    return Err(CompileError::Unsupported(format!(
+                        "unknown variable `{name}`"
+                    )));
                 };
                 match place {
                     Place::Slot(slot, ty) => {
@@ -1031,11 +1024,8 @@ impl<'a> Lowerer<'a> {
                 let bt = self.tm.value_type(base.id);
                 let iv = self.lower_expr(index)?;
                 let it = self.tm.value_type(index.id);
-                let (ptr, ptr_t, idx, idx_t) = if bt.is_pointerish() {
-                    (bv, bt, iv, it)
-                } else {
-                    (iv, it, bv, bt)
-                };
+                let (ptr, ptr_t, idx, idx_t) =
+                    if bt.is_pointerish() { (bv, bt, iv, it) } else { (iv, it, bv, bt) };
                 let elem = self.tm.type_of(e.id).clone();
                 let size = self
                     .tm
@@ -1053,8 +1043,7 @@ impl<'a> Lowerer<'a> {
                 let (base_addr, sname) = if *arrow {
                     let v = self.lower_expr(base)?;
                     let bt = self.tm.value_type(base.id);
-                    let Some(Type::Struct(s)) =
-                        bt.pointee().map(|t| self.tm.layout.resolve(t))
+                    let Some(Type::Struct(s)) = bt.pointee().map(|t| self.tm.layout.resolve(t))
                     else {
                         return Err(CompileError::Unsupported("-> on non-struct".into()));
                     };
@@ -1150,11 +1139,13 @@ impl<'a> Lowerer<'a> {
                     return cur;
                 }
                 Ty::I64 => {
-                    let k = if cur_ty == Ty::F32 { CastKind::F32toS64 } else { CastKind::F64toS64 };
+                    let k =
+                        if cur_ty == Ty::F32 { CastKind::F32toS64 } else { CastKind::F64toS64 };
                     return self.cast(cur, k, Ty::I64);
                 }
                 _ => {
-                    let k = if cur_ty == Ty::F32 { CastKind::F32toS32 } else { CastKind::F64toS32 };
+                    let k =
+                        if cur_ty == Ty::F32 { CastKind::F32toS32 } else { CastKind::F64toS32 };
                     cur = self.cast(cur, k, Ty::I32);
                     return self.wrap_to(cur, &to);
                 }
@@ -1352,7 +1343,6 @@ fn comparison_pred(op: BinOp, is_float: bool, unsigned: bool) -> Pred {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1378,7 +1368,8 @@ mod tests {
 
     #[test]
     fn lowers_loops_to_cfg() {
-        let m = lower("int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }", "f");
+        let m =
+            lower("int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }", "f");
         assert!(m.blocks.len() >= 4, "expected loop CFG, got {}", m.blocks.len());
     }
 
@@ -1404,10 +1395,12 @@ mod tests {
 
     #[test]
     fn rejects_struct_by_value_param() {
-        let p = parse_program("struct s { int a; }; int f(struct s v) { return v.a; }").unwrap();
+        let p =
+            parse_program("struct s { int a; }; int f(struct s v) { return v.a; }").unwrap();
         let tm = Sema::check(&p).unwrap();
-        let err = lower_function(&p, &tm, "f", CompileOpts::new(crate::Isa::X86_64, OptLevel::O0))
-            .unwrap_err();
+        let err =
+            lower_function(&p, &tm, "f", CompileOpts::new(crate::Isa::X86_64, OptLevel::O0))
+                .unwrap_err();
         assert!(matches!(err, CompileError::Unsupported(_)));
     }
 

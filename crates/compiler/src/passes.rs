@@ -72,25 +72,23 @@ pub fn constant_fold(m: &mut Module) {
     for b in &mut m.blocks {
         for inst in &mut b.insts {
             let replacement = match inst {
-                Inst::Bin { op, dst, a, b, ty } => {
-                    match (known.get(a), known.get(b)) {
-                        (Some(Known::Int(x, _)), Some(Known::Int(y, _))) => {
-                            fold_int_bin(*op, *x, *y, *ty).map(|v| Inst::IConst {
-                                dst: *dst,
-                                val: v,
-                                ty: *ty,
-                            })
-                        }
-                        (Some(Known::Float(x, _)), Some(Known::Float(y, _))) => {
-                            fold_float_bin(*op, *x, *y).map(|v| Inst::FConst {
-                                dst: *dst,
-                                val: v,
-                                ty: *ty,
-                            })
-                        }
-                        _ => None,
+                Inst::Bin { op, dst, a, b, ty } => match (known.get(a), known.get(b)) {
+                    (Some(Known::Int(x, _)), Some(Known::Int(y, _))) => {
+                        fold_int_bin(*op, *x, *y, *ty).map(|v| Inst::IConst {
+                            dst: *dst,
+                            val: v,
+                            ty: *ty,
+                        })
                     }
-                }
+                    (Some(Known::Float(x, _)), Some(Known::Float(y, _))) => {
+                        fold_float_bin(*op, *x, *y).map(|v| Inst::FConst {
+                            dst: *dst,
+                            val: v,
+                            ty: *ty,
+                        })
+                    }
+                    _ => None,
+                },
                 Inst::Cmp { pred, dst, a, b, .. } => match (known.get(a), known.get(b)) {
                     (Some(Known::Int(x, _)), Some(Known::Int(y, _))) => {
                         let v = eval_pred_int(*pred, *x, *y);
@@ -347,7 +345,9 @@ fn remap_uses(inst: &mut Inst, remap: &impl Fn(&mut VReg)) {
             remap(src);
         }
         Inst::Call { args, .. } => args.iter_mut().for_each(remap),
-        Inst::Cast { src, .. } | Inst::Copy { src, .. } | Inst::VecSplat { src, .. } => remap(src),
+        Inst::Cast { src, .. } | Inst::Copy { src, .. } | Inst::VecSplat { src, .. } => {
+            remap(src)
+        }
         _ => {}
     }
 }
@@ -422,11 +422,9 @@ pub fn forward_stores(m: &mut Module) {
                         if let Some((v, sty)) = current.get(slot) {
                             // Forward only same-width loads; the vreg types
                             // must match (same machine class).
-                            if sty == ty
-                                && m.vreg_tys[*v as usize] == m.vreg_tys[*dst as usize]
+                            if sty == ty && m.vreg_tys[*v as usize] == m.vreg_tys[*dst as usize]
                             {
-                                replaced
-                                    .push((i, Inst::Copy { dst: *dst, src: *v, ty: *sty }));
+                                replaced.push((i, Inst::Copy { dst: *dst, src: *v, ty: *sty }));
                             }
                         }
                     }

@@ -95,10 +95,7 @@ pub fn allocate(m: &Module, pool_size: usize) -> Allocation {
             continue;
         }
         let end = last_use.get(vreg).copied().unwrap_or(start);
-        crosses_call.insert(
-            *vreg,
-            call_positions.iter().any(|&c| start < c && c <= end),
-        );
+        crosses_call.insert(*vreg, call_positions.iter().any(|&c| start < c && c <= end));
         intervals.push(Interval { vreg: *vreg, start, end });
     }
     intervals.sort_by_key(|iv| (iv.start, iv.end));

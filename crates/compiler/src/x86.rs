@@ -5,6 +5,10 @@
 //! and emits vector instructions (`movdqu`/`pshufd`/`paddd`/`movups`) for
 //! the loops the source-level vectorizer transformed.
 
+// `to_rax`/`from_scratch` etc. are emit helpers ("emit code moving v to/from
+// rax"), not conversions; the conversion naming lint does not apply.
+#![allow(clippy::wrong_self_convention)]
+
 use crate::ir::*;
 use crate::regalloc::{allocate, Allocation};
 use crate::{CompileOpts, OptLevel, Result};
@@ -13,8 +17,13 @@ use std::fmt::Write;
 
 /// Callee-saved integer pool used by the allocator, as (32-bit, 64-bit)
 /// register names.
-const POOL: [(&str, &str); 5] =
-    [("%ebx", "%rbx"), ("%r12d", "%r12"), ("%r13d", "%r13"), ("%r14d", "%r14"), ("%r15d", "%r15")];
+const POOL: [(&str, &str); 5] = [
+    ("%ebx", "%rbx"),
+    ("%r12d", "%r12"),
+    ("%r13d", "%r13"),
+    ("%r14d", "%r14"),
+    ("%r15d", "%r15"),
+];
 
 /// Integer argument registers in ABI order.
 const ARG_REGS: [(&str, &str); 6] = [
@@ -163,7 +172,9 @@ impl<'m> Emitter<'m> {
                             (Loc::Mem(off), Ty::I64) => {
                                 self.line(&format!("movq {r64}, {off}(%rbp)"))
                             }
-                            (Loc::Mem(off), _) => self.line(&format!("movl {r32}, {off}(%rbp)")),
+                            (Loc::Mem(off), _) => {
+                                self.line(&format!("movl {r32}, {off}(%rbp)"))
+                            }
                         }
                     }
                     int_idx += 1;
@@ -198,7 +209,11 @@ impl<'m> Emitter<'m> {
         match self.locs[v as usize] {
             Loc::Reg(p) => {
                 let (r32, r64) = POOL[p as usize];
-                if wide { r64.to_string() } else { r32.to_string() }
+                if wide {
+                    r64.to_string()
+                } else {
+                    r32.to_string()
+                }
             }
             Loc::Mem(off) => format!("{off}(%rbp)"),
         }
@@ -484,7 +499,11 @@ impl<'m> Emitter<'m> {
         let suffix = if wide { "q" } else { "l" };
         let acc = if wide { "%rax" } else { "%eax" };
         match op {
-            IrBinOp::Add | IrBinOp::Sub | IrBinOp::Mul | IrBinOp::And | IrBinOp::Or
+            IrBinOp::Add
+            | IrBinOp::Sub
+            | IrBinOp::Mul
+            | IrBinOp::And
+            | IrBinOp::Or
             | IrBinOp::Xor => {
                 let mnem = match op {
                     IrBinOp::Add => "add",
@@ -503,22 +522,34 @@ impl<'m> Emitter<'m> {
                 self.to_rax(a);
                 // Divisor must be in a register or memory, not rdx.
                 let bloc = self.loc_str(b, wide);
-                self.line(&format!("mov{suffix} {bloc}, {}", if wide { "%r11" } else { "%r11d" }));
+                self.line(&format!(
+                    "mov{suffix} {bloc}, {}",
+                    if wide { "%r11" } else { "%r11d" }
+                ));
                 self.line(if wide { "cqto" } else { "cltd" });
                 self.line(&format!("idiv{suffix} {}", if wide { "%r11" } else { "%r11d" }));
                 if op == IrBinOp::RemS {
-                    self.line(&format!("mov{suffix} {}, {acc}", if wide { "%rdx" } else { "%edx" }));
+                    self.line(&format!(
+                        "mov{suffix} {}, {acc}",
+                        if wide { "%rdx" } else { "%edx" }
+                    ));
                 }
                 self.from_rax(dst);
             }
             IrBinOp::DivU | IrBinOp::RemU => {
                 self.to_rax(a);
                 let bloc = self.loc_str(b, wide);
-                self.line(&format!("mov{suffix} {bloc}, {}", if wide { "%r11" } else { "%r11d" }));
+                self.line(&format!(
+                    "mov{suffix} {bloc}, {}",
+                    if wide { "%r11" } else { "%r11d" }
+                ));
                 self.line(&format!("xor{suffix} {0}, {0}", if wide { "%rdx" } else { "%edx" }));
                 self.line(&format!("div{suffix} {}", if wide { "%r11" } else { "%r11d" }));
                 if op == IrBinOp::RemU {
-                    self.line(&format!("mov{suffix} {}, {acc}", if wide { "%rdx" } else { "%edx" }));
+                    self.line(&format!(
+                        "mov{suffix} {}, {acc}",
+                        if wide { "%rdx" } else { "%edx" }
+                    ));
                 }
                 self.from_rax(dst);
             }
@@ -808,11 +839,7 @@ mod tests {
 
     #[test]
     fn unsigned_division_zeroes_edx() {
-        let a = asm(
-            "unsigned f(unsigned a, unsigned b) { return a / b; }",
-            "f",
-            OptLevel::O0,
-        );
+        let a = asm("unsigned f(unsigned a, unsigned b) { return a / b; }", "f", OptLevel::O0);
         assert!(a.contains("divl"), "{a}");
         assert!(!a.contains("cltd"), "{a}");
     }
@@ -828,11 +855,7 @@ mod tests {
 
     #[test]
     fn branches_fuse_compare_and_jump() {
-        let a = asm(
-            "int f(int a) { if (a < 10) return 1; return 2; }",
-            "f",
-            OptLevel::O3,
-        );
+        let a = asm("int f(int a) { if (a < 10) return 1; return 2; }", "f", OptLevel::O3);
         assert!(a.contains("jl .L") || a.contains("jge .L"), "no fused branch:\n{a}");
     }
 

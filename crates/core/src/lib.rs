@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
 use slade_dataset::DatasetItem;
 use slade_minic::parse_program;
-use slade_nn::{Seq2Seq, TransformerConfig};
+use slade_nn::{DecodeRequest, InferenceEngine, Seq2Seq, TransformerConfig};
 use slade_tokenizer::{special, TokenizerOptions, UnigramTokenizer};
 
 /// Training-scale knobs (see DESIGN.md §6 for the scaling argument).
@@ -357,6 +357,12 @@ pub struct Slade {
 }
 
 impl Slade {
+    /// Upper bound on concurrent beam lanes per engine batch inside
+    /// [`Slade::decompile_batch`]: caps the engine's up-front KV-arena
+    /// allocation (which scales with `lanes × max_tgt_len × d_model`)
+    /// regardless of corpus size.
+    pub const MAX_BATCH_LANES: usize = 256;
+
     /// The configured beam width.
     pub fn beam(&self) -> usize {
         self.beam
@@ -371,22 +377,79 @@ impl Slade {
     /// Decompiles assembly text into up to `beam` C hypotheses, best first
     /// (§VI-A). Candidate selection by IO testing is the harness's job.
     pub fn decompile(&self, asm_text: &str) -> Vec<String> {
-        let src = self.tokenizer.encode(&normalize_asm(asm_text));
-        let beams =
-            self.model.beam_search(&src, special::BOS, special::EOS, self.max_tgt_len, self.beam);
-        beams.into_iter().map(|ids| self.tokenizer.decode(&ids)).collect()
+        self.decompile_batch(&[asm_text]).pop().unwrap_or_default()
+    }
+
+    /// Decompiles a batch of functions through the inference engine:
+    /// sources are encoded together and every live beam hypothesis of
+    /// every function shares each decode step's projection matmuls
+    /// ([`slade_nn::InferenceEngine::decode_batch`]). This is the serving
+    /// entry point — corpus evaluation and the beam ablation route
+    /// through it — and returns, per input, up to `beam` hypotheses, best
+    /// first.
+    ///
+    /// The engine pre-allocates KV arenas for every beam lane of every
+    /// request in a batch, so an unbounded corpus would mean unbounded
+    /// memory; inputs are therefore fed through in chunks of at most
+    /// [`Slade::MAX_BATCH_LANES`] concurrent lanes (batching benefits
+    /// saturate far below that).
+    pub fn decompile_batch(&self, asm_texts: &[&str]) -> Vec<Vec<String>> {
+        let beam = self.beam.max(1);
+        let per_chunk = (Self::MAX_BATCH_LANES / beam).max(1);
+        let engine = InferenceEngine::new(&self.model);
+        let mut out = Vec::with_capacity(asm_texts.len());
+        for chunk in asm_texts.chunks(per_chunk) {
+            let requests: Vec<DecodeRequest> = chunk
+                .iter()
+                .map(|asm| DecodeRequest {
+                    src: self.tokenizer.encode(&normalize_asm(asm)),
+                    bos: special::BOS,
+                    eos: special::EOS,
+                    max_len: self.max_tgt_len,
+                    beam: self.beam,
+                })
+                .collect();
+            out.extend(engine.decode_batch(&requests).into_iter().map(|beams| {
+                beams
+                    .into_iter()
+                    .map(|ids| self.tokenizer.decode(&ids))
+                    .collect::<Vec<String>>()
+            }));
+        }
+        out
     }
 
     /// Decompiles and appends the type-inference header when the raw
     /// hypothesis does not compile in `context` (§VI-B). Returns
     /// `(hypothesis, header)` pairs.
     pub fn decompile_with_types(&self, asm_text: &str, context: &str) -> Vec<(String, String)> {
-        self.decompile(asm_text)
+        self.decompile_batch_with_types(&[asm_text], &[context]).pop().unwrap_or_default()
+    }
+
+    /// Batched [`Slade::decompile_with_types`]: one engine pass over all
+    /// functions, then per-hypothesis type inference against each
+    /// function's own context. `contexts` must be parallel to `asm_texts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `asm_texts` and `contexts` lengths differ.
+    pub fn decompile_batch_with_types(
+        &self,
+        asm_texts: &[&str],
+        contexts: &[&str],
+    ) -> Vec<Vec<(String, String)>> {
+        assert_eq!(asm_texts.len(), contexts.len(), "one context per function");
+        self.decompile_batch(asm_texts)
             .into_iter()
-            .map(|hyp| {
-                let header =
-                    slade_typeinf::infer_missing_types(&hyp, context).unwrap_or_default();
-                (hyp, header)
+            .zip(contexts)
+            .map(|(hyps, context)| {
+                hyps.into_iter()
+                    .map(|hyp| {
+                        let header = slade_typeinf::infer_missing_types(&hyp, context)
+                            .unwrap_or_default();
+                        (hyp, header)
+                    })
+                    .collect()
             })
             .collect()
     }
@@ -432,6 +495,32 @@ mod tests {
         assert!(!out.is_empty());
         // Output is text; we don't require correctness at tiny scale.
         assert!(out[0].len() < 4000);
+    }
+
+    #[test]
+    fn decompile_batch_matches_per_item_decompile() {
+        let items = generate_train(DatasetProfile::tiny(), 6);
+        let slade = SladeBuilder::new(Isa::X86_64, OptLevel::O0)
+            .profile(TrainProfile::tiny())
+            .beam(3)
+            .train(&items, 7);
+        let pairs = make_pairs(&items[..6.min(items.len())], Isa::X86_64, OptLevel::O0);
+        let asms: Vec<&str> = pairs.iter().take(4).map(|(a, _)| a.as_str()).collect();
+        let batched = slade.decompile_batch(&asms);
+        assert_eq!(batched.len(), asms.len());
+        for (asm, got) in asms.iter().zip(&batched) {
+            assert_eq!(got, &slade.decompile(asm), "batch/TPI divergence");
+        }
+        // The typed variant stays parallel to its inputs.
+        let contexts: Vec<&str> = asms.iter().map(|_| "").collect();
+        let typed = slade.decompile_batch_with_types(&asms, &contexts);
+        assert_eq!(typed.len(), asms.len());
+        for (raw, with_types) in batched.iter().zip(&typed) {
+            assert_eq!(raw.len(), with_types.len());
+            for (h, (h2, _header)) in raw.iter().zip(with_types) {
+                assert_eq!(h, h2);
+            }
+        }
     }
 
     #[test]

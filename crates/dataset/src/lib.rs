@@ -163,7 +163,11 @@ pub fn generate_exebench_eval(
 }
 
 /// Generates the Synth suite: `synth_per_category` items per category.
-pub fn generate_synth(profile: DatasetProfile, seed: u64, train: &[DatasetItem]) -> Vec<DatasetItem> {
+pub fn generate_synth(
+    profile: DatasetProfile,
+    seed: u64,
+    train: &[DatasetItem],
+) -> Vec<DatasetItem> {
     let taken: HashSet<u64> = train.iter().map(DatasetItem::token_hash).collect();
     let mut out = Vec::new();
     for (i, cat) in SYNTH_CATEGORIES.iter().enumerate() {
@@ -180,8 +184,22 @@ pub fn generate_synth(profile: DatasetProfile, seed: u64, train: &[DatasetItem])
 fn exebench_mix() -> Vec<Category> {
     use Category::*;
     vec![
-        SimplInt, SimplInt, SimplArray, SimplArray, Makespeare, Makespeare, StringOps, Dsp,
-        Mathfu, Blas, L2, Structs, Structs, ExternCalls, ExternCalls, Globals,
+        SimplInt,
+        SimplInt,
+        SimplArray,
+        SimplArray,
+        Makespeare,
+        Makespeare,
+        StringOps,
+        Dsp,
+        Mathfu,
+        Blas,
+        L2,
+        Structs,
+        Structs,
+        ExternCalls,
+        ExternCalls,
+        Globals,
     ]
 }
 
@@ -238,9 +256,7 @@ fn small_k(rng: &mut ChaCha8Rng) -> i64 {
 }
 
 fn int_inputs(rng: &mut ChaCha8Rng, n: usize) -> Vec<Vec<ArgSpec>> {
-    (0..4)
-        .map(|_| (0..n).map(|_| ArgSpec::Int(rng.gen_range(-20..40))).collect())
-        .collect()
+    (0..4).map(|_| (0..n).map(|_| ArgSpec::Int(rng.gen_range(-20..40))).collect()).collect()
 }
 
 fn generate_one(cat: Category, rng: &mut ChaCha8Rng) -> DatasetItem {
@@ -419,16 +435,23 @@ fn gen_mathfu(rng: &mut ChaCha8Rng) -> DatasetItem {
     let func_src = match variant {
         0 => format!("double {name}(double x) {{ return x * x + {k}.0; }}"),
         1 => format!("double {name}(double x, double y) {{ return sqrt(x * x + y * y); }}"),
-        _ => format!(
-            "double {name}(double x) {{ if (x < 0.0) x = -x; return x * {k}.5; }}"
-        ),
+        _ => format!("double {name}(double x) {{ if (x < 0.0) x = -x; return x * {k}.5; }}"),
     };
     let inputs = if variant == 1 {
-        vec![vec![ArgSpec::F64(3.0), ArgSpec::F64(4.0)], vec![ArgSpec::F64(1.5), ArgSpec::F64(2.0)]]
+        vec![
+            vec![ArgSpec::F64(3.0), ArgSpec::F64(4.0)],
+            vec![ArgSpec::F64(1.5), ArgSpec::F64(2.0)],
+        ]
     } else {
         vec![vec![ArgSpec::F64(2.0)], vec![ArgSpec::F64(-1.25)]]
     };
-    DatasetItem { name, func_src, context_src: String::new(), category: Category::Mathfu, inputs }
+    DatasetItem {
+        name,
+        func_src,
+        context_src: String::new(),
+        category: Category::Mathfu,
+        inputs,
+    }
 }
 
 fn gen_blas(rng: &mut ChaCha8Rng) -> DatasetItem {
@@ -445,12 +468,7 @@ fn gen_blas(rng: &mut ChaCha8Rng) -> DatasetItem {
     let x: Vec<f64> = (0..6).map(|_| rng.gen_range(-3.0..5.0_f64).round()).collect();
     let y: Vec<f64> = (0..6).map(|_| rng.gen_range(-3.0..5.0_f64).round()).collect();
     let inputs = if variant == 0 {
-        vec![vec![
-            ArgSpec::Int(6),
-            ArgSpec::F64(2.0),
-            ArgSpec::F64Buf(x),
-            ArgSpec::F64Buf(y),
-        ]]
+        vec![vec![ArgSpec::Int(6), ArgSpec::F64(2.0), ArgSpec::F64Buf(x), ArgSpec::F64Buf(y)]]
     } else {
         vec![vec![ArgSpec::Int(6), ArgSpec::F64Buf(x), ArgSpec::F64Buf(y)]]
     };
@@ -523,9 +541,8 @@ fn gen_structs(rng: &mut ChaCha8Rng) -> DatasetItem {
     let name = fresh_name(rng);
     let sname = STRUCT_NAMES.choose(rng).unwrap();
     let (f1, f2) = FIELD_SETS.choose(rng).unwrap();
-    let context_src = format!(
-        "typedef struct {sname} {sname};\nstruct {sname} {{ int {f1}; int {f2}; }};\n"
-    );
+    let context_src =
+        format!("typedef struct {sname} {sname};\nstruct {sname} {{ int {f1}; int {f2}; }};\n");
     let variant = rng.gen_range(0..3);
     let func_src = match variant {
         0 => format!("int {name}({sname} *p) {{ return p->{f1} + p->{f2}; }}"),
@@ -578,10 +595,8 @@ fn gen_globals(rng: &mut ChaCha8Rng) -> DatasetItem {
     let name = fresh_name(rng);
     let g = GLOBALS.choose(rng).unwrap();
     let vals: Vec<i64> = (0..4).map(|_| small_k(rng)).collect();
-    let context_src = format!(
-        "int {g}[4] = {{{}, {}, {}, {}}};\n",
-        vals[0], vals[1], vals[2], vals[3]
-    );
+    let context_src =
+        format!("int {g}[4] = {{{}, {}, {}, {}}};\n", vals[0], vals[1], vals[2], vals[3]);
     let variant = rng.gen_range(0..2);
     let func_src = match variant {
         0 => format!("int {name}(int i) {{ return {g}[i & 3] * 2; }}"),

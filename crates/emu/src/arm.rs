@@ -589,9 +589,8 @@ impl ArmEmulator {
                 let narrow = matches!(&ops[0], Operand::Reg(r) if r.starts_with('w'));
                 let v = if narrow { v & 0xffff_ffff } else { v };
                 if v != 0 {
-                    *ip = *labels
-                        .get(l)
-                        .ok_or_else(|| EmuError::new(format!("label `{l}`")))?;
+                    *ip =
+                        *labels.get(l).ok_or_else(|| EmuError::new(format!("label `{l}`")))?;
                 }
             }
             "b" => {
@@ -626,11 +625,8 @@ impl ArmEmulator {
                 let dst = reg_name(&ops[0])?;
                 let src = reg_name(&ops[1])?;
                 let v = self.reg_read(&src)?;
-                let f = if src.starts_with('w') {
-                    v as u32 as i32 as f64
-                } else {
-                    v as i64 as f64
-                };
+                let f =
+                    if src.starts_with('w') { v as u32 as i32 as f64 } else { v as i64 as f64 };
                 self.fp_write(&dst, f)?;
             }
             "fcvtzs" => {
@@ -673,10 +669,8 @@ impl ArmEmulator {
                     .map_err(|e| EmuError::new(e.to_string()))?;
             }
             "strlen" => {
-                let s = self
-                    .mem
-                    .load_cstr(unpack(x0))
-                    .map_err(|e| EmuError::new(e.to_string()))?;
+                let s =
+                    self.mem.load_cstr(unpack(x0)).map_err(|e| EmuError::new(e.to_string()))?;
                 self.x[0] = s.len() as u64;
             }
             "abs" => {
@@ -696,10 +690,8 @@ impl ArmEmulator {
 fn split_reg(name: &str) -> Result<(char, usize)> {
     let mut chars = name.chars();
     let k = chars.next().ok_or_else(|| EmuError::new("empty register"))?;
-    let n: usize = chars
-        .as_str()
-        .parse()
-        .map_err(|_| EmuError::new(format!("register `{name}`")))?;
+    let n: usize =
+        chars.as_str().parse().map_err(|_| EmuError::new(format!("register `{name}`")))?;
     if n >= 32 {
         return Err(EmuError::new(format!("register `{name}` out of range")));
     }
@@ -714,8 +706,8 @@ mod tests {
 
     fn emu_for(src: &str, name: &str, opt: OptLevel) -> ArmEmulator {
         let p = slade_minic::parse_program(src).unwrap();
-        let asm =
-            compile_function(&p, name, CompileOpts::new(slade_compiler::Isa::Arm64, opt)).unwrap();
+        let asm = compile_function(&p, name, CompileOpts::new(slade_compiler::Isa::Arm64, opt))
+            .unwrap();
         ArmEmulator::new(parse_asm(&asm, Isa::Arm64))
     }
 
@@ -761,7 +753,8 @@ mod tests {
 
     #[test]
     fn arm_float_math() {
-        let mut e = emu_for("double f(double x, double y) { return x * y + 0.5; }", "f", OptLevel::O0);
+        let mut e =
+            emu_for("double f(double x, double y) { return x * y + 0.5; }", "f", OptLevel::O0);
         e.call("f", &[Arg::F64(2.5), Arg::F64(4.0)]).unwrap();
         assert_eq!(e.ret_f64(), 10.5);
     }
@@ -773,7 +766,10 @@ mod tests {
             "f",
             OptLevel::O0,
         );
-        assert_eq!(e.call("f", &[Arg::Int(0xffff_fffc), Arg::Int(2)]).unwrap() as u32, 0x7fff_fffe);
+        assert_eq!(
+            e.call("f", &[Arg::Int(0xffff_fffc), Arg::Int(2)]).unwrap() as u32,
+            0x7fff_fffe
+        );
         assert_eq!(e.call("f", &[Arg::Int(1), Arg::Int(2)]).unwrap() as u32, 0);
     }
 

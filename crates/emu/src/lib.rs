@@ -905,7 +905,8 @@ mod tests {
     fn emu_for(src: &str, name: &str, opt: OptLevel) -> Emulator {
         let p = slade_minic::parse_program(src).unwrap();
         let asm =
-            compile_function(&p, name, CompileOpts::new(slade_compiler::Isa::X86_64, opt)).unwrap();
+            compile_function(&p, name, CompileOpts::new(slade_compiler::Isa::X86_64, opt))
+                .unwrap();
         Emulator::new(parse_asm(&asm, Isa::X86_64))
     }
 
@@ -954,7 +955,8 @@ mod tests {
     #[test]
     fn float_math_matches() {
         for opt in [OptLevel::O0, OptLevel::O3] {
-            let mut e = emu_for("double f(double x, double y) { return x * y + 0.5; }", "f", opt);
+            let mut e =
+                emu_for("double f(double x, double y) { return x * y + 0.5; }", "f", opt);
             e.call("f", &[Arg::F64(2.5), Arg::F64(4.0)]).unwrap();
             assert_eq!(e.ret_f64(), 10.5, "{opt:?}");
         }
@@ -962,7 +964,8 @@ mod tests {
 
     #[test]
     fn unsigned_division() {
-        let mut e = emu_for("unsigned f(unsigned a, unsigned b) { return a / b; }", "f", OptLevel::O0);
+        let mut e =
+            emu_for("unsigned f(unsigned a, unsigned b) { return a / b; }", "f", OptLevel::O0);
         let r = e.call("f", &[Arg::Int(0xffff_fffc), Arg::Int(2)]).unwrap();
         assert_eq!(r as u32, 0x7fff_fffe);
     }

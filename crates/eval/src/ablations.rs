@@ -20,9 +20,7 @@ use crate::tools::{evaluate, summarize, Tool, ToolContext};
 use slade::{make_pairs, Slade, SladeBuilder, TrainProfile};
 use slade_baselines::ChatGptSim;
 use slade_compiler::{Isa, OptLevel};
-use slade_dataset::{
-    generate_exebench_eval, generate_train, DatasetItem, DatasetProfile,
-};
+use slade_dataset::{generate_exebench_eval, generate_train, DatasetItem, DatasetProfile};
 use slade_tokenizer::{special, TokenizerOptions, WordTokenizer};
 use std::fmt::Write;
 use std::time::Instant;
@@ -248,11 +246,8 @@ pub fn ablation_beam(setup: &AblationSetup) -> String {
         let start = Instant::now();
         let records = evaluate(&ctx, &setup.eval, &[Tool::Slade]);
         let elapsed = start.elapsed().as_secs_f64();
-        let per_item = if records.is_empty() {
-            f64::NAN
-        } else {
-            1e3 * elapsed / records.len() as f64
-        };
+        let per_item =
+            if records.is_empty() { f64::NAN } else { 1e3 * elapsed / records.len() as f64 };
         let (acc, sim) = summarize(&records, Tool::Slade);
         let _ = writeln!(out, "{k:<10} {acc:>10.1} {sim:>10.1} {per_item:>14.1}");
     }
@@ -317,11 +312,7 @@ pub fn ablation_repair(setup: &AblationSetup) -> String {
             100.0 * recs.iter().filter(|r| r.compiles).count() as f64 / recs.len() as f64
         };
         let (acc, sim) = summarize(&records, tool);
-        let _ = writeln!(
-            out,
-            "{:<16} {compiles:>12.1} {acc:>12.1} {sim:>12.1}",
-            tool.label()
-        );
+        let _ = writeln!(out, "{:<16} {compiles:>12.1} {acc:>12.1} {sim:>12.1}", tool.label());
     }
     let _ = writeln!(
         out,

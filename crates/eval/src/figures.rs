@@ -11,8 +11,8 @@ use crate::tools::{evaluate, summarize, EvalRecord, Tool, ToolContext};
 use slade::TrainProfile;
 use slade_compiler::{Isa, OptLevel};
 use slade_dataset::{
-    generate_exebench_eval, generate_synth, generate_train, DatasetItem,
-    DatasetProfile, SYNTH_CATEGORIES,
+    generate_exebench_eval, generate_synth, generate_train, DatasetItem, DatasetProfile,
+    SYNTH_CATEGORIES,
 };
 use std::fmt::Write;
 
@@ -186,7 +186,7 @@ pub fn fig8(repro: &Reproduction) -> String {
     let _ = writeln!(out, "== Fig 8: IO accuracy vs assembly length (x86 O0) ==");
     let max_len = records.iter().map(|r| r.asm_chars).max().unwrap_or(1);
     let buckets = 4usize;
-    let _ = writeln!(out, "{:<18} {}", "tool", "accuracy per length quartile (short → long)");
+    let _ = writeln!(out, "{:<18} accuracy per length quartile (short → long)", "tool");
     for tool in tools {
         let mut row = format!("{:<18}", tool.label());
         for b in 0..buckets {
@@ -206,7 +206,8 @@ pub fn fig8(repro: &Reproduction) -> String {
         }
         let _ = writeln!(out, "{row}");
     }
-    let _ = writeln!(out, "paper shape: all tools decline with length; neural decline steeper.");
+    let _ =
+        writeln!(out, "paper shape: all tools decline with length; neural decline steeper.");
     out
 }
 
@@ -237,7 +238,8 @@ pub fn fig9(repro: &Reproduction) -> String {
         let _ = writeln!(out, "{:>6}-{:<6} {:>4} {}", lo, hi, n, "#".repeat(n.min(60)));
     }
     let median = lens[lens.len() / 2];
-    let _ = writeln!(out, "median {median} chars — paper shape: strong bias to short functions.");
+    let _ =
+        writeln!(out, "median {median} chars — paper shape: strong bias to short functions.");
     out
 }
 
@@ -245,14 +247,8 @@ pub fn fig9(repro: &Reproduction) -> String {
 pub fn fig10(repro: &Reproduction) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Fig 10: SLaDe with vs without type inference ==");
-    let _ = writeln!(
-        out,
-        "{:<22} {:>12} {:>16}",
-        "configuration", "SLaDe %", "w/out types %"
-    );
-    for (suite_name, items) in
-        [("Synth", &repro.synth), ("Exe", &repro.exebench)]
-    {
+    let _ = writeln!(out, "{:<22} {:>12} {:>16}", "configuration", "SLaDe %", "w/out types %");
+    for (suite_name, items) in [("Synth", &repro.synth), ("Exe", &repro.exebench)] {
         for &(isa, opt) in &CONFIGS {
             let ctx = repro.context(isa, opt);
             let records = evaluate(ctx, items, &[Tool::Slade, Tool::SladeNoTypes]);
@@ -287,10 +283,8 @@ pub fn fig11(repro: &Reproduction) -> String {
         for cat in SYNTH_CATEGORIES {
             let _ = write!(out, "{:<14}", format!("{cat:?}"));
             for tool in tools {
-                let cat_recs: Vec<&EvalRecord> = records
-                    .iter()
-                    .filter(|r| r.tool == tool && r.category == cat)
-                    .collect();
+                let cat_recs: Vec<&EvalRecord> =
+                    records.iter().filter(|r| r.tool == tool && r.category == cat).collect();
                 if cat_recs.is_empty() {
                     let _ = write!(out, "{:>12}", "-");
                 } else {
@@ -321,8 +315,7 @@ pub fn table1(repro: &Reproduction) -> String {
             "tool", "compiles", "edit sim", "asm len", "C len", "#args", "#ptrs"
         );
         for tool in tools {
-            let recs: Vec<&EvalRecord> =
-                records.iter().filter(|r| r.tool == tool).collect();
+            let recs: Vec<&EvalRecord> = records.iter().filter(|r| r.tool == tool).collect();
             let correct: Vec<f64> = recs.iter().map(|r| r.correct as u8 as f64).collect();
             let series = [
                 recs.iter().map(|r| r.compiles as u8 as f64).collect::<Vec<f64>>(),

@@ -51,12 +51,13 @@ pub fn observe(
     let mut out = Vec::new();
     for input in inputs {
         // Fresh interpreter per input so globals reset between examples.
-        let mut interp =
-            match Interpreter::with_limits(&program, RunLimits { fuel: 2_000_000, max_depth: 128 })
-            {
-                Ok(i) => i,
-                Err(e) => return Err(e.to_string()),
-            };
+        let mut interp = match Interpreter::with_limits(
+            &program,
+            RunLimits { fuel: 2_000_000, max_depth: 128 },
+        ) {
+            Ok(i) => i,
+            Err(e) => return Err(e.to_string()),
+        };
         let mut args = Vec::new();
         let mut bufs = Vec::new();
         for spec in input {
@@ -209,8 +210,11 @@ mod tests {
         let items = generate_train(DatasetProfile::tiny(), 4);
         let item = items
             .iter()
-            .find(|i| i.context_src.is_empty() && i.inputs[0].len() == 2
-                && matches!(i.inputs[0][0], ArgSpec::Int(_)))
+            .find(|i| {
+                i.context_src.is_empty()
+                    && i.inputs[0].len() == 2
+                    && matches!(i.inputs[0][0], ArgSpec::Int(_))
+            })
             .expect("two-int item");
         let refs = reference_observations(item).unwrap();
         let hyp = format!("int {}(int a, int b) {{ while (1) {{ }} return 0; }}", item.name);

@@ -55,11 +55,8 @@ mod tests {
             TrainProfile::tiny(),
             42,
         );
-        let records = evaluate(
-            &ctx,
-            &eval_items,
-            &[Tool::Slade, Tool::Ghidra, Tool::ChatGpt, Tool::Btc],
-        );
+        let records =
+            evaluate(&ctx, &eval_items, &[Tool::Slade, Tool::Ghidra, Tool::ChatGpt, Tool::Btc]);
         assert!(!records.is_empty());
         // Ghidra at O0 on simple items should mostly lift & compile.
         let ghidra: Vec<&EvalRecord> =

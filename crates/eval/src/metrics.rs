@@ -113,7 +113,9 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
         for _ in 0..50 {
             let mk = |rng: &mut rand_chacha::ChaCha8Rng| -> String {
-                (0..rng.gen_range(0..8)).map(|_| if rng.gen_bool(0.5) { 'a' } else { 'b' }).collect()
+                (0..rng.gen_range(0..8))
+                    .map(|_| if rng.gen_bool(0.5) { 'a' } else { 'b' })
+                    .collect()
             };
             let a = mk(&mut rng);
             let b = mk(&mut rng);

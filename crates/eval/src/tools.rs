@@ -165,14 +165,46 @@ fn train_btc(pairs: &[(String, String)], profile: TrainProfile, seed: u64) -> Bt
     BtcBaseline { model, tokenizer }
 }
 
+/// One evaluable item: compiled assembly plus reference observations.
+struct EvalCase<'a> {
+    idx: usize,
+    item: &'a DatasetItem,
+    asm: String,
+    reference: Vec<Option<crate::harness::CallObservation>>,
+}
+
 /// Evaluates `tools` on `items` under `ctx`'s configuration.
+///
+/// All SLaDe-family decompilations run as **one** batched engine pass
+/// ([`Slade::decompile_batch`]) over every item — the per-item work that
+/// remains is type inference, candidate judging, and the non-neural
+/// baselines.
 pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec<EvalRecord> {
     let opts = CompileOpts::new(ctx.isa, ctx.opt);
+    // Pre-pass: compile every item and capture its reference behaviour.
+    let cases: Vec<EvalCase> = items
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, item)| {
+            let program = parse_program(&item.full_src()).ok()?;
+            let asm = compile_function(&program, &item.name, opts).ok()?;
+            let reference = reference_observations(item).ok()?;
+            Some(EvalCase { idx, item, asm, reference })
+        })
+        .collect();
+    // One batched decode for the whole corpus when any neural tool runs.
+    let needs_neural = tools.iter().any(|t| {
+        matches!(t, Tool::Slade | Tool::SladeNoTypes | Tool::SladeRepair | Tool::Hybrid)
+    });
+    let beams: Vec<Vec<String>> = if needs_neural {
+        let asms: Vec<&str> = cases.iter().map(|c| c.asm.as_str()).collect();
+        ctx.slade.decompile_batch(&asms)
+    } else {
+        Vec::new()
+    };
     let mut out = Vec::new();
-    for (idx, item) in items.iter().enumerate() {
-        let Ok(program) = parse_program(&item.full_src()) else { continue };
-        let Ok(asm) = compile_function(&program, &item.name, opts) else { continue };
-        let Ok(reference) = reference_observations(item) else { continue };
+    for (ci, case) in cases.iter().enumerate() {
+        let (idx, item, asm, reference) = (case.idx, case.item, &case.asm, &case.reference);
         let num_pointers = item.inputs.first().map(|args| {
             args.iter()
                 .filter(|a| {
@@ -197,13 +229,17 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
             match tool {
                 Tool::Slade | Tool::SladeNoTypes | Tool::SladeRepair | Tool::Hybrid => {
                     let mut candidates: Vec<(String, String)> = if tool == Tool::SladeNoTypes {
-                        ctx.slade
-                            .decompile(&asm)
-                            .into_iter()
-                            .map(|h| (h, String::new()))
-                            .collect()
+                        beams[ci].iter().map(|h| (h.clone(), String::new())).collect()
                     } else {
-                        ctx.slade.decompile_with_types(&asm, &item.context_src)
+                        beams[ci]
+                            .iter()
+                            .map(|h| {
+                                let header =
+                                    slade_typeinf::infer_missing_types(h, &item.context_src)
+                                        .unwrap_or_default();
+                                (h.clone(), header)
+                            })
+                            .collect()
                     };
                     if tool == Tool::SladeRepair {
                         candidates = slade_repair::repair_candidates(
@@ -215,14 +251,14 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
                     if tool == Tool::Hybrid {
                         // Analytic-first: a successful lift is tried before
                         // any neural candidate (paper §X integration).
-                        if let Ok(lifted) = ghidra_decompile(&asm, ctx.asm_isa(), &item.name) {
+                        if let Ok(lifted) = ghidra_decompile(asm, ctx.asm_isa(), &item.name) {
                             candidates.insert(0, (lifted, String::new()));
                         }
                     }
                     let mut chosen: Option<(&str, Verdict)> = None;
                     let mut verdicts = Vec::new();
                     for (hyp, header) in &candidates {
-                        let v = judge(item, &reference, hyp, header);
+                        let v = judge(item, reference, hyp, header);
                         verdicts.push((hyp.as_str(), v));
                         if v.correct {
                             chosen = Some((hyp.as_str(), v));
@@ -245,9 +281,9 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
                     }
                 }
                 Tool::Ghidra => {
-                    match ghidra_decompile(&asm, ctx.asm_isa(), &item.name) {
+                    match ghidra_decompile(asm, ctx.asm_isa(), &item.name) {
                         Ok(hyp) => {
-                            let v = judge(item, &reference, &hyp, "");
+                            let v = judge(item, reference, &hyp, "");
                             rec.compiles = v.compiles;
                             rec.correct = v.correct;
                             rec.edit_sim = Some(edit_similarity(&hyp, &item.func_src));
@@ -258,8 +294,8 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
                     }
                 }
                 Tool::ChatGpt => {
-                    let hyp = ctx.chatgpt.decompile(&asm, &item.name, idx as u64);
-                    let v = judge(item, &reference, &hyp, "");
+                    let hyp = ctx.chatgpt.decompile(asm, &item.name, idx as u64);
+                    let v = judge(item, reference, &hyp, "");
                     rec.compiles = v.compiles;
                     rec.correct = v.correct;
                     rec.edit_sim = Some(edit_similarity(&hyp, &item.func_src));
@@ -268,8 +304,8 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
                     let Some(btc) = &ctx.btc else { continue };
                     let signature =
                         item.func_src.split('{').next().unwrap_or("").trim().to_string();
-                    let hyp = btc.decompile(&normalize_asm(&asm), &signature);
-                    let v = judge(item, &reference, &hyp, "");
+                    let hyp = btc.decompile(&normalize_asm(asm), &signature);
+                    let v = judge(item, reference, &hyp, "");
                     rec.compiles = v.compiles;
                     rec.correct = v.correct;
                     rec.edit_sim = Some(edit_similarity(&hyp, &item.func_src));

@@ -213,7 +213,8 @@ impl<'p> Interpreter<'p> {
                     .tm
                     .layout
                     .size_of(elem)
-                    .ok_or_else(|| rt("array of unknown element size"))? as i64;
+                    .ok_or_else(|| rt("array of unknown element size"))?
+                    as i64;
                 let elem = (**elem).clone();
                 for (i, a) in args.iter().enumerate() {
                     let sub = Slot { ptr: slot.ptr.offset(i as i64 * esize), ty: elem.clone() };
@@ -289,7 +290,12 @@ impl<'p> Interpreter<'p> {
 
     // ---- calls ----
 
-    fn call_function(&mut self, name: &str, args: &[Value], line: u32) -> Result<Option<Value>> {
+    fn call_function(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        line: u32,
+    ) -> Result<Option<Value>> {
         if let Some(v) = self.call_builtin(name, args)? {
             return Ok(v);
         }
@@ -377,12 +383,7 @@ impl<'p> Interpreter<'p> {
                 if let Some(init) = init {
                     self.store_initializer(&slot, init)?;
                 }
-                self.scopes
-                    .last_mut()
-                    .unwrap()
-                    .last_mut()
-                    .unwrap()
-                    .insert(name.clone(), slot);
+                self.scopes.last_mut().unwrap().last_mut().unwrap().insert(name.clone(), slot);
                 Ok(Flow::Normal)
             }
             StmtKind::Expr(e) => {
@@ -604,8 +605,10 @@ impl<'p> Interpreter<'p> {
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
                     let at = self.tm.value_type(a.id);
-                    if matches!(self.tm.layout.resolve(&self.tm.type_of(a.id).clone()), Type::Struct(_))
-                    {
+                    if matches!(
+                        self.tm.layout.resolve(&self.tm.type_of(a.id).clone()),
+                        Type::Struct(_)
+                    ) {
                         // Struct by value: pass the address; callee copies.
                         let (p, _) = self.eval_lvalue(a)?;
                         argv.push(Value::Ptr(p));
@@ -806,7 +809,8 @@ impl<'p> Interpreter<'p> {
             return Ok(Value::int(res as i64));
         }
         // Floating arithmetic when either side is floating.
-        if matches!(lv, Value::F32(_) | Value::F64(_)) || matches!(rv, Value::F32(_) | Value::F64(_))
+        if matches!(lv, Value::F32(_) | Value::F64(_))
+            || matches!(rv, Value::F32(_) | Value::F64(_))
         {
             let use_f32 = matches!((&lv, &rv), (Value::F32(_), Value::F32(_)))
                 || (matches!(lv, Value::F32(_)) && matches!(rv, Value::Int(..)))
@@ -924,7 +928,11 @@ impl<'p> Interpreter<'p> {
             ExprKind::Unary(UnOp::Deref, inner) => {
                 let v = self.eval(inner)?;
                 let Value::Ptr(p) = v else {
-                    return Err(MiniCError::new(ErrorKind::Runtime, "deref of non-pointer", e.line));
+                    return Err(MiniCError::new(
+                        ErrorKind::Runtime,
+                        "deref of non-pointer",
+                        e.line,
+                    ));
                 };
                 let ty = self.tm.type_of(e.id).clone();
                 Ok((p, ty))
@@ -964,8 +972,7 @@ impl<'p> Interpreter<'p> {
                         ));
                     };
                     let bt = self.tm.value_type(base.id);
-                    let Some(Type::Struct(s)) =
-                        bt.pointee().map(|t| self.tm.layout.resolve(t))
+                    let Some(Type::Struct(s)) = bt.pointee().map(|t| self.tm.layout.resolve(t))
                     else {
                         return Err(MiniCError::new(
                             ErrorKind::Runtime,
@@ -977,7 +984,11 @@ impl<'p> Interpreter<'p> {
                 } else {
                     let (p, ty) = self.eval_lvalue(base)?;
                     let Type::Struct(s) = self.tm.layout.resolve(&ty) else {
-                        return Err(MiniCError::new(ErrorKind::Runtime, ". on non-struct", e.line));
+                        return Err(MiniCError::new(
+                            ErrorKind::Runtime,
+                            ". on non-struct",
+                            e.line,
+                        ));
                     };
                     (p, s)
                 };
@@ -992,7 +1003,9 @@ impl<'p> Interpreter<'p> {
                 let v = self.eval(e)?;
                 Ok((v.as_ptr(), Type::Int(IntKind::Char)))
             }
-            _ => Err(MiniCError::new(ErrorKind::Runtime, "expression is not an lvalue", e.line)),
+            _ => {
+                Err(MiniCError::new(ErrorKind::Runtime, "expression is not an lvalue", e.line))
+            }
         }
     }
 
@@ -1110,7 +1123,9 @@ impl<'p> Interpreter<'p> {
             "fmod" => Some(Value::F64(args[0].as_f64() % args[1].as_f64())),
             "fmin" => Some(Value::F64(args[0].as_f64().min(args[1].as_f64()))),
             "fmax" => Some(Value::F64(args[0].as_f64().max(args[1].as_f64()))),
-            "isdigit" => Some(Value::int((args[0].as_i64() as u8 as char).is_ascii_digit() as i64)),
+            "isdigit" => {
+                Some(Value::int((args[0].as_i64() as u8 as char).is_ascii_digit() as i64))
+            }
             "isalpha" => {
                 Some(Value::int((args[0].as_i64() as u8 as char).is_ascii_alphabetic() as i64))
             }
@@ -1123,12 +1138,8 @@ impl<'p> Interpreter<'p> {
             "islower" => {
                 Some(Value::int((args[0].as_i64() as u8 as char).is_ascii_lowercase() as i64))
             }
-            "toupper" => {
-                Some(Value::int((args[0].as_i64() as u8).to_ascii_uppercase() as i64))
-            }
-            "tolower" => {
-                Some(Value::int((args[0].as_i64() as u8).to_ascii_lowercase() as i64))
-            }
+            "toupper" => Some(Value::int((args[0].as_i64() as u8).to_ascii_uppercase() as i64)),
+            "tolower" => Some(Value::int((args[0].as_i64() as u8).to_ascii_lowercase() as i64)),
             // Output builtins are no-ops that return plausible values; the
             // IO harness compares memory and return values, not stdout.
             "putchar" => Some(Value::int(args[0].as_i64())),
@@ -1140,9 +1151,9 @@ impl<'p> Interpreter<'p> {
 }
 
 fn find_label(stmts: &[Stmt], label: &str) -> Option<usize> {
-    stmts.iter().position(
-        |s| matches!(&s.kind, StmtKind::Labeled { label: l, .. } if l == label),
-    )
+    stmts
+        .iter()
+        .position(|s| matches!(&s.kind, StmtKind::Labeled { label: l, .. } if l == label))
 }
 
 fn rt(msg: impl Into<String>) -> MiniCError {
@@ -1297,17 +1308,14 @@ mod tests {
     #[test]
     fn unsigned_semantics() {
         let src = "unsigned f(unsigned a, unsigned b) { return a / b; }";
-        let big = Value::of_kind(-4 as i64, IntKind::UInt); // 0xfffffffc
+        let big = Value::of_kind(-4_i64, IntKind::UInt); // 0xfffffffc
         assert_eq!(
             run(src, "f", &[big, Value::of_kind(2, IntKind::UInt)]).unwrap().unwrap().as_i64(),
             0x7ffffffe
         );
         let src2 = "int f(unsigned a, int b) { return a > b; }";
         // -1 as unsigned is huge, so 0u > -1 is false but 0xffffffffu > 1.
-        assert_eq!(
-            run_i64(src2, "f", &[Value::of_kind(-1, IntKind::UInt), Value::int(1)]),
-            1
-        );
+        assert_eq!(run_i64(src2, "f", &[Value::of_kind(-1, IntKind::UInt), Value::int(1)]), 1);
     }
 
     #[test]
@@ -1415,7 +1423,8 @@ mod tests {
         let buf = interp.alloc_buffer(&bytes);
         interp.call("dbl", &[Value::Ptr(buf), Value::int(3)]).unwrap();
         let out = interp.read_buffer(buf, 12).unwrap();
-        let vals: Vec<i32> = out.chunks(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
+        let vals: Vec<i32> =
+            out.chunks(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(vals, vec![2, 4, 6]);
     }
 

@@ -150,9 +150,7 @@ impl<'a> Lexer<'a> {
     fn lex_number(&mut self) -> Result<TokenKind> {
         let start = self.pos;
         let mut is_float = false;
-        if self.peek() == Some(b'0')
-            && matches!(self.peek_at(1), Some(b'x') | Some(b'X'))
-        {
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x') | Some(b'X')) {
             self.bump();
             self.bump();
             let digits_start = self.pos;
@@ -207,8 +205,7 @@ impl<'a> Lexer<'a> {
             Ok(TokenKind::FloatLit { value, single: true })
         } else {
             let value: u64 = if text.len() > 1 && text.starts_with('0') {
-                u64::from_str_radix(&text[1..], 8)
-                    .map_err(|_| self.err("bad octal literal"))?
+                u64::from_str_radix(&text[1..], 8).map_err(|_| self.err("bad octal literal"))?
             } else {
                 text.parse().map_err(|_| self.err("integer literal out of range"))?
             };
@@ -332,16 +329,23 @@ mod tests {
         assert!(matches!(kinds("0x2a")[0], TokenKind::IntLit { value: 42, .. }));
         assert!(matches!(kinds("052")[0], TokenKind::IntLit { value: 42, .. }));
         assert!(matches!(kinds("42u")[0], TokenKind::IntLit { value: 42, unsigned: true, .. }));
-        assert!(matches!(kinds("42ul")[0], TokenKind::IntLit { unsigned: true, long: true, .. }));
+        assert!(matches!(
+            kinds("42ul")[0],
+            TokenKind::IntLit { unsigned: true, long: true, .. }
+        ));
     }
 
     #[test]
     fn lexes_float_literal_forms() {
         assert!(matches!(kinds("1.5")[0], TokenKind::FloatLit { single: false, .. }));
         assert!(matches!(kinds("1.5f")[0], TokenKind::FloatLit { single: true, .. }));
-        assert!(matches!(kinds("1e3")[0], TokenKind::FloatLit { value, .. } if value == 1000.0));
+        assert!(
+            matches!(kinds("1e3")[0], TokenKind::FloatLit { value, .. } if value == 1000.0)
+        );
         assert!(matches!(kinds(".25")[0], TokenKind::FloatLit { value, .. } if value == 0.25));
-        assert!(matches!(kinds("2f")[0], TokenKind::FloatLit { value, single: true } if value == 2.0));
+        assert!(
+            matches!(kinds("2f")[0], TokenKind::FloatLit { value, single: true } if value == 2.0)
+        );
     }
 
     #[test]

@@ -276,8 +276,7 @@ impl Parser {
         let mut signedness: Option<bool> = None; // Some(true) = unsigned
         let mut base: Option<&str> = None;
         let mut longs = 0;
-        loop {
-            let TokenKind::Ident(s) = &self.cur().kind else { break };
+        while let TokenKind::Ident(s) = &self.cur().kind {
             match s.as_str() {
                 "unsigned" => {
                     signedness = Some(true);
@@ -433,10 +432,14 @@ impl Parser {
                     self.unknown_types.push(s.clone());
                     Type::Named(s)
                 } else {
-                    return Err(self.err(format!("expected declaration, found `{}`", self.cur().kind)));
+                    return Err(
+                        self.err(format!("expected declaration, found `{}`", self.cur().kind))
+                    );
                 }
             } else {
-                return Err(self.err(format!("expected declaration, found `{}`", self.cur().kind)));
+                return Err(
+                    self.err(format!("expected declaration, found `{}`", self.cur().kind))
+                );
             }
         } else {
             return Err(self.err(format!("expected declaration, found `{}`", self.cur().kind)));
@@ -491,7 +494,12 @@ impl Parser {
         }
     }
 
-    fn parse_function_rest(&mut self, name: String, ret: Type, is_static: bool) -> Result<Function> {
+    fn parse_function_rest(
+        &mut self,
+        name: String,
+        ret: Type,
+        is_static: bool,
+    ) -> Result<Function> {
         self.expect_punct("(")?;
         let mut params = Vec::new();
         if !self.peek_punct(")") {
@@ -560,11 +568,8 @@ impl Parser {
             let cond = self.parse_expr()?;
             self.expect_punct(")")?;
             let then_branch = Box::new(self.parse_stmt()?);
-            let else_branch = if self.eat_kw("else") {
-                Some(Box::new(self.parse_stmt()?))
-            } else {
-                None
-            };
+            let else_branch =
+                if self.eat_kw("else") { Some(Box::new(self.parse_stmt()?)) } else { None };
             return Ok(Stmt { kind: StmtKind::If { cond, then_branch, else_branch }, line });
         }
         if self.peek_kw("while") {
@@ -640,7 +645,9 @@ impl Parser {
                         TokenKind::IntLit { value, .. } => *value as i64,
                         TokenKind::CharLit(c) => *c as i64,
                         other => {
-                            return Err(self.err(format!("expected case constant, found `{other}`")))
+                            return Err(
+                                self.err(format!("expected case constant, found `{other}`"))
+                            )
                         }
                     };
                     self.bump();
@@ -743,10 +750,8 @@ impl Parser {
         let line = self.line();
         self.bump();
         let value = self.parse_assignment()?;
-        Ok(self.expr(
-            ExprKind::Assign { op, target: Box::new(lhs), value: Box::new(value) },
-            line,
-        ))
+        Ok(self
+            .expr(ExprKind::Assign { op, target: Box::new(lhs), value: Box::new(value) }, line))
     }
 
     fn parse_ternary(&mut self) -> Result<Expr> {
@@ -881,8 +886,16 @@ impl Parser {
                     TokenKind::Ident(s) => {
                         matches!(
                             s.as_str(),
-                            "void" | "char" | "short" | "int" | "long" | "float" | "double"
-                                | "signed" | "unsigned" | "struct"
+                            "void"
+                                | "char"
+                                | "short"
+                                | "int"
+                                | "long"
+                                | "float"
+                                | "double"
+                                | "signed"
+                                | "unsigned"
+                                | "struct"
                         ) || self.type_names.contains(s)
                     }
                     _ => false,
@@ -908,13 +921,12 @@ impl Parser {
             if self.eat_punct("[") {
                 let index = self.parse_expr()?;
                 self.expect_punct("]")?;
-                e = self.expr(ExprKind::Index { base: Box::new(e), index: Box::new(index) }, line);
+                e = self
+                    .expr(ExprKind::Index { base: Box::new(e), index: Box::new(index) }, line);
             } else if self.eat_punct(".") {
                 let field = self.expect_ident()?;
-                e = self.expr(
-                    ExprKind::Member { base: Box::new(e), field, arrow: false },
-                    line,
-                );
+                e = self
+                    .expr(ExprKind::Member { base: Box::new(e), field, arrow: false }, line);
             } else if self.eat_punct("->") {
                 let field = self.expect_ident()?;
                 e = self.expr(ExprKind::Member { base: Box::new(e), field, arrow: true }, line);
@@ -992,8 +1004,18 @@ impl Parser {
 /// Typedef names that MiniC treats as built in, so that realistic code using
 /// `<stdint.h>`/`<stddef.h>` spellings parses without headers.
 pub const BUILTIN_TYPEDEFS_NAMES: [&str; 12] = [
-    "int8_t", "int16_t", "int32_t", "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t",
-    "size_t", "ssize_t", "intptr_t", "uintptr_t",
+    "int8_t",
+    "int16_t",
+    "int32_t",
+    "int64_t",
+    "uint8_t",
+    "uint16_t",
+    "uint32_t",
+    "uint64_t",
+    "size_t",
+    "ssize_t",
+    "intptr_t",
+    "uintptr_t",
 ];
 
 fn builtin_typedefs() -> Vec<(&'static str, Type)> {
@@ -1012,7 +1034,6 @@ fn builtin_typedefs() -> Vec<(&'static str, Type)> {
         ("uintptr_t", Type::Int(IntKind::ULong)),
     ]
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -1075,16 +1096,15 @@ mod tests {
 
     #[test]
     fn lenient_mode_records_unknown_types() {
-        let p = parse_program_lenient("my_int f(my_int x) { my_int y = x; return y; }").unwrap();
+        let p =
+            parse_program_lenient("my_int f(my_int x) { my_int y = x; return y; }").unwrap();
         assert_eq!(p.unknown_types, vec!["my_int".to_string()]);
     }
 
     #[test]
     fn lenient_mode_accepts_unknown_pointer_cast() {
-        let p = parse_program_lenient(
-            "void f(void *p) { my_t *q = (my_t*)p; q = q; }",
-        )
-        .unwrap();
+        let p =
+            parse_program_lenient("void f(void *p) { my_t *q = (my_t*)p; q = q; }").unwrap();
         assert!(p.unknown_types.contains(&"my_t".to_string()));
     }
 

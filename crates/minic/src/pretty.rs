@@ -41,8 +41,12 @@ pub fn pretty_program(program: &Program) -> String {
                 let prefix = if *is_extern { "extern " } else { "" };
                 match init {
                     Some(e) => {
-                        let _ =
-                            writeln!(out, "{prefix}{} = {};", declare(ty, name), pretty_expr(e));
+                        let _ = writeln!(
+                            out,
+                            "{prefix}{} = {};",
+                            declare(ty, name),
+                            pretty_expr(e)
+                        );
                     }
                     None => {
                         let _ = writeln!(out, "{prefix}{};", declare(ty, name));
@@ -63,11 +67,7 @@ pub fn pretty_function(f: &Function) -> String {
     let params = if f.params.is_empty() {
         "void".to_string()
     } else {
-        f.params
-            .iter()
-            .map(|(n, t)| declare(t, n))
-            .collect::<Vec<_>>()
-            .join(", ")
+        f.params.iter().map(|(n, t)| declare(t, n)).collect::<Vec<_>>().join(", ")
     };
     let staticity = if f.is_static { "static " } else { "" };
     let _ = write!(out, "{staticity}{} {}({})", pretty_type(&f.ret), f.name, params);
@@ -279,7 +279,9 @@ fn prec_of(e: &Expr) -> u8 {
             BinOp::Add | BinOp::Sub => 12,
             BinOp::Mul | BinOp::Div | BinOp::Rem => 13,
         },
-        ExprKind::Cast { .. } | ExprKind::Unary(..) | ExprKind::SizeofType(_)
+        ExprKind::Cast { .. }
+        | ExprKind::Unary(..)
+        | ExprKind::SizeofType(_)
         | ExprKind::SizeofExpr(_) => 14,
         _ => 15,
     }
@@ -299,7 +301,8 @@ fn pretty_prec(e: &Expr, min: u8) -> String {
         }
         ExprKind::FloatLit(v, single) => {
             let mut s = format!("{v}");
-            if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("nan") {
+            if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("nan")
+            {
                 s.push_str(".0");
             }
             if *single {
@@ -395,8 +398,8 @@ mod tests {
     fn roundtrip(src: &str) {
         let p1 = parse_program(src).unwrap();
         let s1 = pretty_program(&p1);
-        let p2 = parse_program(&s1)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\nsource:\n{s1}"));
+        let p2 =
+            parse_program(&s1).unwrap_or_else(|e| panic!("reparse failed: {e}\nsource:\n{s1}"));
         let s2 = pretty_program(&p2);
         assert_eq!(s1, s2, "printer not a fixpoint for:\n{src}");
     }

@@ -154,16 +154,11 @@ impl<'p> Sema<'p> {
                     self.globals.insert(name.clone(), rty);
                 }
                 Item::Function(f) => {
-                    let params: Vec<Type> = f
-                        .params
-                        .iter()
-                        .map(|(_, t)| self.layout.resolve(t).decay())
-                        .collect();
+                    let params: Vec<Type> =
+                        f.params.iter().map(|(_, t)| self.layout.resolve(t).decay()).collect();
                     let ret = self.layout.resolve(&f.ret);
-                    self.signatures.insert(
-                        f.name.clone(),
-                        Signature { params, ret, variadic: false },
-                    );
+                    self.signatures
+                        .insert(f.name.clone(), Signature { params, ret, variadic: false });
                 }
                 _ => {}
             }
@@ -181,10 +176,8 @@ impl<'p> Sema<'p> {
             }
             if let Type::Struct(s) = &rty {
                 if self.layout.layout_of(s).is_none() {
-                    return Err(self.err(
-                        0,
-                        format!("parameter `{name}` has incomplete type struct {s}"),
-                    ));
+                    return Err(self
+                        .err(0, format!("parameter `{name}` has incomplete type struct {s}")));
                 }
             }
             self.scopes.last_mut().unwrap().insert(name.clone(), rty);
@@ -380,9 +373,7 @@ impl<'p> Sema<'p> {
             ExprKind::FloatLit(_, single) => {
                 self.set(e.id, if *single { Type::Float } else { Type::Double }, false)
             }
-            ExprKind::StrLit(_) => {
-                self.set(e.id, Type::ptr(Type::Int(IntKind::Char)), false)
-            }
+            ExprKind::StrLit(_) => self.set(e.id, Type::ptr(Type::Int(IntKind::Char)), false),
             ExprKind::Ident(name) => {
                 let Some(t) = self.lookup(name) else {
                     return Err(self.err(line, format!("unknown identifier `{name}`")));
@@ -514,7 +505,9 @@ impl<'p> Sema<'p> {
                     match vt.pointee().map(|p| self.layout.resolve(p)) {
                         Some(Type::Struct(s)) => s,
                         _ => {
-                            return Err(self.err(line, format!("`->` on non-struct-pointer `{bt}`")))
+                            return Err(
+                                self.err(line, format!("`->` on non-struct-pointer `{bt}`"))
+                            )
                         }
                     }
                 } else {
@@ -526,10 +519,9 @@ impl<'p> Sema<'p> {
                     }
                 };
                 let Some((_, fty)) = self.layout.field_of(&sname, field) else {
-                    return Err(self.err(
-                        line,
-                        format!("struct {sname} has no field `{field}`"),
-                    ));
+                    return Err(
+                        self.err(line, format!("struct {sname} has no field `{field}`"))
+                    );
                 };
                 self.set(e.id, fty, true)
             }
@@ -629,10 +621,14 @@ impl<'p> Sema<'p> {
                 if lt.is_arithmetic() && rt.is_arithmetic() {
                     Ok(self.common_arith(lt, rt))
                 } else {
-                    Err(self.err(line, format!("invalid operands to `*`/`/`")))
+                    Err(self.err(line, "invalid operands to `*`/`/`".to_string()))
                 }
             }
-            BinOp::Rem | BinOp::Shl | BinOp::Shr | BinOp::BitAnd | BinOp::BitOr
+            BinOp::Rem
+            | BinOp::Shl
+            | BinOp::Shr
+            | BinOp::BitAnd
+            | BinOp::BitOr
             | BinOp::BitXor => {
                 if lt.is_integer() && rt.is_integer() {
                     if matches!(op, BinOp::Shl | BinOp::Shr) {
@@ -710,10 +706,7 @@ fn builtin_signatures() -> HashMap<String, Signature> {
     def("toupper", vec![i.clone()], i.clone());
     def("tolower", vec![i.clone()], i.clone());
     def("putchar", vec![i.clone()], i.clone());
-    m.insert(
-        "printf".to_string(),
-        Signature { params: vec![cp], ret: i, variadic: true },
-    );
+    m.insert("printf".to_string(), Signature { params: vec![cp], ret: i, variadic: true });
     m
 }
 
@@ -749,13 +742,15 @@ mod tests {
 
     #[test]
     fn rejects_unknown_field() {
-        let err = check("struct s { int a; }; int f(struct s *p) { return p->b; }").unwrap_err();
+        let err =
+            check("struct s { int a; }; int f(struct s *p) { return p->b; }").unwrap_err();
         assert!(err.message().contains("no field"));
     }
 
     #[test]
     fn rejects_wrong_arity_for_known_function() {
-        let err = check("int g(int a) { return a; } int f(void) { return g(1, 2); }").unwrap_err();
+        let err =
+            check("int g(int a) { return a; } int f(void) { return g(1, 2); }").unwrap_err();
         assert!(err.message().contains("expects 1 argument"));
     }
 
@@ -817,10 +812,7 @@ mod tests {
 
     #[test]
     fn struct_assignment_same_tag_ok() {
-        check(
-            "struct s { int a; }; void f(struct s *p, struct s *q) { *p = *q; }",
-        )
-        .unwrap();
+        check("struct s { int a; }; void f(struct s *p, struct s *q) { *p = *q; }").unwrap();
     }
 
     #[test]
@@ -829,8 +821,10 @@ mod tests {
         assert!(check("double g(void); int f(void) { switch (g()) { default: return 0; } }")
             .is_err());
         assert!(
-            check("int f(int x) { switch (x) { case 1: return 1; case 1: return 2; } return 0; }")
-                .is_err(),
+            check(
+                "int f(int x) { switch (x) { case 1: return 1; case 1: return 2; } return 0; }"
+            )
+            .is_err(),
             "duplicate labels"
         );
     }

@@ -64,17 +64,46 @@ impl fmt::Display for TokenKind {
 /// All multi- and single-character punctuation, longest first so the lexer
 /// can match greedily.
 pub const PUNCTS: &[&str] = &[
-    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
-    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "+",
-    "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", "!", "~", "?", ":",
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",",
+    ".", "+", "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", "!", "~", "?", ":",
 ];
 
 /// C keywords recognized by the parser.
 pub const KEYWORDS: &[&str] = &[
-    "void", "char", "short", "int", "long", "float", "double", "signed", "unsigned", "struct",
-    "union", "enum", "typedef", "extern", "static", "const", "volatile", "restrict", "__restrict",
-    "inline", "if", "else", "while", "do", "for", "return", "break", "continue", "goto", "sizeof",
-    "switch", "case", "default",
+    "void",
+    "char",
+    "short",
+    "int",
+    "long",
+    "float",
+    "double",
+    "signed",
+    "unsigned",
+    "struct",
+    "union",
+    "enum",
+    "typedef",
+    "extern",
+    "static",
+    "const",
+    "volatile",
+    "restrict",
+    "__restrict",
+    "inline",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "goto",
+    "sizeof",
+    "switch",
+    "case",
+    "default",
 ];
 
 /// Returns true if `s` is a C keyword (and therefore never a plain

@@ -1,0 +1,56 @@
+//! Decode-throughput probe: times the batched engine step against the
+//! per-lane scalar path on the `small` profile (8 requests × beam 5 = 40
+//! lanes), plus the encoder for scale. The criterion benchmark
+//! (`cargo bench -p slade_bench --bench micro -- decode8`) measures the
+//! same comparison end to end; this example isolates the raw step loop.
+
+use slade_nn::{Seq2Seq, TransformerConfig};
+use std::time::Instant;
+
+fn main() {
+    let m = Seq2Seq::new(TransformerConfig::small(512), 7);
+    let srcs: Vec<Vec<u32>> =
+        (0..8).map(|i| (0..24u32).map(|t| 4 + (t * 7 + i) % 480).collect()).collect();
+    let refs: Vec<&[u32]> = srcs.iter().map(|s| s.as_slice()).collect();
+    let mems = m.encode_batch(&refs);
+    // Batched: 40 lanes (beam 5 per request) stepping together.
+    let mut state = m.begin_decode_batch(40, 25);
+    for (i, mem) in mems.iter().enumerate() {
+        let c = m.register_cross_memory(&mut state, mem, srcs[i].len());
+        for _ in 0..5 {
+            state.add_lane(c);
+        }
+    }
+    let toks: Vec<u32> = (0..40).map(|i| 3 + i % 12).collect();
+    let t0 = Instant::now();
+    for _ in 0..24 {
+        let _ = m.decode_step_batch(&mut state, &toks);
+    }
+    let batched = t0.elapsed();
+    // Scalar: the same 40 lanes as independent KV-cached states.
+    let mut scalars: Vec<_> =
+        (0..40).map(|i| m.begin_decode(&mems[i / 5], srcs[i / 5].len())).collect();
+    let t1 = Instant::now();
+    for _ in 0..24 {
+        for (i, st) in scalars.iter_mut().enumerate() {
+            let _ = m.decode_step(st, toks[i]);
+        }
+    }
+    let scalar = t1.elapsed();
+    println!(
+        "24 steps x 40 lanes: batched {batched:?}  scalar {scalar:?}  speedup {:.2}x",
+        scalar.as_secs_f64() / batched.as_secs_f64()
+    );
+    let t2 = Instant::now();
+    let _ = m.encode_batch(&refs);
+    let enc_batched = t2.elapsed();
+    let t3 = Instant::now();
+    for s in &srcs {
+        let _ = m.encode(s);
+    }
+    let enc_scalar = t3.elapsed();
+    println!(
+        "8 encodes of 24 tokens: batched {enc_batched:?}  scalar {enc_scalar:?}  speedup {:.2}x",
+        enc_scalar.as_secs_f64() / enc_batched.as_secs_f64()
+    );
+}

@@ -11,9 +11,13 @@
 //! - [`store`] — flat parameter store with gradients and Adam moments;
 //! - [`model`] — the seq2seq Transformer with hand-written backward passes,
 //!   optional seeded dropout (for the paper's §V-C ablation), forward-only
-//!   evaluation ([`Seq2Seq::eval_loss`]), and KV-cached incremental
+//!   evaluation ([`Seq2Seq::eval_loss`]), KV-cached incremental
 //!   decoding ([`Seq2Seq::begin_decode`]/[`Seq2Seq::decode_step`]) that is
-//!   bit-identical to full recomputation.
+//!   bit-identical to full recomputation, and the arena-backed batched
+//!   decode path ([`Seq2Seq::encode_batch`]/[`Seq2Seq::decode_step_batch`]);
+//! - [`engine`] — the batched [`InferenceEngine`]: beam-search scheduling,
+//!   scoring and early-stop policy, interleaving many requests into one
+//!   decode batch.
 //!
 //! # Example
 //!
@@ -30,9 +34,11 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod math;
 pub mod model;
 pub mod store;
 
-pub use model::{DecoderState, Seq2Seq, TransformerConfig};
+pub use engine::{DecodeRequest, InferenceEngine};
+pub use model::{BatchedDecoderState, DecoderState, Seq2Seq, TransformerConfig};
 pub use store::{ParamStore, ParamTensor};

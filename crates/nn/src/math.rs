@@ -23,20 +23,8 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 
 /// `c[m,n] = a[m,k] @ b[n,k]ᵀ` — the Linear-layer forward shape.
 pub fn matmul_transb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
     let mut c = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            c[i * n + j] = acc;
-        }
-    }
+    matmul_transb_into(a, b, &mut c, m, k, n);
     c
 }
 
@@ -76,6 +64,217 @@ pub fn softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
             *v *= inv;
         }
     }
+}
+
+/// Writes `c[m,n] = a[m,k] @ b[n,k]ᵀ` into a caller-provided buffer —
+/// the allocation-free variant of [`matmul_transb`], and the kernel the
+/// batched decode path lives on.
+///
+/// Rows of `a` are processed in blocks of four: each loaded `b` element
+/// feeds four independent accumulator chains, which both quarters the `b`
+/// traffic and breaks the single FMA dependency chain that bounds a
+/// one-row (`m = 1`) dot product. This is where batching beams/requests
+/// turns into actual speedup — a single hypothesis cannot fill the block.
+/// Each accumulator still sums over `k` in index order, so results are
+/// bit-identical to the row-at-a-time loop.
+pub fn matmul_transb_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let mut i = 0usize;
+    while i + 4 <= m {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc0 = 0.0f32;
+            let mut acc1 = 0.0f32;
+            let mut acc2 = 0.0f32;
+            let mut acc3 = 0.0f32;
+            // Zipped iteration keeps the quad-accumulator loop free of
+            // bounds checks.
+            for ((((&bv, &x0), &x1), &x2), &x3) in brow.iter().zip(a0).zip(a1).zip(a2).zip(a3) {
+                acc0 += x0 * bv;
+                acc1 += x1 * bv;
+                acc2 += x2 * bv;
+                acc3 += x3 * bv;
+            }
+            c[i * n + j] = acc0;
+            c[(i + 1) * n + j] = acc1;
+            c[(i + 2) * n + j] = acc2;
+            c[(i + 3) * n + j] = acc3;
+        }
+        i += 4;
+    }
+    while i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            c[i * n + j] = acc;
+        }
+        i += 1;
+    }
+}
+
+/// Transposes `src[rows, cols]` into `dst[cols, rows]`.
+pub fn transpose_into(src: &[f32], dst: &mut [f32], rows: usize, cols: usize) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+}
+
+/// `c[m,n] = a[m,k] @ bt[k,n]` with `bt` already transposed — the
+/// vectorization-friendly orientation the batched decode path uses with
+/// pre-transposed weights. The inner loop walks `c` and `bt` rows
+/// contiguously (independent element updates, no reduction chain), so the
+/// compiler vectorizes it; rows of `a` are processed in blocks of four so
+/// each `bt` row streams from cache once per block instead of once per
+/// row. For every output element the sum still runs over `k` in ascending
+/// order — results are bit-identical to [`matmul_transb`] against the
+/// untransposed weights.
+pub fn matmul_xposed_into(a: &[f32], bt: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bt.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let mut i = 0usize;
+    while i + 4 <= m {
+        // Split the four output rows so the compiler sees disjoint slices.
+        let (c0, rest) = c[i * n..].split_at_mut(n);
+        let (c1, rest) = rest.split_at_mut(n);
+        let (c2, c3full) = rest.split_at_mut(n);
+        let c3 = &mut c3full[..n];
+        c0.fill(0.0);
+        c1.fill(0.0);
+        c2.fill(0.0);
+        c3.fill(0.0);
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        for p in 0..k {
+            let (av0, av1, av2, av3) = (a0[p], a1[p], a2[p], a3[p]);
+            let brow = &bt[p * n..(p + 1) * n];
+            for (j, &bv) in brow.iter().enumerate() {
+                c0[j] += av0 * bv;
+                c1[j] += av1 * bv;
+                c2[j] += av2 * bv;
+                c3[j] += av3 * bv;
+            }
+        }
+        i += 4;
+    }
+    while i < m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        crow.fill(0.0);
+        let arow = &a[i * k..(i + 1) * k];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &bt[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Batched matmul over independent operand pairs living in strided arenas:
+/// for each `bi < batch`, `c[bi][m,n] = a[bi][m,k] @ b[bi][n,k]ᵀ`, where
+/// `a[bi]` starts at `a[bi * a_stride]`, and likewise for `b` and `c`.
+/// Strides may exceed the matrix sizes (arena layouts with headroom).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_transb_batched(
+    a: &[f32],
+    a_stride: usize,
+    b: &[f32],
+    b_stride: usize,
+    c: &mut [f32],
+    c_stride: usize,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert!(a_stride >= m * k && b_stride >= n * k && c_stride >= m * n);
+    for bi in 0..batch {
+        let abase = &a[bi * a_stride..bi * a_stride + m * k];
+        let bbase = &b[bi * b_stride..bi * b_stride + n * k];
+        let cbase = &mut c[bi * c_stride..bi * c_stride + m * n];
+        for i in 0..m {
+            let arow = &abase[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &bbase[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                cbase[i * n + j] = acc;
+            }
+        }
+    }
+}
+
+/// In-place row-wise log-softmax over an `[rows, cols]` matrix: the proper
+/// `x - max - ln(Σ exp(x - max))`, replacing the numerically lossy
+/// `softmax` + `ln(max(p, 1e-12))` double pass the beam search used to do.
+pub fn log_softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
+    for r in 0..rows {
+        let row = &mut x[r * cols..(r + 1) * cols];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter() {
+            sum += (v - max).exp();
+        }
+        let lse = max + sum.ln();
+        for v in row.iter_mut() {
+            *v -= lse;
+        }
+    }
+}
+
+/// Fused log-softmax + top-k selection over one logits row, without
+/// sorting (or even normalizing) the full vocabulary. Two passes: one for
+/// the max, one that accumulates `Σ exp(x - max)` while maintaining the k
+/// best raw logits by linear insertion (k is the beam width, ≤ 8 in
+/// practice, so the `O(cols · k)` worst case beats `O(cols · log cols)`
+/// sorting by a wide margin and allocates only the k-slot output).
+///
+/// Returns `(token, log_prob)` pairs in descending log-prob order; ties
+/// resolve to the lower index, matching what a stable descending sort of
+/// the full vocabulary would select.
+pub fn log_softmax_topk(row: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let k = k.max(1).min(row.len());
+    let mut max = f32::NEG_INFINITY;
+    for &v in row {
+        if v > max {
+            max = v;
+        }
+    }
+    let mut sum = 0.0f32;
+    // `best` is kept sorted descending by logit; ties keep earlier indices
+    // first because later candidates only displace strictly smaller ones.
+    let mut best: Vec<(usize, f32)> = Vec::with_capacity(k + 1);
+    for (i, &v) in row.iter().enumerate() {
+        sum += (v - max).exp();
+        if best.len() < k || v > best[best.len() - 1].1 {
+            let pos = best.partition_point(|&(_, bv)| bv >= v);
+            best.insert(pos, (i, v));
+            if best.len() > k {
+                best.pop();
+            }
+        }
+    }
+    let lse = max + sum.ln();
+    best.iter().map(|&(i, v)| (i, v - lse)).collect()
 }
 
 /// GELU activation (tanh approximation, as BART uses).
@@ -127,6 +326,74 @@ mod tests {
         softmax_rows(&mut x, 2, 2);
         assert!((x[0] - 0.5).abs() < 1e-6);
         assert!((x[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_ln() {
+        let logits = vec![0.5f32, -2.0, 3.25, 0.0, 1.0, -0.125];
+        let mut a = logits.clone();
+        log_softmax_rows(&mut a, 1, 6);
+        let mut b = logits.clone();
+        softmax_rows(&mut b, 1, 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y.ln()).abs() < 1e-5, "{x} vs {}", y.ln());
+        }
+        let total: f32 = a.iter().map(|v| v.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-5, "{total}");
+    }
+
+    #[test]
+    fn topk_matches_full_sort_with_stable_ties() {
+        let row = vec![1.0f32, 3.0, 3.0, -1.0, 2.0, 3.0, 0.0];
+        let got = log_softmax_topk(&row, 4);
+        // Full-sort reference with stable tie-breaking on index.
+        let mut full = row.clone();
+        log_softmax_rows(&mut full, 1, row.len());
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| full[b].total_cmp(&full[a]));
+        for (rank, &(i, lp)) in got.iter().enumerate() {
+            assert_eq!(i, idx[rank], "rank {rank}");
+            assert!((lp - full[i]).abs() < 1e-6);
+        }
+        // Ties 3.0@1, 3.0@2, 3.0@5 must come out in index order.
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[1].0, 2);
+        assert_eq!(got[2].0, 5);
+    }
+
+    #[test]
+    fn topk_handles_k_larger_than_row() {
+        let row = vec![0.5f32, -0.5];
+        let got = log_softmax_topk(&row, 10);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 0);
+    }
+
+    #[test]
+    fn batched_transb_matches_unbatched() {
+        // Two independent lanes in arenas with headroom.
+        let a = vec![1.0, 2.0, 3.0, 0.0, /* lane 1 */ -1.0, 0.5, 2.0, 0.0];
+        let b = vec![
+            1.0, 0.0, 1.0, 0.5, 0.5, 0.5, 0.0, 0.0, /* lane 1 */ 2.0, 1.0, 0.0, 0.0, 1.0,
+            1.0, 0.0, 0.0,
+        ];
+        let mut c = vec![0.0f32; 6];
+        matmul_transb_batched(&a, 4, &b, 8, &mut c, 3, 2, 1, 3, 2);
+        for lane in 0..2 {
+            let expect =
+                matmul_transb(&a[lane * 4..lane * 4 + 3], &b[lane * 8..lane * 8 + 6], 1, 3, 2);
+            assert_eq!(&c[lane * 3..lane * 3 + 2], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn matmul_transb_into_matches_alloc_version() {
+        let a = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = vec![0.5f32, -1.0, 2.0, 1.0, 0.0, 1.0];
+        let expect = matmul_transb(&a, &b, 2, 3, 2);
+        let mut c = vec![0.0f32; 4];
+        matmul_transb_into(&a, &b, &mut c, 2, 3, 2);
+        assert_eq!(c, expect);
     }
 
     #[test]

@@ -239,11 +239,7 @@ impl Seq2Seq {
             self.drop_seed ^ self.drop_step.wrapping_mul(0x9e37_79b9_7f4a_7c15),
         );
         self.drop_step = self.drop_step.wrapping_add(1);
-        Some(
-            (0..len)
-                .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-                .collect(),
-        )
+        Some((0..len).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect())
     }
 
     /// Total number of scalar parameters.
@@ -366,7 +362,7 @@ impl Seq2Seq {
 
     /// Attention backward: accumulates parameter grads, returns
     /// `(dx, dkv)`.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
     fn attention_bwd(
         &mut self,
         a: &Attn,
@@ -504,7 +500,14 @@ impl Seq2Seq {
         (out, hidden)
     }
 
-    fn ffn_bwd(&mut self, f: &Ffn, x: &[f32], hidden: &[f32], dy: &[f32], t: usize) -> Vec<f32> {
+    fn ffn_bwd(
+        &mut self,
+        f: &Ffn,
+        x: &[f32],
+        hidden: &[f32],
+        dy: &[f32],
+        t: usize,
+    ) -> Vec<f32> {
         let d = self.cfg.d_model;
         let dff = self.cfg.d_ff;
         let mut act = hidden.to_vec();
@@ -639,10 +642,10 @@ impl Seq2Seq {
             .map(|_| (self.next_mask(s * d), self.next_mask(s * d)))
             .collect();
         #[allow(clippy::type_complexity)]
-        let dec_masks: Vec<(Option<Vec<f32>>, Option<Vec<f32>>, Option<Vec<f32>>)> = (0
-            ..self.cfg.dec_layers)
-            .map(|_| (self.next_mask(t * d), self.next_mask(t * d), self.next_mask(t * d)))
-            .collect();
+        let dec_masks: Vec<(Option<Vec<f32>>, Option<Vec<f32>>, Option<Vec<f32>>)> =
+            (0..self.cfg.dec_layers)
+                .map(|_| (self.next_mask(t * d), self.next_mask(t * d), self.next_mask(t * d)))
+                .collect();
         // ---- encoder forward with caches ----
         let mut h_enc = self.embed_seq(src);
         let mut enc_caches = Vec::new();
@@ -667,7 +670,8 @@ impl Seq2Seq {
         for (layer, masks) in self.dec.iter().zip(&dec_masks) {
             let x0 = h.clone();
             let (ln1, m1, r1) = self.layer_norm(&layer.ln1, &x0, t);
-            let (mut att, self_cache) = self.attention(&layer.self_attn, &ln1, &ln1, t, t, true);
+            let (mut att, self_cache) =
+                self.attention(&layer.self_attn, &ln1, &ln1, t, t, true);
             apply_mask(&mut att, &masks.0);
             add_into(&mut h, &att);
             let x1 = h.clone();
@@ -682,7 +686,20 @@ impl Seq2Seq {
             apply_mask(&mut ff, &masks.2);
             add_into(&mut h, &ff);
             dec_caches.push((
-                x0, ln1, m1, r1, self_cache, x1, ln2, m2, r2, cross_cache, x2, ln3, m3, r3,
+                x0,
+                ln1,
+                m1,
+                r1,
+                self_cache,
+                x1,
+                ln2,
+                m2,
+                r2,
+                cross_cache,
+                x2,
+                ln3,
+                m3,
+                r3,
                 hidden,
             ));
         }
@@ -776,8 +793,7 @@ impl Seq2Seq {
         let d = self.cfg.d_model;
         for (ti, &id) in ids.iter().enumerate() {
             let g = &dh[ti * d..(ti + 1) * d];
-            self.store
-                .add_grad_slice(self.embed, (id as usize).min(self.cfg.vocab - 1) * d, g);
+            self.store.add_grad_slice(self.embed, (id as usize).min(self.cfg.vocab - 1) * d, g);
             self.store.add_grad_slice(self.pos, ti.min(self.cfg.max_len - 1) * d, g);
         }
     }
@@ -850,15 +866,448 @@ impl Seq2Seq {
         matmul_transb(&hn, self.store.data(self.embed), 1, d, self.cfg.vocab)
     }
 
+    /// Writes `linear(x)` into a caller-provided buffer against a
+    /// pre-transposed (`[din, dout]`) weight matrix, via the vectorized
+    /// [`matmul_xposed_into`] kernel — the batched decode path reuses
+    /// scratch across steps instead of allocating.
+    #[allow(clippy::too_many_arguments)]
+    fn linear_xposed_into(
+        &self,
+        wt: &[f32],
+        b: PId,
+        x: &[f32],
+        out: &mut [f32],
+        t: usize,
+        din: usize,
+        dout: usize,
+    ) {
+        matmul_xposed_into(x, wt, out, t, din, dout);
+        let bias = self.store.data(b);
+        for row in 0..t {
+            for j in 0..dout {
+                out[row * dout + j] += bias[j];
+            }
+        }
+    }
+
+    /// Allocation-free [`Seq2Seq::layer_norm`] for inference (no
+    /// mean/rstd caches). Arithmetic is identical to the caching version.
+    fn layer_norm_into(&self, ln: &Ln, x: &[f32], t: usize, out: &mut [f32]) {
+        let d = self.cfg.d_model;
+        let gamma = self.store.data(ln.gamma);
+        let beta = self.store.data(ln.beta);
+        for r in 0..t {
+            let row = &x[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let rstd = 1.0 / (var + 1e-5).sqrt();
+            for j in 0..d {
+                out[r * d + j] = gamma[j] * (row[j] - mean) * rstd + beta[j];
+            }
+        }
+    }
+
+    /// Batched encoder forward: packs all sequences into one row matrix so
+    /// every projection runs as a single matmul over `Σ lengths` rows
+    /// (weights stream through the cache once per batch instead of once
+    /// per sequence), while attention stays per-sequence — which makes
+    /// ragged lengths exact without padding or masking. Returns one
+    /// encoder memory per input, numerically identical to
+    /// [`Seq2Seq::encode`] on each sequence.
+    pub fn encode_batch(&self, srcs: &[&[u32]]) -> Vec<Vec<f32>> {
+        let d = self.cfg.d_model;
+        let h = self.cfg.n_heads;
+        let dh = d / h;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let lens: Vec<usize> = srcs.iter().map(|s| s.len()).collect();
+        let mut offsets = Vec::with_capacity(srcs.len());
+        let mut total = 0usize;
+        for &l in &lens {
+            offsets.push(total);
+            total += l;
+        }
+        // Embed each sequence at its row range (positions restart per
+        // sequence, as in the scalar path).
+        let mut hbuf = vec![0.0f32; total * d];
+        for (si, src) in srcs.iter().enumerate() {
+            let rows = self.embed_seq(src);
+            hbuf[offsets[si] * d..(offsets[si] + lens[si]) * d].copy_from_slice(&rows);
+        }
+        let mut ln = vec![0.0f32; total * d];
+        let mut q = vec![0.0f32; total * d];
+        let mut k = vec![0.0f32; total * d];
+        let mut v = vec![0.0f32; total * d];
+        let mut ctx = vec![0.0f32; total * d];
+        let mut proj = vec![0.0f32; total * d];
+        let dff = self.cfg.d_ff;
+        let mut hidden = vec![0.0f32; total * dff];
+        let max_t = lens.iter().copied().max().unwrap_or(0);
+        let mut probs = vec![0.0f32; max_t * max_t];
+        // Weights transposed once per batch into the layout the vectorized
+        // kernel streams through; amortized over `total` rows.
+        let xposed: Vec<[Vec<f32>; 6]> = self
+            .enc
+            .iter()
+            .map(|layer| {
+                [
+                    self.xposed(layer.attn.wq, d, d),
+                    self.xposed(layer.attn.wk, d, d),
+                    self.xposed(layer.attn.wv, d, d),
+                    self.xposed(layer.attn.wo, d, d),
+                    self.xposed(layer.ffn.w1, dff, d),
+                    self.xposed(layer.ffn.w2, d, dff),
+                ]
+            })
+            .collect();
+        for (layer, xw) in self.enc.iter().zip(&xposed) {
+            // Self-attention: one projection matmul per weight over all rows.
+            self.layer_norm_into(&layer.ln1, &hbuf, total, &mut ln);
+            let a = &layer.attn;
+            self.linear_xposed_into(&xw[0], a.bq, &ln, &mut q, total, d, d);
+            self.linear_xposed_into(&xw[1], a.bk, &ln, &mut k, total, d, d);
+            self.linear_xposed_into(&xw[2], a.bv, &ln, &mut v, total, d, d);
+            ctx.iter_mut().for_each(|c| *c = 0.0);
+            for (si, &t) in lens.iter().enumerate() {
+                if t == 0 {
+                    continue;
+                }
+                let off = offsets[si] * d;
+                let qs = &q[off..off + t * d];
+                let ks = &k[off..off + t * d];
+                let vs = &v[off..off + t * d];
+                let cs = &mut ctx[off..off + t * d];
+                for head in 0..h {
+                    let ho = head * dh;
+                    let p = &mut probs[..t * t];
+                    for ti in 0..t {
+                        for si2 in 0..t {
+                            let mut acc = 0.0f32;
+                            for j in 0..dh {
+                                acc += qs[ti * d + ho + j] * ks[si2 * d + ho + j];
+                            }
+                            p[ti * t + si2] = acc * scale;
+                        }
+                    }
+                    softmax_rows(p, t, t);
+                    for ti in 0..t {
+                        for si2 in 0..t {
+                            let w = p[ti * t + si2];
+                            if w == 0.0 {
+                                continue;
+                            }
+                            for j in 0..dh {
+                                cs[ti * d + ho + j] += w * vs[si2 * d + ho + j];
+                            }
+                        }
+                    }
+                }
+            }
+            self.linear_xposed_into(&xw[3], a.bo, &ctx, &mut proj, total, d, d);
+            add_into(&mut hbuf, &proj);
+            // FFN: both matmuls batched over all rows.
+            self.layer_norm_into(&layer.ln2, &hbuf, total, &mut ln);
+            self.linear_xposed_into(&xw[4], layer.ffn.b1, &ln, &mut hidden, total, d, dff);
+            hidden.iter_mut().for_each(|x| *x = gelu(*x));
+            self.linear_xposed_into(&xw[5], layer.ffn.b2, &hidden, &mut proj, total, dff, d);
+            add_into(&mut hbuf, &proj);
+        }
+        self.layer_norm_into(&self.ln_enc_out, &hbuf, total, &mut ln);
+        lens.iter()
+            .enumerate()
+            .map(|(si, &t)| ln[offsets[si] * d..(offsets[si] + t) * d].to_vec())
+            .collect()
+    }
+
+    /// Transposes one `[dout, din]` weight tensor into `[din, dout]`.
+    fn xposed(&self, w: PId, dout: usize, din: usize) -> Vec<f32> {
+        let mut t = vec![0.0f32; dout * din];
+        transpose_into(self.store.data(w), &mut t, dout, din);
+        t
+    }
+
+    /// Creates an empty [`BatchedDecoderState`] with room for `cap_lanes`
+    /// concurrent hypotheses of up to `cap_pos` decoded tokens each. All
+    /// arenas are allocated up front and the decoder weights the batched
+    /// step needs are transposed once here (into the layout
+    /// [`matmul_xposed_into`] vectorizes over); the per-step decode path
+    /// then allocates nothing. The state snapshots the weights, so it must
+    /// not outlive parameter updates.
+    pub fn begin_decode_batch(&self, cap_lanes: usize, cap_pos: usize) -> BatchedDecoderState {
+        let layers = self.dec.len();
+        let d = self.cfg.d_model;
+        let dff = self.cfg.d_ff;
+        let arena = cap_lanes.max(1) * cap_pos.max(1) * d;
+        let xposed = self
+            .dec
+            .iter()
+            .map(|layer| XposedDecLayer {
+                self_wq: self.xposed(layer.self_attn.wq, d, d),
+                self_wk: self.xposed(layer.self_attn.wk, d, d),
+                self_wv: self.xposed(layer.self_attn.wv, d, d),
+                self_wo: self.xposed(layer.self_attn.wo, d, d),
+                cross_wq: self.xposed(layer.cross_attn.wq, d, d),
+                cross_wo: self.xposed(layer.cross_attn.wo, d, d),
+                ffn_w1: self.xposed(layer.ffn.w1, dff, d),
+                ffn_w2: self.xposed(layer.ffn.w2, d, dff),
+            })
+            .collect();
+        let embed_t = self.xposed(self.embed, self.cfg.vocab, d);
+        BatchedDecoderState {
+            d,
+            cap_pos: cap_pos.max(1),
+            self_k: vec![vec![0.0; arena]; layers],
+            self_v: vec![vec![0.0; arena]; layers],
+            gather_k: vec![vec![0.0; arena]; layers],
+            gather_v: vec![vec![0.0; arena]; layers],
+            cross: Vec::new(),
+            lane_pos: Vec::new(),
+            lane_cross: Vec::new(),
+            cap_lanes: cap_lanes.max(1),
+            xposed,
+            embed_t,
+            scratch: StepScratch::default(),
+        }
+    }
+
+    /// Consumes one decoder token **per live lane** and returns the
+    /// `[lanes, vocab]` next-token logits, numerically identical to
+    /// running [`Seq2Seq::decode_step`] on each lane's own
+    /// [`DecoderState`]. Every projection (Q/K/V/out, both FFN layers, and
+    /// the vocabulary logits) runs as **one** matmul over all live lanes;
+    /// only the attention reductions — `O(position · d_model)` per lane —
+    /// remain per-lane, because lanes attend over different-length caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tokens.len()` differs from the live lane count, or
+    /// when any lane has already consumed `cap_pos` tokens (the arena
+    /// capacity chosen at [`Seq2Seq::begin_decode_batch`]).
+    pub fn decode_step_batch<'a>(
+        &self,
+        state: &'a mut BatchedDecoderState,
+        tokens: &[u32],
+    ) -> &'a [f32] {
+        let n = tokens.len();
+        assert_eq!(n, state.lane_pos.len(), "one token per live lane");
+        // Checked in release too: an overflowing lane would otherwise write
+        // into the *next lane's* arena rows and silently corrupt its cache.
+        for (lane, &p) in state.lane_pos.iter().enumerate() {
+            assert!(
+                p < state.cap_pos,
+                "lane {lane} overflowed the arena (pos {p}, cap_pos {})",
+                state.cap_pos
+            );
+        }
+        let d = self.cfg.d_model;
+        let h = self.cfg.n_heads;
+        let dh = d / h;
+        let dff = self.cfg.d_ff;
+        let vocab = self.cfg.vocab;
+        let st = &mut *state;
+        let max_s = st.cross.iter().map(|c| c.s).max().unwrap_or(0);
+        st.scratch.ensure(n, d, dff, vocab, st.cap_pos.max(max_s));
+        // Embed each lane's token at the lane's own position.
+        let e = self.store.data(self.embed);
+        let pe = self.store.data(self.pos);
+        for (lane, &tok) in tokens.iter().enumerate() {
+            let row = (tok as usize).min(vocab - 1) * d;
+            let prow = st.lane_pos[lane].min(self.cfg.max_len - 1) * d;
+            for j in 0..d {
+                st.scratch.x[lane * d + j] = e[row + j] + pe[prow + j];
+            }
+        }
+        let stride = st.cap_pos * d;
+        for (l, layer) in self.dec.iter().enumerate() {
+            // Self-attention against the lane-strided KV arena.
+            self.layer_norm_into(
+                &layer.ln1,
+                &st.scratch.x[..n * d],
+                n,
+                &mut st.scratch.ln[..n * d],
+            );
+            let a = &layer.self_attn;
+            let xw = &st.xposed[l];
+            self.linear_xposed_into(
+                &xw.self_wq,
+                a.bq,
+                &st.scratch.ln[..n * d],
+                &mut st.scratch.q[..n * d],
+                n,
+                d,
+                d,
+            );
+            self.linear_xposed_into(
+                &xw.self_wk,
+                a.bk,
+                &st.scratch.ln[..n * d],
+                &mut st.scratch.k[..n * d],
+                n,
+                d,
+                d,
+            );
+            self.linear_xposed_into(
+                &xw.self_wv,
+                a.bv,
+                &st.scratch.ln[..n * d],
+                &mut st.scratch.v[..n * d],
+                n,
+                d,
+                d,
+            );
+            for lane in 0..n {
+                let p = st.lane_pos[lane];
+                let base = lane * stride;
+                st.self_k[l][base + p * d..base + (p + 1) * d]
+                    .copy_from_slice(&st.scratch.k[lane * d..(lane + 1) * d]);
+                st.self_v[l][base + p * d..base + (p + 1) * d]
+                    .copy_from_slice(&st.scratch.v[lane * d..(lane + 1) * d]);
+                attend_into(
+                    &st.scratch.q[lane * d..(lane + 1) * d],
+                    &st.self_k[l][base..base + (p + 1) * d],
+                    &st.self_v[l][base..base + (p + 1) * d],
+                    p + 1,
+                    h,
+                    dh,
+                    &mut st.scratch.scores,
+                    &mut st.scratch.ctx[lane * d..(lane + 1) * d],
+                );
+            }
+            self.linear_xposed_into(
+                &xw.self_wo,
+                a.bo,
+                &st.scratch.ctx[..n * d],
+                &mut st.scratch.proj[..n * d],
+                n,
+                d,
+                d,
+            );
+            add_into(&mut st.scratch.x[..n * d], &st.scratch.proj[..n * d]);
+            // Cross-attention against each lane's request memory.
+            self.layer_norm_into(
+                &layer.ln2,
+                &st.scratch.x[..n * d],
+                n,
+                &mut st.scratch.ln[..n * d],
+            );
+            let c = &layer.cross_attn;
+            self.linear_xposed_into(
+                &xw.cross_wq,
+                c.bq,
+                &st.scratch.ln[..n * d],
+                &mut st.scratch.q[..n * d],
+                n,
+                d,
+                d,
+            );
+            for lane in 0..n {
+                let mem = &st.cross[st.lane_cross[lane]];
+                attend_into(
+                    &st.scratch.q[lane * d..(lane + 1) * d],
+                    &mem.k[l],
+                    &mem.v[l],
+                    mem.s,
+                    h,
+                    dh,
+                    &mut st.scratch.scores,
+                    &mut st.scratch.ctx[lane * d..(lane + 1) * d],
+                );
+            }
+            self.linear_xposed_into(
+                &xw.cross_wo,
+                c.bo,
+                &st.scratch.ctx[..n * d],
+                &mut st.scratch.proj[..n * d],
+                n,
+                d,
+                d,
+            );
+            add_into(&mut st.scratch.x[..n * d], &st.scratch.proj[..n * d]);
+            // FFN.
+            self.layer_norm_into(
+                &layer.ln3,
+                &st.scratch.x[..n * d],
+                n,
+                &mut st.scratch.ln[..n * d],
+            );
+            self.linear_xposed_into(
+                &xw.ffn_w1,
+                layer.ffn.b1,
+                &st.scratch.ln[..n * d],
+                &mut st.scratch.hidden[..n * dff],
+                n,
+                d,
+                dff,
+            );
+            st.scratch.hidden[..n * dff].iter_mut().for_each(|x| *x = gelu(*x));
+            self.linear_xposed_into(
+                &xw.ffn_w2,
+                layer.ffn.b2,
+                &st.scratch.hidden[..n * dff],
+                &mut st.scratch.proj[..n * d],
+                n,
+                dff,
+                d,
+            );
+            add_into(&mut st.scratch.x[..n * d], &st.scratch.proj[..n * d]);
+        }
+        for p in st.lane_pos.iter_mut() {
+            *p += 1;
+        }
+        self.layer_norm_into(
+            &self.ln_dec_out,
+            &st.scratch.x[..n * d],
+            n,
+            &mut st.scratch.ln[..n * d],
+        );
+        matmul_xposed_into(
+            &st.scratch.ln[..n * d],
+            &st.embed_t,
+            &mut st.scratch.logits[..n * vocab],
+            n,
+            d,
+            vocab,
+        );
+        &st.scratch.logits[..n * vocab]
+    }
+
+    /// Projects one request's encoder memory into per-layer cross K/V and
+    /// registers it with the batched state, returning its handle for
+    /// [`BatchedDecoderState::add_lane`]. Done once per request; lanes
+    /// (beam hypotheses) of the same request share the projections.
+    pub fn register_cross_memory(
+        &self,
+        state: &mut BatchedDecoderState,
+        mem: &[f32],
+        s: usize,
+    ) -> usize {
+        let d = self.cfg.d_model;
+        let mut k = Vec::with_capacity(self.dec.len());
+        let mut v = Vec::with_capacity(self.dec.len());
+        for layer in &self.dec {
+            let a = &layer.cross_attn;
+            k.push(self.linear(a.wk, a.bk, mem, s, d, d));
+            v.push(self.linear(a.wv, a.bv, mem, s, d, d));
+        }
+        state.cross.push(CrossMemory { k, v, s });
+        state.cross.len() - 1
+    }
+
     /// Greedy decoding (beam size 1 fast path).
     pub fn greedy(&self, src: &[u32], bos: u32, eos: u32, max_len: usize) -> Vec<u32> {
         self.beam_search(src, bos, eos, max_len, 1).into_iter().next().unwrap_or_default()
     }
 
     /// Beam-search decoding (paper: k = 5), returning up to `beam` finished
-    /// hypotheses, best first, without BOS/EOS markers. Decoding is
-    /// KV-cached: each hypothesis carries a [`DecoderState`], so a step
-    /// costs `O(prefix)` rather than `O(prefix²)`.
+    /// hypotheses, best first, without BOS/EOS markers.
+    ///
+    /// Since the batched-engine refactor this delegates to
+    /// [`crate::engine::InferenceEngine`], which owns decode scheduling,
+    /// the log-softmax scoring (a proper `x − logsumexp(x)`, not the old
+    /// `softmax` + clamped `ln`), length normalization, and the early-stop
+    /// policy (a finished short hypothesis no longer masks a better longer
+    /// one still live). The per-hypothesis reference path is kept as
+    /// [`crate::engine::InferenceEngine::decode_scalar`] and is property-
+    /// tested equivalent.
     pub fn beam_search(
         &self,
         src: &[u32],
@@ -867,55 +1316,13 @@ impl Seq2Seq {
         max_len: usize,
         beam: usize,
     ) -> Vec<Vec<u32>> {
-        let src: Vec<u32> = src.iter().take(self.cfg.max_len).copied().collect();
-        let mem = self.encode(&src);
-        let s = src.len();
-        let mut live: Vec<(Vec<u32>, f32, DecoderState)> =
-            vec![(vec![bos], 0.0, self.begin_decode(&mem, s))];
-        let mut done: Vec<(Vec<u32>, f32)> = Vec::new();
-        let max_len = max_len.min(self.cfg.max_len - 1);
-        for _ in 0..max_len {
-            // (prefix, score, parent-state index) candidates this round.
-            let mut next: Vec<(Vec<u32>, f32, usize)> = Vec::new();
-            for (parent, (prefix, score, state)) in live.iter_mut().enumerate() {
-                let mut logits = self.decode_step(state, *prefix.last().unwrap());
-                softmax_rows(&mut logits, 1, self.cfg.vocab);
-                // Top `beam` continuations of this prefix.
-                let mut idx: Vec<usize> = (0..self.cfg.vocab).collect();
-                idx.sort_by(|&a, &b| logits[b].total_cmp(&logits[a]));
-                for &cand in idx.iter().take(beam) {
-                    let lp = logits[cand].max(1e-12).ln();
-                    let mut p = prefix.clone();
-                    p.push(cand as u32);
-                    next.push((p, *score + lp, parent));
-                }
-            }
-            next.sort_by(|a, b| b.1.total_cmp(&a.1));
-            next.truncate(beam.max(1));
-            let mut survivors: Vec<(Vec<u32>, f32, DecoderState)> = Vec::new();
-            for (p, sc, parent) in next {
-                if *p.last().unwrap() == eos {
-                    done.push((p, sc));
-                } else {
-                    survivors.push((p, sc, live[parent].2.clone()));
-                }
-            }
-            live = survivors;
-            if live.is_empty() || done.len() >= beam {
-                break;
-            }
-        }
-        done.extend(live.into_iter().map(|(p, sc, _)| (p, sc)));
-        // Length-normalized ranking.
-        done.sort_by(|a, b| {
-            (b.1 / b.0.len() as f32).total_cmp(&(a.1 / a.0.len() as f32))
-        });
-        done.into_iter()
-            .take(beam.max(1))
-            .map(|(p, _)| {
-                p.into_iter().filter(|&t| t != bos && t != eos).collect::<Vec<u32>>()
-            })
-            .collect()
+        crate::engine::InferenceEngine::new(self).decode(&crate::engine::DecodeRequest {
+            src: src.to_vec(),
+            bos,
+            eos,
+            max_len,
+            beam,
+        })
     }
 
     /// Serializes to JSON (weights only; optimizer state is rebuilt).
@@ -1021,8 +1428,225 @@ impl DecoderState {
     }
 }
 
+/// Pre-transposed (`[din, dout]`) decoder weights for one layer — the
+/// memory layout [`matmul_xposed_into`] streams through vectorized.
+#[derive(Debug, Clone)]
+struct XposedDecLayer {
+    self_wq: Vec<f32>,
+    self_wk: Vec<f32>,
+    self_wv: Vec<f32>,
+    self_wo: Vec<f32>,
+    cross_wq: Vec<f32>,
+    cross_wo: Vec<f32>,
+    ffn_w1: Vec<f32>,
+    ffn_w2: Vec<f32>,
+}
+
+/// Per-layer cross-attention projections of one request's encoder memory,
+/// shared by all of that request's beam lanes.
+#[derive(Debug, Clone)]
+struct CrossMemory {
+    /// Per layer: `s × d_model` key projections.
+    k: Vec<Vec<f32>>,
+    /// Per layer: `s × d_model` value projections.
+    v: Vec<Vec<f32>>,
+    /// Encoder memory length.
+    s: usize,
+}
+
+/// Reusable per-step buffers: sized once (for the largest lane count seen)
+/// and reused, so a decode step performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    x: Vec<f32>,
+    ln: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    ctx: Vec<f32>,
+    proj: Vec<f32>,
+    hidden: Vec<f32>,
+    logits: Vec<f32>,
+    scores: Vec<f32>,
+}
+
+impl StepScratch {
+    fn ensure(&mut self, n: usize, d: usize, dff: usize, vocab: usize, cap_pos: usize) {
+        let rows = n * d;
+        if self.x.len() < rows {
+            self.x.resize(rows, 0.0);
+            self.ln.resize(rows, 0.0);
+            self.q.resize(rows, 0.0);
+            self.k.resize(rows, 0.0);
+            self.v.resize(rows, 0.0);
+            self.ctx.resize(rows, 0.0);
+            self.proj.resize(rows, 0.0);
+        }
+        if self.hidden.len() < n * dff {
+            self.hidden.resize(n * dff, 0.0);
+        }
+        if self.logits.len() < n * vocab {
+            self.logits.resize(n * vocab, 0.0);
+        }
+        if self.scores.len() < cap_pos {
+            self.scores.resize(cap_pos, 0.0);
+        }
+    }
+}
+
+/// Arena-backed decoder state for **all** live beam lanes of one decode
+/// batch, possibly spanning several independent requests (continuous-
+/// batching style). Per layer, the self-attention keys/values of every
+/// lane live contiguously in one lane-strided arena (`lane · cap_pos · d`
+/// offsets), so growing a lane is a row write and reordering survivors
+/// after a beam step is a bounded `memcpy` gather — not a per-survivor
+/// clone of a [`DecoderState`] (which reallocates every K/V vector).
+///
+/// Built by [`Seq2Seq::begin_decode_batch`]; stepped by
+/// [`Seq2Seq::decode_step_batch`]; lanes are reshuffled with
+/// [`BatchedDecoderState::reorder`].
+#[derive(Debug, Clone)]
+pub struct BatchedDecoderState {
+    d: usize,
+    cap_pos: usize,
+    cap_lanes: usize,
+    /// Per layer: lane-strided self-attention key arena.
+    self_k: Vec<Vec<f32>>,
+    /// Per layer: lane-strided self-attention value arena.
+    self_v: Vec<Vec<f32>>,
+    /// Gather targets for [`BatchedDecoderState::reorder`] (ping-pong).
+    gather_k: Vec<Vec<f32>>,
+    gather_v: Vec<Vec<f32>>,
+    /// Registered per-request cross projections.
+    cross: Vec<CrossMemory>,
+    /// Tokens consumed so far, per lane.
+    lane_pos: Vec<usize>,
+    /// Cross-memory handle, per lane.
+    lane_cross: Vec<usize>,
+    /// Pre-transposed decoder weights (snapshot taken at construction).
+    xposed: Vec<XposedDecLayer>,
+    /// Pre-transposed tied output embedding, `[d_model, vocab]`.
+    embed_t: Vec<f32>,
+    scratch: StepScratch,
+}
+
+impl BatchedDecoderState {
+    /// Number of live lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.lane_pos.len()
+    }
+
+    /// True when no lanes are live.
+    pub fn is_empty(&self) -> bool {
+        self.lane_pos.is_empty()
+    }
+
+    /// Tokens consumed by `lane` so far.
+    pub fn lane_len(&self, lane: usize) -> usize {
+        self.lane_pos[lane]
+    }
+
+    /// Adds a fresh lane (position 0) attached to the cross memory
+    /// returned by [`Seq2Seq::register_cross_memory`]; returns the lane
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lane capacity is exhausted or the handle is unknown.
+    pub fn add_lane(&mut self, cross_id: usize) -> usize {
+        assert!(self.lane_pos.len() < self.cap_lanes, "lane capacity exhausted");
+        assert!(cross_id < self.cross.len(), "unknown cross-memory handle");
+        self.lane_pos.push(0);
+        self.lane_cross.push(cross_id);
+        self.lane_pos.len() - 1
+    }
+
+    /// Reorders lanes so that new lane `i` continues old lane
+    /// `parents[i]` — the beam-survivor gather. A parent may appear any
+    /// number of times (fan-out) or not at all (pruned lane; its arena
+    /// rows are simply abandoned). The identity mapping is detected and
+    /// costs nothing (the copy-on-write fast path that makes greedy and
+    /// already-ordered beams free); otherwise each surviving lane costs
+    /// one `pos × d_model` memcpy per layer per tensor into the gather
+    /// arena, which is then swapped in — no allocation either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parent index is out of range or capacity is exceeded.
+    pub fn reorder(&mut self, parents: &[usize]) {
+        let n_old = self.lane_pos.len();
+        assert!(parents.len() <= self.cap_lanes, "lane capacity exceeded");
+        if parents.len() == n_old && parents.iter().enumerate().all(|(i, &p)| i == p) {
+            return;
+        }
+        let stride = self.cap_pos * self.d;
+        let layers = self.self_k.len();
+        for l in 0..layers {
+            for (i, &p) in parents.iter().enumerate() {
+                assert!(p < n_old, "parent {p} out of range ({n_old} lanes)");
+                let rows = self.lane_pos[p] * self.d;
+                self.gather_k[l][i * stride..i * stride + rows]
+                    .copy_from_slice(&self.self_k[l][p * stride..p * stride + rows]);
+                self.gather_v[l][i * stride..i * stride + rows]
+                    .copy_from_slice(&self.self_v[l][p * stride..p * stride + rows]);
+            }
+            std::mem::swap(&mut self.self_k[l], &mut self.gather_k[l]);
+            std::mem::swap(&mut self.self_v[l], &mut self.gather_v[l]);
+        }
+        self.lane_pos = parents.iter().map(|&p| self.lane_pos[p]).collect();
+        self.lane_cross = parents.iter().map(|&p| self.lane_cross[p]).collect();
+    }
+}
+
+/// Single-query attention over `n` cached key/value rows, writing the
+/// context into `ctx` (zeroed here) using a caller-provided score buffer —
+/// the allocation-free twin of [`attend_single`], with identical
+/// arithmetic.
+#[allow(clippy::too_many_arguments)]
+fn attend_into(
+    q: &[f32],
+    keys: &[f32],
+    values: &[f32],
+    n: usize,
+    h: usize,
+    dh: usize,
+    scores: &mut [f32],
+    ctx: &mut [f32],
+) {
+    let d = h * dh;
+    let scale = 1.0 / (dh as f32).sqrt();
+    ctx.iter_mut().for_each(|c| *c = 0.0);
+    let scores = &mut scores[..n];
+    for head in 0..h {
+        let off = head * dh;
+        for (si, sc) in scores.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for j in 0..dh {
+                acc += q[off + j] * keys[si * d + off + j];
+            }
+            *sc = acc * scale;
+        }
+        softmax_rows(scores, 1, n);
+        for (si, &w) in scores.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            for j in 0..dh {
+                ctx[off + j] += w * values[si * d + off + j];
+            }
+        }
+    }
+}
+
 /// Single-query attention over `n` cached key/value rows.
-fn attend_single(q: &[f32], keys: &[f32], values: &[f32], n: usize, h: usize, dh: usize) -> Vec<f32> {
+fn attend_single(
+    q: &[f32],
+    keys: &[f32],
+    values: &[f32],
+    n: usize,
+    h: usize,
+    dh: usize,
+) -> Vec<f32> {
     let d = h * dh;
     let scale = 1.0 / (dh as f32).sqrt();
     let mut ctx = vec![0.0f32; d];
@@ -1258,7 +1882,10 @@ mod tests {
     }
 
     /// Reference beam search that re-runs the decoder over the whole prefix
-    /// every step (the pre-KV-cache implementation); used as an oracle.
+    /// every step (the pre-KV-cache implementation); used as an oracle. It
+    /// independently reimplements the engine's scoring (full-row
+    /// log-softmax + full descending sort, where the engine uses the fused
+    /// top-k kernel) and its early-stop policy.
     fn beam_search_full_recompute(
         m: &Seq2Seq,
         src: &[u32],
@@ -1267,44 +1894,57 @@ mod tests {
         max_len: usize,
         beam: usize,
     ) -> Vec<Vec<u32>> {
+        let beam = beam.max(1);
         let src: Vec<u32> = src.iter().take(m.cfg.max_len).copied().collect();
         let mem = m.encode(&src);
         let s = src.len();
         let mut live: Vec<(Vec<u32>, f32)> = vec![(vec![bos], 0.0)];
         let mut done: Vec<(Vec<u32>, f32)> = Vec::new();
-        let max_len = max_len.min(m.cfg.max_len - 1);
-        for _ in 0..max_len {
+        let budget = max_len.min(m.cfg.max_len - 1).max(1);
+        let mut step = 0usize;
+        loop {
             let mut next: Vec<(Vec<u32>, f32)> = Vec::new();
             for (prefix, score) in &live {
                 let mut logits = m.decode_last_logits(&mem, s, prefix);
-                softmax_rows(&mut logits, 1, m.cfg.vocab);
+                log_softmax_rows(&mut logits, 1, m.cfg.vocab);
                 let mut idx: Vec<usize> = (0..m.cfg.vocab).collect();
                 idx.sort_by(|&a, &b| logits[b].total_cmp(&logits[a]));
                 for &cand in idx.iter().take(beam) {
-                    let lp = logits[cand].max(1e-12).ln();
                     let mut p = prefix.clone();
                     p.push(cand as u32);
-                    next.push((p, score + lp));
+                    next.push((p, score + logits[cand]));
                 }
             }
+            step += 1;
             next.sort_by(|a, b| b.1.total_cmp(&a.1));
-            next.truncate(beam.max(1));
-            live = Vec::new();
+            next.truncate(beam);
+            let mut survivors: Vec<(Vec<u32>, f32)> = Vec::new();
             for (p, sc) in next {
                 if *p.last().unwrap() == eos {
                     done.push((p, sc));
                 } else {
-                    live.push((p, sc));
+                    survivors.push((p, sc));
                 }
             }
-            if live.is_empty() || done.len() >= beam {
+            let converged = done.len() >= beam && {
+                let mut norms: Vec<f32> =
+                    done.iter().map(|(p, sc)| sc / p.len() as f32).collect();
+                norms.sort_by(|a, b| b.total_cmp(a));
+                let best_live = survivors
+                    .iter()
+                    .map(|(p, sc)| sc / p.len() as f32)
+                    .fold(f32::NEG_INFINITY, f32::max);
+                best_live <= norms[beam - 1]
+            };
+            if survivors.is_empty() || step >= budget || converged {
+                done.extend(survivors);
                 break;
             }
+            live = survivors;
         }
-        done.extend(live);
         done.sort_by(|a, b| (b.1 / b.0.len() as f32).total_cmp(&(a.1 / a.0.len() as f32)));
         done.into_iter()
-            .take(beam.max(1))
+            .take(beam)
             .map(|(p, _)| p.into_iter().filter(|&t| t != bos && t != eos).collect())
             .collect()
     }
@@ -1312,8 +1952,7 @@ mod tests {
     /// A tiny model trained enough to produce non-degenerate distributions.
     fn trained_tiny() -> Seq2Seq {
         let mut m = Seq2Seq::new(TransformerConfig::tiny(16), 17);
-        let pairs: [(&[u32], &[u32]); 2] =
-            [(&[4, 5, 6], &[9, 10, 11]), (&[6, 5], &[11, 9])];
+        let pairs: [(&[u32], &[u32]); 2] = [(&[4, 5, 6], &[9, 10, 11]), (&[6, 5], &[11, 9])];
         for _ in 0..60 {
             for (src, tgt) in pairs {
                 let mut dec = vec![1u32];

@@ -141,12 +141,7 @@ impl ParamStore {
 
     /// Global L2 norm of all gradients (for clipping / diagnostics).
     pub fn grad_norm(&self) -> f32 {
-        self.tensors
-            .iter()
-            .flat_map(|t| t.grad.iter())
-            .map(|g| g * g)
-            .sum::<f32>()
-            .sqrt()
+        self.tensors.iter().flat_map(|t| t.grad.iter()).map(|g| g * g).sum::<f32>().sqrt()
     }
 
     /// Scales all gradients by `factor` (gradient clipping).

@@ -104,10 +104,7 @@ pub fn fix_for_error(
                     kept.push(l);
                 }
             }
-            Some((
-                kept.join("\n"),
-                RepairStep::DeletedLine { line: err.line() },
-            ))
+            Some((kept.join("\n"), RepairStep::DeletedLine { line: err.line() }))
         }
         _ => None,
     }

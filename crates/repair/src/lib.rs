@@ -126,7 +126,11 @@ pub fn try_compile(hypothesis: &str, context: &str) -> Result<(), MiniCError> {
 /// repertoire is exhausted. See the crate docs for the loop structure.
 pub fn repair(hypothesis: &str, context: &str) -> RepairReport {
     if try_compile(hypothesis, context).is_ok() {
-        return RepairReport { source: Some(hypothesis.to_string()), steps: Vec::new(), rounds: 0 };
+        return RepairReport {
+            source: Some(hypothesis.to_string()),
+            steps: Vec::new(),
+            rounds: 0,
+        };
     }
     // Round 0: structural sanitation.
     let (mut current, mut steps) = sanitize(hypothesis);
@@ -234,9 +238,9 @@ pub fn repair_candidates(
         };
         let best = repaired.as_deref().unwrap_or(hyp);
         // Symbol-name repair on top of whichever form compiles.
-        let renamed = expected_name.and_then(|want| rename_function(best, want)).and_then(
-            |(text, _)| try_compile(&text, &ctx_with_header).is_ok().then_some(text),
-        );
+        let renamed = expected_name
+            .and_then(|want| rename_function(best, want))
+            .and_then(|(text, _)| try_compile(&text, &ctx_with_header).is_ok().then_some(text));
         if let Some(fixed) = repaired {
             out.push((fixed, header.clone()));
         }
@@ -369,8 +373,7 @@ mod tests {
     #[test]
     fn repair_candidates_rename_wrong_symbol() {
         // Model hallucinated `blend_mask`; assembly symbol is `scale3`.
-        let wrong =
-            ("int blend_mask(int a) { return a * 3; }".to_string(), String::new());
+        let wrong = ("int blend_mask(int a) { return a * 3; }".to_string(), String::new());
         let all = repair_candidates(std::slice::from_ref(&wrong), "", Some("scale3"));
         assert_eq!(all[0], wrong);
         assert_eq!(all.len(), 2);

@@ -126,9 +126,8 @@ pub fn pretokenize_with(text: &str, opts: TokenizerOptions) -> Vec<String> {
             continue;
         }
         // A word-continuation character under the current options?
-        let is_wordy = c.is_ascii_alphabetic()
-            || c == '_'
-            || (!opts.digit_split && c.is_ascii_digit());
+        let is_wordy =
+            c.is_ascii_alphabetic() || c == '_' || (!opts.digit_split && c.is_ascii_digit());
         if c == '"' {
             flush(&mut word, &mut out);
             push_tok("\"".to_string(), &mut out, &mut pending_space);
@@ -214,11 +213,8 @@ impl UnigramTokenizer {
         // present in the train set ... are also part of the vocabulary"; we
         // add full ASCII so digits/letters absent from a small corpus still
         // encode character by character).
-        let mut singles: Vec<String> = candidate_counts
-            .keys()
-            .filter(|p| p.chars().count() == 1)
-            .cloned()
-            .collect();
+        let mut singles: Vec<String> =
+            candidate_counts.keys().filter(|p| p.chars().count() == 1).cloned().collect();
         for c in 0x20u8..0x7f {
             singles.push((c as char).to_string());
         }
@@ -241,7 +237,7 @@ impl UnigramTokenizer {
         let mut index: HashMap<String, u32> =
             pieces.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect();
         // Uniform init.
-        let init = -( (pieces.len() as f64).ln() );
+        let init = -((pieces.len() as f64).ln());
         log_probs.fill(init);
         // EM rounds: segment with Viterbi, re-estimate piece probabilities,
         // prune the least useful multi-char pieces.
@@ -264,13 +260,11 @@ impl UnigramTokenizer {
                     let mut order: Vec<usize> = (0..pieces.len()).collect();
                     order.sort_by(|&a, &b| usage[b].total_cmp(&usage[a]));
                     let mut keep = vec![false; pieces.len()];
-                    let mut kept = 0usize;
-                    for &i in &order {
+                    for (kept, &i) in order.iter().enumerate() {
                         if kept >= keep_target {
                             break;
                         }
                         keep[i] = true;
-                        kept += 1;
                     }
                     for (i, p) in pieces.iter().enumerate() {
                         if p.chars().count() == 1 {
@@ -287,11 +281,8 @@ impl UnigramTokenizer {
                     }
                     pieces = new_pieces;
                     log_probs = new_probs;
-                    index = pieces
-                        .iter()
-                        .enumerate()
-                        .map(|(i, p)| (p.clone(), i as u32))
-                        .collect();
+                    index =
+                        pieces.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect();
                 }
             }
         }

@@ -148,8 +148,7 @@ fn c_name(ty: &Type) -> String {
 }
 
 fn collect_struct_tags(program: &Program, out: &mut BTreeSet<String>) {
-    let defined: BTreeSet<String> =
-        program.structs().map(|d| d.name.clone()).collect();
+    let defined: BTreeSet<String> = program.structs().map(|d| d.name.clone()).collect();
     fn scan_type(ty: &Type, defined: &BTreeSet<String>, out: &mut BTreeSet<String>) {
         match ty {
             Type::Struct(tag) if !defined.contains(tag) => {
@@ -356,7 +355,9 @@ impl ConstraintCtx<'_> {
                     }
                 }
             }
-            ExprKind::Unary(_, a) | ExprKind::Postfix(_, a) | ExprKind::Cast { expr: a, .. }
+            ExprKind::Unary(_, a)
+            | ExprKind::Postfix(_, a)
+            | ExprKind::Cast { expr: a, .. }
             | ExprKind::SizeofExpr(a) => self.walk_expr(a),
             ExprKind::Call { args, .. } => args.iter().for_each(|a| self.walk_expr(a)),
             ExprKind::Index { base, index } => {

@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // At -O0 the literal lifter succeeds — but look at the output.
     let o0 = compile_function(&program, "add", CompileOpts::new(Isa::X86_64, OptLevel::O0))?;
-    let lifted = ghidra_decompile(&o0, slade_asm::Isa::X86_64, "add")
-        .map_err(std::io::Error::other)?;
+    let lifted =
+        ghidra_decompile(&o0, slade_asm::Isa::X86_64, "add").map_err(std::io::Error::other)?;
     println!(
         "=== Box 1 analogue: Ghidra-like on -O0 (correct but unreadable, {} chars vs {} in the source) ===\n{lifted}",
         lifted.len(),

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .profile(TrainProfile { max_src_len: 1024, epochs: 3, ..TrainProfile::tiny() })
             .train(&train_items, 21);
         let asm = compile_function(&program, &item.name, CompileOpts::new(isa, OptLevel::O0))?;
-        println!("assembly: {} lines, first line: {:?}", asm.lines().count(), asm.lines().next().unwrap_or(""));
+        println!(
+            "assembly: {} lines, first line: {:?}",
+            asm.lines().count(),
+            asm.lines().next().unwrap_or("")
+        );
         let reference = reference_observations(item).map_err(std::io::Error::other)?;
         let candidates = slade.decompile_with_types(&asm, &item.context_src);
         let mut selected = false;

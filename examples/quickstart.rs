@@ -22,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eval_items = generate_exebench_eval(data, 7, &train_items);
     let item = &eval_items[0];
     let program = parse_program(&item.full_src())?;
-    let asm = compile_function(&program, &item.name, CompileOpts::new(Isa::X86_64, OptLevel::O0))?;
+    let asm =
+        compile_function(&program, &item.name, CompileOpts::new(Isa::X86_64, OptLevel::O0))?;
     println!("\n--- ground truth ---\n{}", item.func_src);
     println!("--- assembly ({} lines) ---", asm.lines().count());
 

@@ -26,7 +26,10 @@ fn show(title: &str, hypothesis: &str, context: &str) -> RepairReport {
             assert!(try_compile(fixed, context).is_ok());
         }
         None => {
-            println!("unrepairable after {} round(s); steps tried: {:?}\n", report.rounds, report.steps);
+            println!(
+                "unrepairable after {} round(s); steps tried: {:?}\n",
+                report.rounds, report.steps
+            );
         }
     }
     report
@@ -48,19 +51,11 @@ fn main() {
     );
 
     // 3. Out-of-context identifier — the model assumed a global exists.
-    show(
-        "undeclared global",
-        "int bump(int d) { counter += d; return counter; }",
-        "",
-    );
+    show("undeclared global", "int bump(int d) { counter += d; return counter; }", "");
 
     // 4. Out-of-context type — normally type inference's job (§VI-B);
     //    repair keeps a typedef backstop for when that stage is disabled.
-    show(
-        "unknown typedef",
-        "my_len total_len(my_len a, my_len b) { return a + b; }",
-        "",
-    );
+    show("unknown typedef", "my_len total_len(my_len a, my_len b) { return a + b; }", "");
 
     // 5. Repair only restores *compilability* — semantics still go through
     //    the IO harness, which is what rejects wrong-but-compiling fixes.

@@ -29,11 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("saved {} ({bytes} bytes)", path.display());
 
     // Reload in a fresh "process" and compare behaviour.
-    let reloaded = Slade::from_json(&std::fs::read_to_string(&path)?)
-        .map_err(std::io::Error::other)?;
+    let reloaded =
+        Slade::from_json(&std::fs::read_to_string(&path)?).map_err(std::io::Error::other)?;
     let program = parse_program("int sum3(int a, int b, int c) { return a + b + c; }")?;
-    let asm =
-        compile_function(&program, "sum3", CompileOpts::new(Isa::X86_64, OptLevel::O0))?;
+    let asm = compile_function(&program, "sum3", CompileOpts::new(Isa::X86_64, OptLevel::O0))?;
     let a = slade.decompile(&asm);
     let b = reloaded.decompile(&asm);
     assert_eq!(a, b, "reloaded model must decode identically");

@@ -9,7 +9,8 @@ use slade_typeinf::infer_missing_types;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A model hypothesis using a typedef it saw during training but which
     // the evaluation context does not define (the paper's `my_int` case).
-    let hypothesis = "my_int fact(my_int n) { my_int r = 1; while (n > 1) { r *= n; n -= 1; } return r; }";
+    let hypothesis =
+        "my_int fact(my_int n) { my_int r = 1; while (n > 1) { r *= n; n -= 1; } return r; }";
     println!("hypothesis:\n{hypothesis}\n");
     println!(
         "without inference: {}",

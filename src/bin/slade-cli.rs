@@ -237,9 +237,12 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
         chatgpt: slade_baselines::ChatGptSim::new(&pairs),
         btc: None,
     };
-    let tool =
-        if flags.contains_key("repair") { Tool::SladeRepair } else { Tool::Slade };
-    eprintln!("evaluating {} on {} held-out items ({isa} {opt}) ...", tool.label(), eval_items.len());
+    let tool = if flags.contains_key("repair") { Tool::SladeRepair } else { Tool::Slade };
+    eprintln!(
+        "evaluating {} on {} held-out items ({isa} {opt}) ...",
+        tool.label(),
+        eval_items.len()
+    );
     let records = evaluate(&ctx, &eval_items, &[tool]);
     let (acc, sim) = summarize(&records, tool);
     let compiles = records.iter().filter(|r| r.compiles).count();

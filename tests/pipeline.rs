@@ -21,16 +21,20 @@ fn compiler_emulator_interpreter_agree_on_dataset_items() {
         if !item.context_src.is_empty() {
             continue;
         }
-        let all_simple = item.inputs.iter().flatten().all(|a| {
-            matches!(a, ArgSpec::Int(_) | ArgSpec::IntBuf(_) | ArgSpec::CharBuf(_))
-        });
+        let all_simple =
+            item.inputs.iter().flatten().all(|a| {
+                matches!(a, ArgSpec::Int(_) | ArgSpec::IntBuf(_) | ArgSpec::CharBuf(_))
+            });
         if !all_simple {
             continue;
         }
         let program = parse_program(&item.full_src()).unwrap();
         for opt in [OptLevel::O0, OptLevel::O3] {
-            let asm = match compile_function(&program, &item.name, CompileOpts::new(Isa::X86_64, opt))
-            {
+            let asm = match compile_function(
+                &program,
+                &item.name,
+                CompileOpts::new(Isa::X86_64, opt),
+            ) {
                 Ok(a) => a,
                 Err(_) => continue,
             };
@@ -116,7 +120,11 @@ fn arm_backend_agrees_with_interpreter() {
         if !item.context_src.is_empty() {
             continue;
         }
-        if !item.inputs.iter().flatten().all(|a| matches!(a, ArgSpec::Int(_) | ArgSpec::IntBuf(_)))
+        if !item
+            .inputs
+            .iter()
+            .flatten()
+            .all(|a| matches!(a, ArgSpec::Int(_) | ArgSpec::IntBuf(_)))
         {
             continue;
         }
@@ -215,10 +223,7 @@ fn lifter_verdicts_are_sound() {
         }
     }
     assert!(total >= 8, "too few items evaluated");
-    assert!(
-        correct * 3 >= total,
-        "lifter correct on only {correct}/{total} O0 items"
-    );
+    assert!(correct * 3 >= total, "lifter correct on only {correct}/{total} O0 items");
 }
 
 /// Type inference rescues a hypothesis with an unknown typedef so that the
@@ -238,10 +243,7 @@ fn typeinf_rescues_unknown_typedef_hypothesis() {
     let reference = reference_observations(item).unwrap();
     // A hypothesis that is semantically the ground truth but spelled with
     // an unknown typedef, as SLaDe's model does.
-    let hyp = item
-        .func_src
-        .replacen("int ", "my_int ", 1)
-        .replace("(int ", "(my_int ");
+    let hyp = item.func_src.replacen("int ", "my_int ", 1).replace("(int ", "(my_int ");
     let v_without = judge(item, &reference, &hyp, "");
     assert!(!v_without.compiles, "should not compile without the typedef: {hyp}");
     let header = slade_typeinf::infer_missing_types(&hyp, &item.context_src).unwrap();

@@ -1,0 +1,155 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the Criterion API this workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], the configuration
+//! builder methods, [`criterion_group!`] (both forms) and
+//! [`criterion_main!`]. Reports a simple mean ns/iter instead of
+//! Criterion's statistical analysis — good enough for relative comparisons
+//! in an offline environment.
+
+use std::time::{Duration, Instant};
+
+/// Opaque black box: prevents the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver with a Criterion-compatible builder API.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let list_only = args.iter().any(|a| a == "--list");
+        // First free-standing non-flag argument is the name filter (matches
+        // `cargo bench -- <filter>`).
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.ends_with("bench") && *a != "--bench")
+            .cloned();
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            filter,
+            list_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the time budget for the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the minimum plotting noise threshold (accepted, ignored).
+    pub fn noise_threshold(self, _t: f64) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.list_only {
+            println!("{name}: bench");
+            return self;
+        }
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { total: Duration::ZERO, iters: 0, budget: self.warm_up_time };
+        f(&mut b); // warm-up (timings discarded)
+        let mut b = Bencher { total: Duration::ZERO, iters: 0, budget: self.measurement_time };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            if b.total >= self.measurement_time {
+                break;
+            }
+        }
+        if b.iters > 0 {
+            let per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+            println!("{name:<40} {per_iter:>14.1} ns/iter ({} iters)", b.iters);
+        }
+        self
+    }
+}
+
+/// Per-benchmark timing handle.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Adaptive batch: aim for enough iterations to fill the budget
+        // without running unbounded.
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            black_box(routine());
+            n += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget.min(Duration::from_millis(200)) || n >= 1_000_000 {
+                self.total += elapsed;
+                self.iters += n;
+                break;
+            }
+        }
+    }
+}
+
+/// Criterion-compatible group macro (both the list and the config form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Criterion-compatible main macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,537 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote` available offline) for the
+//! vendored `serde` stand-in. Supports the shapes this workspace uses:
+//! structs with named fields, tuple structs, and enums with unit, tuple and
+//! struct variants; honors `#[serde(default)]` and `#[serde(skip)]` on
+//! fields. Enums use serde's externally-tagged layout. Generic types are
+//! rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Default)]
+struct FieldAttrs {
+    default: bool,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    /// Consumes leading attributes, returning accumulated serde flags.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        while self.at_punct('#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(head)) = inner.first() {
+                    if head.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(flag) = t {
+                                    match flag.to_string().as_str() {
+                                        "default" => attrs.default = true,
+                                        "skip" => attrs.skip = true,
+                                        other => panic!(
+                                            "serde stand-in: unsupported attribute \
+                                             `#[serde({other})]`"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        attrs
+    }
+
+    /// Consumes `pub`, `pub(crate)`, etc.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips type tokens until a `,` at angle-bracket depth 0, consuming the
+    /// comma. Returns false at end of stream.
+    fn skip_type_until_comma(&mut self) -> bool {
+        let mut depth = 0i64;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    self.next();
+                    return true;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+        false
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        let attrs = c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde stand-in: expected field name, found {other:?}"),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stand-in: expected `:` after `{name}`, found {other:?}"),
+        }
+        fields.push(Field { name, attrs });
+        if !c.skip_type_until_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0i64;
+    let mut commas = 0usize;
+    let mut tokens = 0usize;
+    let mut trailing_comma = false;
+    for t in group {
+        tokens += 1;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if tokens == 0 {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    loop {
+        c.skip_attrs();
+        c.skip_visibility();
+        if c.at_ident("struct") || c.at_ident("enum") {
+            break;
+        }
+        if c.next().is_none() {
+            panic!("serde stand-in: no struct or enum found in derive input");
+        }
+    }
+    let is_struct = c.at_ident("struct");
+    c.next();
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stand-in: expected type name, found {other:?}"),
+    };
+    if c.at_punct('<') {
+        panic!("serde stand-in: generic type `{name}` is not supported");
+    }
+    if is_struct {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            other => panic!("serde stand-in: unsupported struct body for `{name}`: {other:?}"),
+        }
+    } else {
+        let body = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde stand-in: expected enum body for `{name}`, found {other:?}"),
+        };
+        let mut vc = Cursor::new(body);
+        let mut variants = Vec::new();
+        loop {
+            vc.skip_attrs();
+            if vc.peek().is_none() {
+                break;
+            }
+            let vname = match vc.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("serde stand-in: expected variant name, found {other:?}"),
+            };
+            let shape = match vc.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = count_tuple_fields(g.stream());
+                    vc.next();
+                    VariantShape::Tuple(arity)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    vc.next();
+                    VariantShape::Struct(fields)
+                }
+                _ => VariantShape::Unit,
+            };
+            variants.push(Variant { name: vname, shape });
+            // Skip to the next variant (handles discriminants defensively).
+            while let Some(t) = vc.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    vc.next();
+                    break;
+                }
+                vc.next();
+            }
+        }
+        Item::Enum { name, variants }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::value::Value {{\n\
+                 let mut __m = ::serde::value::Map::new();\n"
+            ));
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_json_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            out.push_str("::serde::value::Value::Object(__m)\n}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::value::Value {{\n"
+            ));
+            if *arity == 1 {
+                out.push_str("::serde::Serialize::to_json_value(&self.0)\n");
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                    .collect();
+                out.push_str(&format!(
+                    "::serde::value::Value::Array(vec![{}])\n",
+                    items.join(", ")
+                ));
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::value::Value {{\n\
+                 match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        out.push_str(&format!(
+                            "{name}::{vn} => ::serde::value::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        out.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __m = ::serde::value::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                             ::serde::value::Value::Object(__m)\n}}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner =
+                            String::from("let mut __inner = ::serde::value::Map::new();\n");
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            inner.push_str(&format!(
+                                "__inner.insert(::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::to_json_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut __m = ::serde::value::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::value::Value::Object(__inner));\n\
+                             ::serde::value::Value::Object(__m)\n}}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn named_field_decoder(type_name: &str, map_var: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            out.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+        } else if f.attrs.default {
+            out.push_str(&format!(
+                "{0}: match {map_var}.get(\"{0}\") {{\n\
+                 ::std::option::Option::Some(__x) => \
+                 ::serde::Deserialize::from_json_value(__x)?,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n}},\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{0}: match {map_var}.get(\"{0}\") {{\n\
+                 ::std::option::Option::Some(__x) => \
+                 ::serde::Deserialize::from_json_value(__x)?,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::DeError::msg(\"{type_name}: missing field `{0}`\")),\n}},\n",
+                f.name
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(__v: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::msg(\"{name}: expected object\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            ));
+            out.push_str(&named_field_decoder(name, "__m", fields));
+            out.push_str("})\n}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(__v: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            if *arity == 1 {
+                out.push_str(&format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_json_value(__v)?))\n"
+                ));
+            } else {
+                out.push_str(&format!(
+                    "let __a = __v.as_array().ok_or_else(|| \
+                     ::serde::DeError::msg(\"{name}: expected array\"))?;\n\
+                     if __a.len() != {arity} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::msg(\"{name}: wrong tuple length\")); }}\n"
+                ));
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_json_value(&__a[{i}])?"))
+                    .collect();
+                out.push_str(&format!(
+                    "::std::result::Result::Ok({name}({}))\n",
+                    items.join(", ")
+                ));
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(__v: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::value::Value::Str(__s) => match __s.as_str() {{\n"
+            ));
+            for v in variants {
+                if matches!(v.shape, VariantShape::Unit) {
+                    out.push_str(&format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::value::Value::Object(__m) => {{\n\
+                 let (__k, __val) = __m.first().ok_or_else(|| \
+                 ::serde::DeError::msg(\"{name}: empty variant object\"))?;\n\
+                 match __k.as_str() {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(arity) => {
+                        if *arity == 1 {
+                            out.push_str(&format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_json_value(__val)?)),\n"
+                            ));
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_json_value(&__a[{i}])?")
+                                })
+                                .collect();
+                            out.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __a = __val.as_array().ok_or_else(|| \
+                                 ::serde::DeError::msg(\"{name}::{vn}: expected array\"))?;\n\
+                                 if __a.len() != {arity} {{ \
+                                 return ::std::result::Result::Err(::serde::DeError::msg(\
+                                 \"{name}::{vn}: wrong arity\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                                items.join(", ")
+                            ));
+                        }
+                    }
+                    VariantShape::Struct(fields) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __o = __val.as_object().ok_or_else(|| \
+                             ::serde::DeError::msg(\"{name}::{vn}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        ));
+                        out.push_str(&named_field_decoder(
+                            &format!("{name}::{vn}"),
+                            "__o",
+                            fields,
+                        ));
+                        out.push_str("})\n}\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                 }}\n}}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 format!(\"{name}: expected string or object, found {{}}\", \
+                 __other.kind()))),\n\
+                 }}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde stand-in: generated Serialize must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde stand-in: generated Deserialize must parse")
+}

@@ -1,0 +1,71 @@
+//! Offline stand-in for `serde_json`: renders and parses the vendored
+//! `serde` stand-in's [`Value`] tree as compact JSON.
+
+pub use serde::value::{Map, Value};
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible for the value model; the `Result` mirrors serde_json's API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render())
+}
+
+/// Parses JSON text into `T`.
+///
+/// # Errors
+///
+/// Returns a message describing the syntax or shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let v = Value::parse(text).map_err(Error)?;
+    T::from_json_value(&v).map_err(Error::from)
+}
+
+/// Converts an in-memory [`Value`] into `T`.
+///
+/// # Errors
+///
+/// Returns a message describing the shape mismatch.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_json_value(&v).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let s = to_string(&vec![1i64, -2, 3]).unwrap();
+        assert_eq!(s, "[1,-2,3]");
+        let back: Vec<i64> = from_str(&s).unwrap();
+        assert_eq!(back, vec![1, -2, 3]);
+    }
+
+    #[test]
+    fn value_passthrough() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, "x"], "b": null}"#).unwrap();
+        let text = to_string(&v).unwrap();
+        let again: Value = from_str(&text).unwrap();
+        assert_eq!(v, again);
+    }
+}
