@@ -1,0 +1,177 @@
+//! `serve_throughput`: requests/sec through the serving runtime on the
+//! acceptance workload (8 requests × beam 5), at 1 / 2 / 4 shards, warm
+//! vs cold cache, plus batch-of-1 latency through the runtime vs calling
+//! the engine path directly. Prints criterion-style lines and writes a
+//! `BENCH_serve.json` snapshot at the workspace root.
+//!
+//! Shard scaling is core-bound: the shards are real OS threads, so the
+//! 4-shard/1-shard ratio approaches 4 only on ≥ 4 free cores (the JSON
+//! records `host_parallelism` so readers can interpret the ratio). The
+//! warm-cache rows are hardware-independent: hits skip decode entirely.
+//!
+//! Run: `cargo bench -p slade_bench --bench serve_throughput`
+
+use serde::Serialize;
+use slade::Slade;
+use slade_compiler::{Isa, OptLevel};
+use slade_nn::{Seq2Seq, TransformerConfig};
+use slade_serve::{ServeConfig, ServeRuntime};
+use slade_tokenizer::UnigramTokenizer;
+use std::sync::Arc;
+use std::time::Instant;
+
+const BEAM: usize = 5;
+const MAX_TGT: usize = 24;
+const REQUESTS: usize = 8;
+
+#[derive(Serialize)]
+struct ShardResult {
+    shards: usize,
+    cold_requests_per_sec: f64,
+    warm_requests_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct LatencyResult {
+    engine_direct_ms: f64,
+    runtime_ms: f64,
+    overhead_pct: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    workload: String,
+    host_parallelism: usize,
+    shard_results: Vec<ShardResult>,
+    speedup_4_vs_1_cold: f64,
+    warm_over_cold_at_1_shard: f64,
+    batch_of_one: LatencyResult,
+}
+
+/// A decompiler around an untrained small-profile model: decode cost (the
+/// thing measured) is identical to a trained model's, without minutes of
+/// training in a bench.
+fn bench_slade() -> Arc<Slade> {
+    let corpus: Vec<String> = (0..24).map(workload_asm).collect();
+    let tokenizer = UnigramTokenizer::train(&corpus, 300);
+    let model = Seq2Seq::new(TransformerConfig::small(tokenizer.vocab_size()), 7);
+    Arc::new(Slade::from_parts(model, tokenizer, Isa::X86_64, OptLevel::O0, BEAM, MAX_TGT))
+}
+
+/// Distinct realistic-shaped assembly per index (distinct cache lines).
+fn workload_asm(i: usize) -> String {
+    format!(
+        "f{i}:\n\tpushq %rbp\n\tmovq %rsp, %rbp\n\tmovl %edi, -{off}(%rbp)\n\taddl ${k}, %eax\n\timull %esi, %eax\n\tcmpl ${k}, %eax\n\tjle .L{i}\n\tsubl %edi, %eax\n.L{i}:\n\tpopq %rbp\n\tret\n",
+        off = 4 + 4 * (i % 6),
+        k = 3 + i
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("serve_throughput: bench");
+        return;
+    }
+    let slade = bench_slade();
+    let workload: Vec<String> = (0..REQUESTS).map(workload_asm).collect();
+    let refs: Vec<&str> = workload.iter().map(String::as_str).collect();
+    let spinup = workload_asm(900); // not in the workload: spins threads without warming its cache lines
+
+    println!(
+        "serve_throughput: {REQUESTS} requests x beam {BEAM} x {MAX_TGT} tokens (host parallelism {})",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let mut shard_results = Vec::new();
+    for shards in [1usize, 2, 4] {
+        // Cold: fresh runtime per iteration so every request misses the
+        // cache; worker spin-up is excluded via the spin-up decode.
+        let mut cold_best = f64::INFINITY;
+        let mut warm_best = f64::INFINITY;
+        for _ in 0..3 {
+            let runtime =
+                ServeRuntime::start(Arc::clone(&slade), ServeConfig::with_shards(shards));
+            runtime.decompile(&spinup);
+            let t0 = Instant::now();
+            let out = runtime.decompile_batch(&refs);
+            cold_best = cold_best.min(t0.elapsed().as_secs_f64());
+            assert_eq!(out.len(), REQUESTS);
+            // Warm: same runtime, same inputs — every request hits.
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let out = runtime.decompile_batch(&refs);
+                warm_best = warm_best.min(t0.elapsed().as_secs_f64());
+                assert_eq!(out.len(), REQUESTS);
+            }
+            let snap = runtime.metrics();
+            assert!(snap.cache.hits >= 3 * REQUESTS as u64, "warm passes must hit");
+            runtime.shutdown();
+        }
+        let cold_rps = REQUESTS as f64 / cold_best;
+        let warm_rps = REQUESTS as f64 / warm_best;
+        println!(
+            "serve_cold_{shards}shard{} {cold_rps:>14.1} req/s",
+            if shards == 1 { " " } else { "s" }
+        );
+        println!(
+            "serve_warm_{shards}shard{} {warm_rps:>14.1} req/s",
+            if shards == 1 { " " } else { "s" }
+        );
+        shard_results.push(ShardResult {
+            shards,
+            cold_requests_per_sec: cold_rps,
+            warm_requests_per_sec: warm_rps,
+        });
+    }
+
+    // Batch-of-1 latency: runtime (1 shard, cache off — every request
+    // decodes) vs the direct engine path.
+    let one = &workload[0];
+    let iters = 10usize;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        assert!(!slade.decompile(one).is_empty() || BEAM == 0);
+    }
+    let engine_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    let runtime =
+        ServeRuntime::start(Arc::clone(&slade), ServeConfig::with_shards(1).without_cache());
+    runtime.decompile(&spinup);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        assert!(!runtime.decompile(one).is_empty() || BEAM == 0);
+    }
+    let runtime_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    runtime.shutdown();
+    let overhead_pct = (runtime_ms / engine_ms - 1.0) * 100.0;
+    println!("decompile1_engine_direct {engine_ms:>14.2} ms");
+    println!("decompile1_serve_runtime {runtime_ms:>14.2} ms ({overhead_pct:+.1}% vs direct)");
+
+    let cold = |s: usize| {
+        shard_results
+            .iter()
+            .find(|r| r.shards == s)
+            .map(|r| r.cold_requests_per_sec)
+            .unwrap_or(0.0)
+    };
+    let report = Report {
+        workload: format!(
+            "{REQUESTS} requests x beam {BEAM} x {MAX_TGT} tokens, small profile"
+        ),
+        host_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        speedup_4_vs_1_cold: cold(4) / cold(1).max(1e-12),
+        warm_over_cold_at_1_shard: shard_results[0].warm_requests_per_sec
+            / shard_results[0].cold_requests_per_sec.max(1e-12),
+        shard_results,
+        batch_of_one: LatencyResult { engine_direct_ms: engine_ms, runtime_ms, overhead_pct },
+    };
+    println!(
+        "speedup 4-shard vs 1-shard (cold): {:.2}x; warm/cold at 1 shard: {:.1}x",
+        report.speedup_4_vs_1_cold, report.warm_over_cold_at_1_shard
+    );
+    let json = serde_json::to_string(&report).expect("report serialization");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

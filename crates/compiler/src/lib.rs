@@ -60,6 +60,14 @@ impl fmt::Display for Isa {
     }
 }
 
+/// `X86_64` — the paper's primary target, and the configuration assumed
+/// for artifacts serialized before the target was recorded on them.
+impl Default for Isa {
+    fn default() -> Self {
+        Isa::X86_64
+    }
+}
+
 /// Optimization level (the paper evaluates the two extremes GCC users ship).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum OptLevel {
@@ -76,6 +84,14 @@ impl fmt::Display for OptLevel {
             OptLevel::O0 => write!(f, "O0"),
             OptLevel::O3 => write!(f, "O3"),
         }
+    }
+}
+
+/// `O0` — the unoptimized baseline, and the configuration assumed for
+/// artifacts serialized before the target was recorded on them.
+impl Default for OptLevel {
+    fn default() -> Self {
+        OptLevel::O0
     }
 }
 

@@ -126,12 +126,19 @@ pub struct SladeBuilder {
     opt: OptLevel,
     profile: TrainProfile,
     beam: usize,
+    max_batch_lanes: usize,
 }
 
 impl SladeBuilder {
     /// Starts a builder for the given target configuration.
     pub fn new(isa: Isa, opt: OptLevel) -> Self {
-        SladeBuilder { isa, opt, profile: TrainProfile::default_profile(), beam: 5 }
+        SladeBuilder {
+            isa,
+            opt,
+            profile: TrainProfile::default_profile(),
+            beam: 5,
+            max_batch_lanes: Slade::MAX_BATCH_LANES,
+        }
     }
 
     /// Sets the scale profile.
@@ -143,6 +150,16 @@ impl SladeBuilder {
     /// Sets the beam width (paper: 5).
     pub fn beam(mut self, beam: usize) -> Self {
         self.beam = beam;
+        self
+    }
+
+    /// Sets the concurrent-lane budget of one [`Slade::decompile_batch`]
+    /// engine batch (clamped to ≥ 1; default [`Slade::MAX_BATCH_LANES`]).
+    /// The budget caps the decoder's up-front KV-arena allocation; serving
+    /// layers that shard requests across workers size it to per-shard
+    /// capacity instead of the single-process default.
+    pub fn max_batch_lanes(mut self, lanes: usize) -> Self {
+        self.max_batch_lanes = lanes.max(1);
         self
     }
 
@@ -223,7 +240,15 @@ impl SladeBuilder {
                 model.zero_grads();
             }
         }
-        Slade { model, tokenizer, beam: self.beam, max_tgt_len: self.profile.max_tgt_len }
+        Slade {
+            model,
+            tokenizer,
+            beam: self.beam,
+            max_tgt_len: self.profile.max_tgt_len,
+            isa: self.isa,
+            opt: self.opt,
+            max_batch_lanes: Some(self.max_batch_lanes),
+        }
     }
 }
 
@@ -354,6 +379,18 @@ pub struct Slade {
     pub tokenizer: UnigramTokenizer,
     beam: usize,
     max_tgt_len: usize,
+    /// Target ISA this model was trained for. Artifacts saved before the
+    /// target was recorded deserialize to the x86-64 default.
+    #[serde(default)]
+    isa: Isa,
+    /// Optimization level this model was trained for (`O0` default for
+    /// pre-recording artifacts).
+    #[serde(default)]
+    opt: OptLevel,
+    /// Configured lane budget; `None` (pre-knob artifacts) means
+    /// [`Slade::MAX_BATCH_LANES`].
+    #[serde(default)]
+    max_batch_lanes: Option<usize>,
 }
 
 impl Slade {
@@ -363,9 +400,60 @@ impl Slade {
     /// regardless of corpus size.
     pub const MAX_BATCH_LANES: usize = 256;
 
+    /// Assembles a decompiler from pre-built parts — the entry point for
+    /// benchmarks and serving tests that need a `Slade` around a model
+    /// that was not produced by [`SladeBuilder::train`] (e.g. an untrained
+    /// model whose decode cost is still representative).
+    pub fn from_parts(
+        model: Seq2Seq,
+        tokenizer: UnigramTokenizer,
+        isa: Isa,
+        opt: OptLevel,
+        beam: usize,
+        max_tgt_len: usize,
+    ) -> Self {
+        Slade {
+            model,
+            tokenizer,
+            beam: beam.max(1),
+            max_tgt_len: max_tgt_len.max(1),
+            isa,
+            opt,
+            max_batch_lanes: None,
+        }
+    }
+
     /// The configured beam width.
     pub fn beam(&self) -> usize {
         self.beam
+    }
+
+    /// The maximum hypothesis length in tokens (decode budget per lane).
+    pub fn max_tgt_len(&self) -> usize {
+        self.max_tgt_len
+    }
+
+    /// The ISA this model was trained for.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// The optimization level this model was trained for.
+    pub fn opt(&self) -> OptLevel {
+        self.opt
+    }
+
+    /// The effective concurrent-lane budget per engine batch
+    /// ([`SladeBuilder::max_batch_lanes`], default
+    /// [`Slade::MAX_BATCH_LANES`]).
+    pub fn max_batch_lanes(&self) -> usize {
+        self.max_batch_lanes.unwrap_or(Self::MAX_BATCH_LANES).max(1)
+    }
+
+    /// Reconfigures the lane budget after training (serving layers size it
+    /// to shard capacity).
+    pub fn set_max_batch_lanes(&mut self, lanes: usize) {
+        self.max_batch_lanes = Some(lanes.max(1));
     }
 
     /// Changes the beam width after training (the beam-width ablation
@@ -391,18 +479,30 @@ impl Slade {
     /// The engine pre-allocates KV arenas for every beam lane of every
     /// request in a batch, so an unbounded corpus would mean unbounded
     /// memory; inputs are therefore fed through in chunks of at most
-    /// [`Slade::MAX_BATCH_LANES`] concurrent lanes (batching benefits
-    /// saturate far below that).
+    /// [`Slade::max_batch_lanes`] concurrent lanes (batching benefits
+    /// saturate far below the default budget).
     pub fn decompile_batch(&self, asm_texts: &[&str]) -> Vec<Vec<String>> {
+        let normalized: Vec<String> = asm_texts.iter().map(|asm| normalize_asm(asm)).collect();
+        let refs: Vec<&str> = normalized.iter().map(String::as_str).collect();
+        self.decompile_batch_normalized(&refs)
+    }
+
+    /// [`Slade::decompile_batch`] over inputs that are **already**
+    /// [`normalize_asm`] output — the entry point for callers (the eval
+    /// harness, the serving runtime's cache) that normalize once up front
+    /// so the cache key and the tokenizer input are provably the same
+    /// string. Inputs are not re-normalized; passing raw assembly here
+    /// tokenizes its boilerplate.
+    pub fn decompile_batch_normalized(&self, normalized_asm: &[&str]) -> Vec<Vec<String>> {
         let beam = self.beam.max(1);
-        let per_chunk = (Self::MAX_BATCH_LANES / beam).max(1);
+        let per_chunk = (self.max_batch_lanes() / beam).max(1);
         let engine = InferenceEngine::new(&self.model);
-        let mut out = Vec::with_capacity(asm_texts.len());
-        for chunk in asm_texts.chunks(per_chunk) {
+        let mut out = Vec::with_capacity(normalized_asm.len());
+        for chunk in normalized_asm.chunks(per_chunk) {
             let requests: Vec<DecodeRequest> = chunk
                 .iter()
                 .map(|asm| DecodeRequest {
-                    src: self.tokenizer.encode(&normalize_asm(asm)),
+                    src: self.tokenizer.encode(asm),
                     bos: special::BOS,
                     eos: special::EOS,
                     max_len: self.max_tgt_len,
@@ -521,6 +621,52 @@ mod tests {
                 assert_eq!(h, h2);
             }
         }
+    }
+
+    #[test]
+    fn lane_budget_knob_changes_chunking_not_results() {
+        let items = generate_train(DatasetProfile::tiny(), 11);
+        let slade = SladeBuilder::new(Isa::Arm64, OptLevel::O0)
+            .profile(TrainProfile::tiny())
+            .beam(3)
+            .max_batch_lanes(3) // one request per engine chunk
+            .train(&items, 5);
+        assert_eq!(slade.max_batch_lanes(), 3);
+        assert_eq!(slade.isa(), Isa::Arm64);
+        assert_eq!(slade.opt(), OptLevel::O0);
+        let pairs = make_pairs(&items[..5.min(items.len())], Isa::Arm64, OptLevel::O0);
+        let asms: Vec<&str> = pairs.iter().take(4).map(|(a, _)| a.as_str()).collect();
+        let tight = slade.decompile_batch(&asms);
+        let mut wide = slade.clone();
+        wide.set_max_batch_lanes(Slade::MAX_BATCH_LANES);
+        assert_eq!(tight, wide.decompile_batch(&asms), "chunking must not change results");
+        // Pre-normalized entry point agrees with the raw one.
+        let normed: Vec<String> = asms.iter().map(|a| normalize_asm(a)).collect();
+        let normed_refs: Vec<&str> = normed.iter().map(String::as_str).collect();
+        assert_eq!(tight, slade.decompile_batch_normalized(&normed_refs));
+    }
+
+    #[test]
+    fn pre_knob_artifacts_deserialize_with_defaults() {
+        let items = generate_train(DatasetProfile::tiny(), 9);
+        let slade = SladeBuilder::new(Isa::X86_64, OptLevel::O0)
+            .profile(TrainProfile::tiny())
+            .beam(1)
+            .train(&items[..6.min(items.len())], 8);
+        // Strip the fields a pre-knob artifact would not carry.
+        let json = slade
+            .to_json()
+            .replace("\"isa\":\"X86_64\",", "")
+            .replace("\"opt\":\"O0\",", "")
+            .replace("\"max_batch_lanes\":256,", "")
+            .replace(",\"max_batch_lanes\":256", "");
+        assert!(!json.contains("max_batch_lanes"), "field not stripped: {json:.120}");
+        let back = Slade::from_json(&json).unwrap();
+        assert_eq!(back.isa(), Isa::X86_64);
+        assert_eq!(back.opt(), OptLevel::O0);
+        assert_eq!(back.max_batch_lanes(), Slade::MAX_BATCH_LANES);
+        let asm = "f:\n\tret\n";
+        assert_eq!(slade.decompile(asm), back.decompile(asm));
     }
 
     #[test]

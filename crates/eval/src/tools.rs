@@ -10,7 +10,9 @@ use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
 use slade_dataset::{ArgSpec, DatasetItem};
 use slade_minic::parse_program;
 use slade_nn::{Seq2Seq, TransformerConfig};
+use slade_serve::{ServeConfig, ServeRuntime};
 use slade_tokenizer::{special, WordTokenizer};
+use std::sync::Arc;
 
 /// The decompilers under evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -80,12 +82,19 @@ pub struct ToolContext {
     pub isa: Isa,
     /// Optimization level.
     pub opt: OptLevel,
-    /// Trained SLaDe.
-    pub slade: Slade,
+    /// Trained SLaDe (shared so the serving runtime's shard workers can
+    /// hold it without cloning the weights).
+    pub slade: Arc<Slade>,
     /// ChatGPT simulator (retrieval corpus = training set).
     pub chatgpt: ChatGptSim,
     /// BTC baseline (only populated for x86 -O0, like the original tool).
     pub btc: Option<BtcBaseline>,
+    /// Worker threads for the neural decode pass. `1` (the default) calls
+    /// [`Slade::decompile_batch`] on the evaluating thread — the fully
+    /// deterministic-by-construction path; `> 1` routes through the
+    /// [`slade_serve`] worker pool, whose output is element-wise identical
+    /// (property-tested) but uses OS threads.
+    pub threads: usize,
 }
 
 impl ToolContext {
@@ -102,7 +111,13 @@ impl ToolContext {
         let chatgpt = ChatGptSim::new(&pairs);
         let btc = (isa == Isa::X86_64 && opt == OptLevel::O0)
             .then(|| train_btc(&pairs, profile, seed ^ 0xb7c));
-        ToolContext { isa, opt, slade, chatgpt, btc }
+        ToolContext { isa, opt, slade: Arc::new(slade), chatgpt, btc, threads: 1 }
+    }
+
+    /// Sets the neural-decode worker count (see the `threads` field).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     fn asm_isa(&self) -> slade_asm::Isa {
@@ -116,10 +131,14 @@ impl ToolContext {
 /// Trains the BTC-like baseline: same architecture, word-level tokenizer,
 /// half the training epochs (it predates the paper's recipe).
 fn train_btc(pairs: &[(String, String)], profile: TrainProfile, seed: u64) -> BtcBaseline {
+    // Normalize once per pair; the corpus pass and every training epoch
+    // below reuse the same strings.
+    let pairs: Vec<(String, &String)> =
+        pairs.iter().map(|(a, c)| (normalize_asm(a), c)).collect();
     let mut corpus = Vec::new();
-    for (a, c) in pairs {
-        corpus.push(normalize_asm(a));
-        corpus.push(c.clone());
+    for (a, c) in &pairs {
+        corpus.push(a.clone());
+        corpus.push((*c).clone());
     }
     let tokenizer = WordTokenizer::train(&corpus, profile.vocab);
     let cfg = TransformerConfig {
@@ -135,8 +154,8 @@ fn train_btc(pairs: &[(String, String)], profile: TrainProfile, seed: u64) -> Bt
     for _ in 0..profile.epochs.div_ceil(2) {
         let mut n = 0;
         model.zero_grads();
-        for (asm, c) in pairs {
-            let src = tokenizer.encode(&normalize_asm(asm));
+        for (asm, c) in &pairs {
+            let src = tokenizer.encode(asm);
             let tgt = tokenizer.encode(c);
             if src.is_empty()
                 || tgt.is_empty()
@@ -170,18 +189,25 @@ struct EvalCase<'a> {
     idx: usize,
     item: &'a DatasetItem,
     asm: String,
+    /// [`normalize_asm`] output, computed **once** here — every consumer
+    /// (the neural tokenizer path, the serving runtime's cache key, the
+    /// BTC baseline) sees provably the same string.
+    norm_asm: String,
     reference: Vec<Option<crate::harness::CallObservation>>,
 }
 
 /// Evaluates `tools` on `items` under `ctx`'s configuration.
 ///
 /// All SLaDe-family decompilations run as **one** batched engine pass
-/// ([`Slade::decompile_batch`]) over every item — the per-item work that
-/// remains is type inference, candidate judging, and the non-neural
-/// baselines.
+/// over every item — [`Slade::decompile_batch_normalized`] on the
+/// evaluating thread, or the [`slade_serve`] worker pool when
+/// `ctx.threads > 1` (identical output, property-tested). The per-item
+/// work that remains is type inference, candidate judging, and the
+/// non-neural baselines.
 pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec<EvalRecord> {
     let opts = CompileOpts::new(ctx.isa, ctx.opt);
-    // Pre-pass: compile every item and capture its reference behaviour.
+    // Pre-pass: compile every item, normalize its assembly once, and
+    // capture its reference behaviour.
     let cases: Vec<EvalCase> = items
         .iter()
         .enumerate()
@@ -189,7 +215,8 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
             let program = parse_program(&item.full_src()).ok()?;
             let asm = compile_function(&program, &item.name, opts).ok()?;
             let reference = reference_observations(item).ok()?;
-            Some(EvalCase { idx, item, asm, reference })
+            let norm_asm = normalize_asm(&asm);
+            Some(EvalCase { idx, item, asm, norm_asm, reference })
         })
         .collect();
     // One batched decode for the whole corpus when any neural tool runs.
@@ -197,8 +224,16 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
         matches!(t, Tool::Slade | Tool::SladeNoTypes | Tool::SladeRepair | Tool::Hybrid)
     });
     let beams: Vec<Vec<String>> = if needs_neural {
-        let asms: Vec<&str> = cases.iter().map(|c| c.asm.as_str()).collect();
-        ctx.slade.decompile_batch(&asms)
+        let norms: Vec<&str> = cases.iter().map(|c| c.norm_asm.as_str()).collect();
+        if ctx.threads > 1 {
+            let runtime = ServeRuntime::start(
+                Arc::clone(&ctx.slade),
+                ServeConfig::with_shards(ctx.threads),
+            );
+            runtime.decompile_batch_normalized(&norms)
+        } else {
+            ctx.slade.decompile_batch_normalized(&norms)
+        }
     } else {
         Vec::new()
     };
@@ -304,7 +339,7 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
                     let Some(btc) = &ctx.btc else { continue };
                     let signature =
                         item.func_src.split('{').next().unwrap_or("").trim().to_string();
-                    let hyp = btc.decompile(&normalize_asm(asm), &signature);
+                    let hyp = btc.decompile(&case.norm_asm, &signature);
                     let v = judge(item, reference, &hyp, "");
                     rec.compiles = v.compiles;
                     rec.correct = v.correct;

@@ -55,14 +55,17 @@ struct Hyp {
     score: f32,
 }
 
-/// Book-keeping for one request inside a batch.
-struct Progress {
-    beam: usize,
+/// Book-keeping for one admitted request inside a [`DecodeSession`].
+struct Slot {
+    ticket: u64,
+    bos: u32,
     eos: u32,
+    beam: usize,
     budget: usize,
+    steps: usize,
+    cross_id: usize,
     live: Vec<Hyp>,
     done: Vec<(Vec<u32>, f32)>,
-    stopped: bool,
 }
 
 fn norm_score(score: f32, len: usize) -> f32 {
@@ -119,6 +122,26 @@ impl<'m> InferenceEngine<'m> {
         self.decode_batch(std::slice::from_ref(request)).pop().unwrap_or_default()
     }
 
+    /// Opens a [`DecodeSession`] — the continuous-batching front-end:
+    /// requests are admitted (possibly while other requests are
+    /// mid-decode), stepped together, and returned as they finish.
+    /// `cap_lanes` bounds concurrent beam lanes (the arena allocation);
+    /// `cap_pos` bounds tokens decodable per lane (clamped to the model's
+    /// positional table).
+    pub fn session(&self, cap_lanes: usize, cap_pos: usize) -> DecodeSession<'m> {
+        let cap_pos = cap_pos.min(self.model.cfg.max_len - 1).max(1);
+        let cap_lanes = cap_lanes.max(1);
+        DecodeSession {
+            model: self.model,
+            state: self.model.begin_decode_batch(cap_lanes, cap_pos),
+            slots: Vec::new(),
+            cap_lanes,
+            cap_pos,
+            reserved: 0,
+            next_ticket: 0,
+        }
+    }
+
     /// Decodes a set of independent requests as **one** interleaved batch:
     /// sources are encoded together ([`Seq2Seq::encode_batch`]), all live
     /// beam lanes step together through [`Seq2Seq::decode_step_batch`],
@@ -126,105 +149,29 @@ impl<'m> InferenceEngine<'m> {
     /// independently (its lanes are compacted out of the arena, shrinking
     /// the batch). Returns, per request, up to `beam` hypotheses, best
     /// first, without BOS/EOS.
+    ///
+    /// This is the admit-everything-up-front special case of a
+    /// [`DecodeSession`]; serving callers that want to feed new requests
+    /// into the running batch as lanes free up use the session directly.
     pub fn decode_batch(&self, requests: &[DecodeRequest]) -> Vec<Vec<Vec<u32>>> {
-        let m = self.model;
         if requests.is_empty() {
             return Vec::new();
         }
-        let vocab = m.cfg.vocab;
-        let srcs: Vec<Vec<u32>> = requests
-            .iter()
-            .map(|r| r.src.iter().take(m.cfg.max_len).copied().collect())
-            .collect();
-        let src_refs: Vec<&[u32]> = srcs.iter().map(|s| s.as_slice()).collect();
-        let mems = m.encode_batch(&src_refs);
-        let budgets: Vec<usize> =
-            requests.iter().map(|r| r.max_len.min(m.cfg.max_len - 1).max(1)).collect();
         let cap_lanes: usize = requests.iter().map(|r| r.beam.max(1)).sum();
-        let cap_pos = budgets.iter().copied().max().unwrap_or(1);
-        let mut state = m.begin_decode_batch(cap_lanes, cap_pos);
-        let mut reqs: Vec<Progress> = Vec::with_capacity(requests.len());
-        for ((r, mem), budget) in requests.iter().zip(&mems).zip(&budgets) {
-            let cross = m.register_cross_memory(&mut state, mem, mem.len() / m.cfg.d_model);
-            state.add_lane(cross);
-            reqs.push(Progress {
-                beam: r.beam.max(1),
-                eos: r.eos,
-                budget: *budget,
-                live: vec![Hyp { tokens: vec![r.bos], score: 0.0 }],
-                done: Vec::new(),
-                stopped: false,
-            });
+        let cap_pos = requests.iter().map(|r| r.max_len).max().unwrap_or(1);
+        let mut session = self.session(cap_lanes, cap_pos);
+        let refs: Vec<&DecodeRequest> = requests.iter().collect();
+        let tickets = session.admit_many(&refs);
+        let mut results: Vec<(u64, Vec<Vec<u32>>)> = Vec::with_capacity(requests.len());
+        while !session.is_idle() {
+            results.extend(session.step());
         }
-        let mut step = 0usize;
-        let mut tokens: Vec<u32> = Vec::with_capacity(cap_lanes);
-        let mut parents: Vec<usize> = Vec::with_capacity(cap_lanes);
-        loop {
-            tokens.clear();
-            for rq in &reqs {
-                if !rq.stopped {
-                    for hyp in &rq.live {
-                        tokens.push(*hyp.tokens.last().unwrap());
-                    }
-                }
-            }
-            if tokens.is_empty() {
-                break;
-            }
-            let logits = m.decode_step_batch(&mut state, &tokens);
-            step += 1;
-            parents.clear();
-            let mut lane_base = 0usize;
-            for rq in reqs.iter_mut() {
-                if rq.stopped {
-                    continue;
-                }
-                let lanes = rq.live.len();
-                let mut cands: Vec<(Vec<u32>, f32, usize)> =
-                    Vec::with_capacity(lanes * rq.beam);
-                for (i, hyp) in rq.live.iter().enumerate() {
-                    let row = &logits[(lane_base + i) * vocab..(lane_base + i + 1) * vocab];
-                    for (tok, lp) in log_softmax_topk(row, rq.beam) {
-                        let mut t = hyp.tokens.clone();
-                        t.push(tok as u32);
-                        cands.push((t, hyp.score + lp, lane_base + i));
-                    }
-                }
-                cands.sort_by(|a, b| b.1.total_cmp(&a.1));
-                cands.truncate(rq.beam);
-                let mut survivors: Vec<(Hyp, usize)> = Vec::new();
-                for (t, sc, parent) in cands {
-                    if *t.last().unwrap() == rq.eos {
-                        rq.done.push((t, sc));
-                    } else {
-                        survivors.push((Hyp { tokens: t, score: sc }, parent));
-                    }
-                }
-                let converged = beam_converged(
-                    &rq.done,
-                    rq.beam,
-                    survivors.iter().map(|(h, _)| norm_score(h.score, h.tokens.len())),
-                );
-                if survivors.is_empty() || step >= rq.budget || converged {
-                    rq.stopped = true;
-                    // Unfinished survivors still compete in the ranking,
-                    // matching the scalar reference.
-                    rq.done.extend(survivors.into_iter().map(|(h, _)| (h.tokens, h.score)));
-                    rq.live = Vec::new();
-                } else {
-                    rq.live = Vec::with_capacity(survivors.len());
-                    for (h, parent) in survivors {
-                        parents.push(parent);
-                        rq.live.push(h);
-                    }
-                }
-                lane_base += lanes;
-            }
-            state.reorder(&parents);
-        }
-        reqs.into_iter()
-            .zip(requests)
-            .map(|(rq, r)| rank(rq.done, r.beam.max(1), r.bos, r.eos))
+        tickets
+            .into_iter()
+            .map(|t| {
+                let at = results.iter().position(|(rt, _)| *rt == t).expect("ticket resolved");
+                results.swap_remove(at).1
+            })
             .collect()
     }
 
@@ -283,6 +230,215 @@ impl<'m> InferenceEngine<'m> {
     }
 }
 
+/// A continuous-batching decode session: the engine-side admission seam.
+///
+/// Where [`InferenceEngine::decode_batch`] admits a fixed request set and
+/// runs it to completion, a session keeps one [`BatchedDecoderState`]
+/// alive across request lifetimes: callers [`DecodeSession::admit`] work
+/// whenever [`DecodeSession::can_admit`] says a lane budget is free —
+/// including while other requests are mid-decode — call
+/// [`DecodeSession::step`] to advance every live lane one token, and
+/// collect finished requests from the step's return value. Lanes of a
+/// finished request are compacted out by the arena gather and its
+/// cross-memory slot is recycled, so a shard can serve an unbounded
+/// request stream at bounded memory.
+///
+/// Results are **independent of batch composition**: every kernel on the
+/// step path computes each lane's row with the same summation order as
+/// the single-lane path (see DESIGN.md §7.1), each lane attends only its
+/// own cache, and the beam policy runs per request on a per-request step
+/// counter — so a request decoded alongside any mix of neighbors, or
+/// admitted at any point of a running batch, returns exactly the
+/// hypotheses [`InferenceEngine::decode_scalar`] would.
+pub struct DecodeSession<'m> {
+    model: &'m Seq2Seq,
+    state: crate::model::BatchedDecoderState,
+    slots: Vec<Slot>,
+    cap_lanes: usize,
+    cap_pos: usize,
+    /// Lanes reserved by active requests (each reserves its full beam
+    /// width up front, the worst case its survivors can fan out to).
+    reserved: usize,
+    next_ticket: u64,
+}
+
+impl<'m> DecodeSession<'m> {
+    /// True when a request of this beam width can be admitted now:
+    /// admission reserves `beam` lanes (the fan-out worst case) against
+    /// the session's lane budget.
+    pub fn can_admit(&self, beam: usize) -> bool {
+        self.reserved + beam.max(1) <= self.cap_lanes
+    }
+
+    /// Lanes not reserved by any active request.
+    pub fn free_lanes(&self) -> usize {
+        self.cap_lanes - self.reserved
+    }
+
+    /// The session's lane budget.
+    pub fn lane_capacity(&self) -> usize {
+        self.cap_lanes
+    }
+
+    /// Live beam lanes right now (≤ reserved; a request's live lanes lag
+    /// its reservation until the beam fans out).
+    pub fn live_lanes(&self) -> usize {
+        self.state.num_lanes()
+    }
+
+    /// Requests admitted but not yet finished.
+    pub fn active_requests(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no request is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Admits one request; returns its ticket (stable id handed back by
+    /// the [`DecodeSession::step`] that finishes it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`DecodeSession::can_admit`] is false for the request's
+    /// beam width.
+    pub fn admit(&mut self, request: &DecodeRequest) -> u64 {
+        self.admit_many(&[request]).pop().expect("one ticket per request")
+    }
+
+    /// Admits a group of requests, encoding their sources as **one**
+    /// batched encoder pass ([`Seq2Seq::encode_batch`]) — the grouped twin
+    /// of [`DecodeSession::admit`] that serving callers use when draining
+    /// an arrival queue, so encoder projections amortize across the group.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the group's summed beam widths exceed the free lane
+    /// budget.
+    pub fn admit_many(&mut self, requests: &[&DecodeRequest]) -> Vec<u64> {
+        let m = self.model;
+        // Validate the whole group's reservation before the (expensive)
+        // encoder pass, so a rejected group admits nothing at all.
+        let group: usize = requests.iter().map(|r| r.beam.max(1)).sum();
+        assert!(
+            self.reserved + group <= self.cap_lanes,
+            "admission over lane budget ({} reserved + {group} > {})",
+            self.reserved,
+            self.cap_lanes
+        );
+        let srcs: Vec<Vec<u32>> = requests
+            .iter()
+            .map(|r| r.src.iter().take(m.cfg.max_len).copied().collect())
+            .collect();
+        let src_refs: Vec<&[u32]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let mems = m.encode_batch(&src_refs);
+        requests
+            .iter()
+            .zip(&mems)
+            .map(|(r, mem)| {
+                let beam = r.beam.max(1);
+                let cross =
+                    m.register_cross_memory(&mut self.state, mem, mem.len() / m.cfg.d_model);
+                self.state.add_lane(cross);
+                let ticket = self.next_ticket;
+                self.next_ticket += 1;
+                self.reserved += beam;
+                self.slots.push(Slot {
+                    ticket,
+                    bos: r.bos,
+                    eos: r.eos,
+                    beam,
+                    budget: r.max_len.min(self.cap_pos).max(1),
+                    steps: 0,
+                    cross_id: cross,
+                    live: vec![Hyp { tokens: vec![r.bos], score: 0.0 }],
+                    done: Vec::new(),
+                });
+                ticket
+            })
+            .collect()
+    }
+
+    /// Advances every live lane one decode step and returns the requests
+    /// that finished on it as `(ticket, hypotheses)` — up to `beam`
+    /// hypotheses each, best first, without BOS/EOS. Finished requests'
+    /// lanes are compacted out of the arena and their reservations and
+    /// cross memories freed, so [`DecodeSession::can_admit`] may turn true
+    /// for a waiting request. No-op (empty vec) when idle.
+    pub fn step(&mut self) -> Vec<(u64, Vec<Vec<u32>>)> {
+        if self.slots.is_empty() {
+            return Vec::new();
+        }
+        let m = self.model;
+        let vocab = m.cfg.vocab;
+        let mut tokens: Vec<u32> = Vec::with_capacity(self.state.num_lanes());
+        for slot in &self.slots {
+            for hyp in &slot.live {
+                tokens.push(*hyp.tokens.last().unwrap());
+            }
+        }
+        let logits = m.decode_step_batch(&mut self.state, &tokens);
+        let mut parents: Vec<usize> = Vec::with_capacity(tokens.len());
+        let mut lane_base = 0usize;
+        for slot in self.slots.iter_mut() {
+            let lanes = slot.live.len();
+            let mut cands: Vec<(Vec<u32>, f32, usize)> = Vec::with_capacity(lanes * slot.beam);
+            for (i, hyp) in slot.live.iter().enumerate() {
+                let row = &logits[(lane_base + i) * vocab..(lane_base + i + 1) * vocab];
+                for (tok, lp) in log_softmax_topk(row, slot.beam) {
+                    let mut t = hyp.tokens.clone();
+                    t.push(tok as u32);
+                    cands.push((t, hyp.score + lp, lane_base + i));
+                }
+            }
+            cands.sort_by(|a, b| b.1.total_cmp(&a.1));
+            cands.truncate(slot.beam);
+            let mut survivors: Vec<(Hyp, usize)> = Vec::new();
+            for (t, sc, parent) in cands {
+                if *t.last().unwrap() == slot.eos {
+                    slot.done.push((t, sc));
+                } else {
+                    survivors.push((Hyp { tokens: t, score: sc }, parent));
+                }
+            }
+            slot.steps += 1;
+            let converged = beam_converged(
+                &slot.done,
+                slot.beam,
+                survivors.iter().map(|(h, _)| norm_score(h.score, h.tokens.len())),
+            );
+            if survivors.is_empty() || slot.steps >= slot.budget || converged {
+                // Unfinished survivors still compete in the ranking,
+                // matching the scalar reference.
+                slot.done.extend(survivors.into_iter().map(|(h, _)| (h.tokens, h.score)));
+                slot.live = Vec::new();
+            } else {
+                slot.live = Vec::with_capacity(survivors.len());
+                for (h, parent) in survivors {
+                    parents.push(parent);
+                    slot.live.push(h);
+                }
+            }
+            lane_base += lanes;
+        }
+        self.state.reorder(&parents);
+        let mut finished = Vec::new();
+        let mut i = 0usize;
+        while i < self.slots.len() {
+            if self.slots[i].live.is_empty() {
+                let slot = self.slots.remove(i);
+                self.reserved -= slot.beam;
+                self.state.release_cross_memory(slot.cross_id);
+                finished.push((slot.ticket, rank(slot.done, slot.beam, slot.bos, slot.eos)));
+            } else {
+                i += 1;
+            }
+        }
+        finished
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +494,58 @@ mod tests {
     fn empty_batch_is_empty() {
         let m = Seq2Seq::new(TransformerConfig::tiny(16), 1);
         assert!(InferenceEngine::new(&m).decode_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn mid_decode_admission_matches_scalar() {
+        // A request admitted while another is mid-decode must return
+        // exactly what it returns decoded alone — the invariant the
+        // serving runtime's equivalence rests on.
+        let m = trained_tiny();
+        let engine = InferenceEngine::new(&m);
+        let a = DecodeRequest { src: vec![4, 5, 6], bos: 1, eos: 2, max_len: 9, beam: 3 };
+        let b = DecodeRequest { src: vec![6, 5], bos: 1, eos: 2, max_len: 9, beam: 2 };
+        let c = DecodeRequest { src: vec![5], bos: 1, eos: 2, max_len: 9, beam: 5 };
+        let mut session = engine.session(10, 9);
+        let mut results: Vec<(u64, Vec<Vec<u32>>)> = Vec::new();
+        let ta = session.admit(&a);
+        results.extend(session.step());
+        results.extend(session.step());
+        let tb = session.admit(&b); // joins a running batch
+        results.extend(session.step());
+        let tc = session.admit(&c); // joins later still
+        while !session.is_idle() {
+            results.extend(session.step());
+        }
+        for (ticket, req) in [(ta, &a), (tb, &b), (tc, &c)] {
+            let got = &results.iter().find(|(t, _)| *t == ticket).unwrap().1;
+            assert_eq!(got, &engine.decode_scalar(req), "src {:?}", req.src);
+        }
+    }
+
+    #[test]
+    fn finished_requests_free_lanes_for_admission() {
+        let m = trained_tiny();
+        let engine = InferenceEngine::new(&m);
+        let req = DecodeRequest { src: vec![4, 5, 6], bos: 1, eos: 2, max_len: 6, beam: 5 };
+        // Capacity for exactly one beam-5 request at a time.
+        let mut session = engine.session(5, 6);
+        let expected = engine.decode_scalar(&req);
+        for round in 0..3 {
+            assert!(session.can_admit(req.beam), "round {round} should have free lanes");
+            let ticket = session.admit(&req);
+            assert!(!session.can_admit(req.beam), "budget must be exhausted while live");
+            let mut got = None;
+            while got.is_none() {
+                for (t, beams) in session.step() {
+                    assert_eq!(t, ticket);
+                    got = Some(beams);
+                }
+            }
+            assert_eq!(got.unwrap(), expected, "round {round} diverged");
+            assert!(session.is_idle());
+            assert_eq!(session.live_lanes(), 0);
+        }
     }
 
     #[test]

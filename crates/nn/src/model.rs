@@ -1060,6 +1060,7 @@ impl Seq2Seq {
             gather_k: vec![vec![0.0; arena]; layers],
             gather_v: vec![vec![0.0; arena]; layers],
             cross: Vec::new(),
+            cross_free: Vec::new(),
             lane_pos: Vec::new(),
             lane_cross: Vec::new(),
             cap_lanes: cap_lanes.max(1),
@@ -1273,7 +1274,10 @@ impl Seq2Seq {
     /// Projects one request's encoder memory into per-layer cross K/V and
     /// registers it with the batched state, returning its handle for
     /// [`BatchedDecoderState::add_lane`]. Done once per request; lanes
-    /// (beam hypotheses) of the same request share the projections.
+    /// (beam hypotheses) of the same request share the projections. Slots
+    /// freed by [`BatchedDecoderState::release_cross_memory`] are reused,
+    /// so a long-running continuous-batching session does not grow its
+    /// cross-memory table beyond its peak concurrency.
     pub fn register_cross_memory(
         &self,
         state: &mut BatchedDecoderState,
@@ -1288,8 +1292,13 @@ impl Seq2Seq {
             k.push(self.linear(a.wk, a.bk, mem, s, d, d));
             v.push(self.linear(a.wv, a.bv, mem, s, d, d));
         }
-        state.cross.push(CrossMemory { k, v, s });
-        state.cross.len() - 1
+        if let Some(id) = state.cross_free.pop() {
+            state.cross[id] = CrossMemory { k, v, s };
+            id
+        } else {
+            state.cross.push(CrossMemory { k, v, s });
+            state.cross.len() - 1
+        }
     }
 
     /// Greedy decoding (beam size 1 fast path).
@@ -1519,6 +1528,9 @@ pub struct BatchedDecoderState {
     gather_v: Vec<Vec<f32>>,
     /// Registered per-request cross projections.
     cross: Vec<CrossMemory>,
+    /// Slots in `cross` released by finished requests, reused by the next
+    /// [`Seq2Seq::register_cross_memory`].
+    cross_free: Vec<usize>,
     /// Tokens consumed so far, per lane.
     lane_pos: Vec<usize>,
     /// Cross-memory handle, per lane.
@@ -1595,6 +1607,27 @@ impl BatchedDecoderState {
         }
         self.lane_pos = parents.iter().map(|&p| self.lane_pos[p]).collect();
         self.lane_cross = parents.iter().map(|&p| self.lane_cross[p]).collect();
+    }
+
+    /// Releases a cross-memory registration once the request that owned it
+    /// has no live lanes left, freeing its `O(layers · s · d_model)`
+    /// projections and recycling the slot for the next
+    /// [`Seq2Seq::register_cross_memory`] — the bookkeeping that keeps a
+    /// long-running continuous-batching session at bounded memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the handle is unknown, still referenced by a live lane,
+    /// or already released.
+    pub fn release_cross_memory(&mut self, id: usize) {
+        assert!(id < self.cross.len(), "unknown cross-memory handle {id}");
+        assert!(
+            !self.lane_cross.contains(&id),
+            "cross memory {id} is still referenced by a live lane"
+        );
+        assert!(!self.cross_free.contains(&id), "cross memory {id} released twice");
+        self.cross[id] = CrossMemory { k: Vec::new(), v: Vec::new(), s: 0 };
+        self.cross_free.push(id);
     }
 }
 

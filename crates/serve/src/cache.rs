@@ -1,0 +1,278 @@
+//! Normalized-assembly result cache.
+//!
+//! Serving traffic over binary corpora is duplicate-heavy: corpus-scale
+//! re-evaluation re-decompiles identical functions, and self-constructed-
+//! context pipelines re-query the same function many times. Decode output
+//! is a pure function of (normalized assembly, model target, beam
+//! configuration), so completed results are cached under a key derived
+//! from exactly the string the tokenizer consumed.
+//!
+//! The key carries a stable 64-bit FNV-1a hash of the normalized assembly
+//! plus the ISA / optimization level / beam width / decode budget, so the
+//! same bytes decompiled under two model configurations can never collide;
+//! entries additionally store the full normalized text and verify it on
+//! probe, so even a hash collision degrades to a miss, never to a wrong
+//! answer. Eviction is least-recently-used at a fixed capacity, with
+//! hit / miss / insertion / eviction accounting.
+
+use serde::Serialize;
+use slade_compiler::{Isa, OptLevel};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Stable 64-bit FNV-1a — the cache's content hash (independent of the
+/// process-seeded `std` hasher, so keys are comparable across runs).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cache key: content hash of the normalized assembly plus every decode
+/// knob that changes the output. Two keys with equal hashes but different
+/// configuration never compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-1a of the [`slade::normalize_asm`] output fed to the tokenizer.
+    pub asm_hash: u64,
+    /// Target ISA of the serving model.
+    pub isa: Isa,
+    /// Optimization level of the serving model.
+    pub opt: OptLevel,
+    /// Beam width the result was decoded with.
+    pub beam: usize,
+    /// Decode budget (max hypothesis tokens).
+    pub max_tgt_len: usize,
+}
+
+impl CacheKey {
+    /// Derives the key for one normalized-assembly input under one
+    /// serving configuration.
+    pub fn new(
+        normalized_asm: &str,
+        isa: Isa,
+        opt: OptLevel,
+        beam: usize,
+        max_tgt_len: usize,
+    ) -> Self {
+        CacheKey { asm_hash: fnv1a64(normalized_asm.as_bytes()), isa, opt, beam, max_tgt_len }
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    /// Full normalized text, verified on probe so a hash collision can
+    /// never return another function's hypotheses.
+    norm_asm: String,
+    outputs: Vec<String>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, CacheEntry>,
+    clock: u64,
+}
+
+/// Counter snapshot of one [`ResultCache`].
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that fell through to decode.
+    pub misses: u64,
+    /// Results stored.
+    pub insertions: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries resident right now.
+    pub entries: usize,
+    /// Configured capacity (0 = disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over probes, 0.0 when never probed.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
+/// Thread-safe LRU result cache (see module docs).
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results; `0` disables it (every
+    /// probe misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// True when the cache can hold anything.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Probes for `key`, verifying the stored normalized text against
+    /// `normalized_asm`; counts a hit or a miss either way.
+    pub fn get(&self, key: &CacheKey, normalized_asm: &str) -> Option<Vec<String>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) if entry.norm_asm == normalized_asm => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.outputs.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a result, evicting the least-recently-used entry when at
+    /// capacity. No-op when disabled.
+    pub fn insert(&self, key: CacheKey, normalized_asm: &str, outputs: Vec<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(lru) =
+                inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k)
+            {
+                inner.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(
+            key,
+            CacheEntry { norm_asm: normalized_asm.to_string(), outputs, last_used: clock },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("cache lock").map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ASM: &str = "f:\nmovl %edi, %eax\nret\n";
+
+    #[test]
+    fn distinct_configs_never_collide() {
+        // Same normalized assembly under every config combination: all
+        // keys must be distinct (satellite: ISA/opt/beam configs never
+        // collide).
+        let mut keys = Vec::new();
+        for isa in [Isa::X86_64, Isa::Arm64] {
+            for opt in [OptLevel::O0, OptLevel::O3] {
+                for beam in [1usize, 5] {
+                    for max_tgt in [64usize, 128] {
+                        keys.push(CacheKey::new(ASM, isa, opt, beam, max_tgt));
+                    }
+                }
+            }
+        }
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "config collision: {a:?}");
+            }
+            assert_eq!(a.asm_hash, keys[0].asm_hash, "same text, same content hash");
+        }
+        let cache = ResultCache::new(64);
+        cache.insert(keys[0], ASM, vec!["int f(int a) { return a; }".into()]);
+        assert!(cache.get(&keys[0], ASM).is_some());
+        for k in &keys[1..] {
+            assert!(cache.get(k, ASM).is_none(), "cross-config hit: {k:?}");
+        }
+    }
+
+    #[test]
+    fn hash_collision_degrades_to_miss_not_wrong_answer() {
+        let cache = ResultCache::new(4);
+        let key = CacheKey::new(ASM, Isa::X86_64, OptLevel::O0, 5, 64);
+        cache.insert(key, ASM, vec!["right".into()]);
+        // A forged probe with the same key but different text (what a
+        // 64-bit collision would look like) must miss.
+        assert_eq!(cache.get(&key, "g:\nret\n"), None);
+        assert_eq!(cache.get(&key, ASM), Some(vec!["right".to_string()]));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_and_accounting() {
+        let cache = ResultCache::new(2);
+        let k = |i: usize| {
+            CacheKey::new(&format!("f{i}:\nret\n"), Isa::X86_64, OptLevel::O0, 5, 64)
+        };
+        cache.insert(k(0), "f0:\nret\n", vec!["a".into()]);
+        cache.insert(k(1), "f1:\nret\n", vec!["b".into()]);
+        // Touch 0 so 1 is the LRU victim.
+        assert!(cache.get(&k(0), "f0:\nret\n").is_some());
+        cache.insert(k(2), "f2:\nret\n", vec!["c".into()]);
+        assert!(cache.get(&k(1), "f1:\nret\n").is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&k(0), "f0:\nret\n").is_some());
+        assert!(cache.get(&k(2), "f2:\nret\n").is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.insertions, 3);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let cache = ResultCache::new(0);
+        assert!(!cache.enabled());
+        let key = CacheKey::new(ASM, Isa::X86_64, OptLevel::O0, 5, 64);
+        cache.insert(key, ASM, vec!["x".into()]);
+        assert_eq!(cache.get(&key, ASM), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

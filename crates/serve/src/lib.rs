@@ -1,0 +1,393 @@
+//! `slade_serve` — the multi-threaded serving runtime above
+//! [`slade::Slade`] and the batched inference engine.
+//!
+//! The engine (`slade_nn::engine`) made one decode batch fast; this crate
+//! makes a *process* serve: a *sharded worker pool* (one engine
+//! [`slade_nn::engine::DecodeSession`] per thread, model shared via
+//! `Arc`) scales across cores, an *admission queue* with
+//! FIFO-with-deadline fairness feeds the shards and admits newly arrived
+//! requests into **running** decode batches as finished requests free
+//! lanes (continuous batching), a *result cache* keyed by the hash of
+//! [`slade::normalize_asm`] output plus the ISA/opt/beam configuration
+//! answers duplicate-heavy traffic without decoding, and a *metrics
+//! surface* exposes queue depth, per-shard lane occupancy, latency
+//! percentiles and cache hit rate as a plain struct snapshot.
+//!
+//! # Determinism
+//!
+//! Runtime output is element-wise identical to sequential
+//! [`slade::Slade::decompile_batch`] for any shard count, arrival order,
+//! and cache setting: every step-path kernel computes each lane's row
+//! with a fixed summation order, lanes attend only their own caches, and
+//! the beam policy runs per request — so batch composition, admission
+//! time, and shard assignment cannot change a request's hypotheses, and
+//! the cache stores exactly what decode would return (verified by the
+//! equivalence property test in `tests/equivalence.rs`).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use slade_serve::{ServeConfig, ServeRuntime};
+//! use std::sync::Arc;
+//!
+//! # fn demo(slade: slade::Slade) {
+//! let runtime = ServeRuntime::start(Arc::new(slade), ServeConfig::with_shards(4));
+//! let hypotheses = runtime.decompile("f:\n\tret\n");
+//! println!("{} candidates, {:?}", hypotheses.len(), runtime.metrics());
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod queue;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use metrics::MetricsSnapshot;
+pub use queue::AdmissionQueue;
+
+use metrics::MetricsInner;
+use slade::{normalize_asm, Slade};
+use slade_nn::{DecodeRequest, InferenceEngine};
+use slade_tokenizer::special;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving-runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each with its own engine decode session. Requests
+    /// shard across them; throughput scales with cores until the queue
+    /// runs dry.
+    pub shards: usize,
+    /// Concurrent-lane budget per shard; `0` derives it from the model's
+    /// [`slade::Slade::max_batch_lanes`] split across the shards.
+    pub lanes_per_shard: usize,
+    /// Result-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Admission patience: a request older than this is served strictly
+    /// FIFO ahead of any fresher request (see [`queue::AdmissionQueue`]).
+    pub max_wait: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 1,
+            lanes_per_shard: 0,
+            cache_capacity: 1024,
+            max_wait: Duration::from_millis(100),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Default configuration at a given shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        ServeConfig { shards: shards.max(1), ..ServeConfig::default() }
+    }
+
+    /// Disables the result cache.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_capacity = 0;
+        self
+    }
+}
+
+/// One queued decompilation job.
+struct Job {
+    norm_asm: String,
+    key: Option<CacheKey>,
+    slot: Arc<ResponseSlot>,
+    submitted: Instant,
+}
+
+/// Completion cell a caller blocks on.
+struct ResponseSlot {
+    result: Mutex<Option<Vec<String>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot { result: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    fn fulfill(&self, outputs: Vec<String>) {
+        *self.result.lock().expect("slot lock") = Some(outputs);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to one in-flight request; [`RequestHandle::wait`] blocks until
+/// its hypotheses are ready.
+pub struct RequestHandle {
+    slot: Arc<ResponseSlot>,
+}
+
+impl RequestHandle {
+    /// Blocks until the request completes; returns up to `beam`
+    /// hypotheses, best first.
+    pub fn wait(self) -> Vec<String> {
+        let mut guard = self.slot.result.lock().expect("slot lock");
+        while guard.is_none() {
+            guard = self.slot.ready.wait(guard).expect("slot wait");
+        }
+        guard.take().expect("checked above")
+    }
+
+    /// Non-blocking poll; returns the result once, if ready.
+    pub fn try_take(&self) -> Option<Vec<String>> {
+        self.slot.result.lock().expect("slot lock").take()
+    }
+}
+
+/// State shared between the front-end and the workers.
+struct Shared {
+    slade: Arc<Slade>,
+    queue: Mutex<AdmissionQueue<Job>>,
+    work: Condvar,
+    cache: ResultCache,
+    metrics: MetricsInner,
+    shutdown: AtomicBool,
+    lanes_per_shard: usize,
+    max_wait: Duration,
+}
+
+/// The serving runtime: spawns the shard workers at
+/// [`ServeRuntime::start`], serves until dropped (drop drains in-flight
+/// work, then joins the workers).
+pub struct ServeRuntime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeRuntime {
+    /// Starts `config.shards` workers around a shared decompiler.
+    pub fn start(slade: Arc<Slade>, config: ServeConfig) -> Self {
+        let shards = config.shards.max(1);
+        let beam = slade.beam().max(1);
+        // Both branches floor at one full beam width — a shard with fewer
+        // lanes could never admit anything and requests would hang — so
+        // when `max_batch_lanes / shards < beam` the summed arenas exceed
+        // the single-process cap by up to `shards × beam` lanes.
+        let lanes_per_shard = if config.lanes_per_shard > 0 {
+            config.lanes_per_shard.max(beam)
+        } else {
+            // Split the model's single-process lane budget across shards
+            // so total arena memory stays at the configured cap (beam
+            // floor aside).
+            (slade.max_batch_lanes() / shards).max(beam)
+        };
+        let shared = Arc::new(Shared {
+            slade,
+            queue: Mutex::new(AdmissionQueue::new()),
+            work: Condvar::new(),
+            cache: ResultCache::new(config.cache_capacity),
+            metrics: MetricsInner::new(shards, lanes_per_shard),
+            shutdown: AtomicBool::new(false),
+            lanes_per_shard,
+            max_wait: config.max_wait,
+        });
+        let workers = (0..shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("slade-serve-{shard}"))
+                    .spawn(move || worker_loop(&shared, shard))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ServeRuntime { shared, workers }
+    }
+
+    /// Submits raw assembly text; returns immediately with a handle.
+    pub fn submit(&self, asm_text: &str) -> RequestHandle {
+        self.submit_normalized(normalize_asm(asm_text))
+    }
+
+    /// Submits assembly that is **already** [`normalize_asm`] output (the
+    /// eval harness pre-normalizes once so cache key and tokenizer input
+    /// are the same string). Raw text submitted here would be tokenized
+    /// with its boilerplate intact.
+    pub fn submit_normalized(&self, normalized_asm: String) -> RequestHandle {
+        let sh = &*self.shared;
+        sh.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(ResponseSlot::new());
+        let key = sh.cache.enabled().then(|| {
+            CacheKey::new(
+                &normalized_asm,
+                sh.slade.isa(),
+                sh.slade.opt(),
+                sh.slade.beam().max(1),
+                sh.slade.max_tgt_len(),
+            )
+        });
+        if let Some(key) = &key {
+            if let Some(outputs) = sh.cache.get(key, &normalized_asm) {
+                sh.metrics.record_latency(Duration::ZERO);
+                slot.fulfill(outputs);
+                return RequestHandle { slot };
+            }
+        }
+        let job = Job {
+            norm_asm: normalized_asm,
+            key,
+            slot: Arc::clone(&slot),
+            submitted: Instant::now(),
+        };
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            let deadline = Instant::now() + sh.max_wait;
+            q.push(job, deadline);
+            sh.metrics.queue_depth.store(q.len(), Ordering::Relaxed);
+        }
+        self.shared.work.notify_all();
+        RequestHandle { slot }
+    }
+
+    /// Decompiles one function, blocking until its hypotheses are ready.
+    pub fn decompile(&self, asm_text: &str) -> Vec<String> {
+        self.submit(asm_text).wait()
+    }
+
+    /// Decompiles a batch, preserving input order in the output —
+    /// element-wise identical to [`Slade::decompile_batch`] on the same
+    /// inputs, for any shard count and completion order.
+    pub fn decompile_batch(&self, asm_texts: &[&str]) -> Vec<Vec<String>> {
+        let handles: Vec<RequestHandle> =
+            asm_texts.iter().map(|asm| self.submit(asm)).collect();
+        handles.into_iter().map(RequestHandle::wait).collect()
+    }
+
+    /// [`ServeRuntime::decompile_batch`] over pre-normalized inputs.
+    pub fn decompile_batch_normalized(&self, normalized_asm: &[&str]) -> Vec<Vec<String>> {
+        let handles: Vec<RequestHandle> = normalized_asm
+            .iter()
+            .map(|asm| self.submit_normalized((*asm).to_string()))
+            .collect();
+        handles.into_iter().map(RequestHandle::wait).collect()
+    }
+
+    /// Point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(self.shared.cache.stats())
+    }
+
+    /// The decompiler being served.
+    pub fn slade(&self) -> &Arc<Slade> {
+        &self.shared.slade
+    }
+
+    /// Requests admitted so far, as arrival sequence numbers in admission
+    /// order — the observability hook the fairness tests assert on.
+    pub fn admission_order(&self) -> Vec<u64> {
+        self.shared.queue.lock().expect("queue lock").pop_order().to_vec()
+    }
+
+    /// Signals shutdown and joins the workers after they drain queued and
+    /// in-flight requests.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            // Store + notify under the queue lock: a worker that just saw
+            // `shutdown == false` still holds the lock until it blocks on
+            // the condvar, so notifying here cannot be lost between its
+            // check and its wait.
+            let _q = self.shared.queue.lock().expect("queue lock");
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.work.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One shard: a continuous-batching loop over an engine decode session.
+///
+/// Admission and stepping interleave: every iteration drains as many
+/// queued jobs as the free lane budget admits (grouped, so their sources
+/// encode as one batch) — *including while earlier requests are
+/// mid-decode* — then advances all live lanes one step and completes
+/// whatever finished, freeing lanes for the next iteration's admissions.
+fn worker_loop(shared: &Shared, shard: usize) {
+    let slade = &shared.slade;
+    let engine = InferenceEngine::new(&slade.model);
+    let beam = slade.beam().max(1);
+    let mut session = engine.session(shared.lanes_per_shard, slade.max_tgt_len());
+    let mut inflight: Vec<(u64, Job)> = Vec::new();
+    loop {
+        // Admission: pop under the lock, in fairness order, while lanes
+        // are free; block only when there is nothing to do at all.
+        let mut batch: Vec<Job> = Vec::new();
+        {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                let mut free = session.free_lanes().saturating_sub(batch.len() * beam);
+                while free >= beam {
+                    match q.pop_next() {
+                        Some((_seq, job)) => {
+                            free -= beam;
+                            batch.push(job);
+                        }
+                        None => break,
+                    }
+                }
+                if !batch.is_empty() || !session.is_idle() {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.work.wait(q).expect("queue wait");
+            }
+            shared.metrics.queue_depth.store(q.len(), Ordering::Relaxed);
+        }
+        if !batch.is_empty() {
+            let requests: Vec<DecodeRequest> = batch
+                .iter()
+                .map(|job| DecodeRequest {
+                    src: slade.tokenizer.encode(&job.norm_asm),
+                    bos: special::BOS,
+                    eos: special::EOS,
+                    max_len: slade.max_tgt_len(),
+                    beam: slade.beam(),
+                })
+                .collect();
+            let refs: Vec<&DecodeRequest> = requests.iter().collect();
+            let tickets = session.admit_many(&refs);
+            for (ticket, job) in tickets.into_iter().zip(batch) {
+                shared.metrics.record_queue_wait(job.submitted.elapsed());
+                inflight.push((ticket, job));
+            }
+        }
+        for (ticket, beams) in session.step() {
+            let at = inflight
+                .iter()
+                .position(|(t, _)| *t == ticket)
+                .expect("finished ticket is in flight");
+            let (_, job) = inflight.swap_remove(at);
+            let outputs: Vec<String> =
+                beams.iter().map(|ids| slade.tokenizer.decode(ids)).collect();
+            if let Some(key) = job.key {
+                shared.cache.insert(key, &job.norm_asm, outputs.clone());
+            }
+            shared.metrics.record_latency(job.submitted.elapsed());
+            job.slot.fulfill(outputs);
+        }
+        shared.metrics.shard_lanes[shard].store(session.live_lanes(), Ordering::Relaxed);
+    }
+}

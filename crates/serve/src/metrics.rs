@@ -1,0 +1,160 @@
+//! Serving metrics: cheap always-on counters (atomics), a bounded latency
+//! reservoir, and a plain-struct snapshot for callers (benches serialize
+//! it to JSON; an HTTP front-end would render it).
+
+use crate::cache::CacheStats;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Capacity of the latency reservoir; beyond it, new samples overwrite
+/// round-robin so percentiles track recent traffic at O(1) memory.
+const RESERVOIR: usize = 4096;
+
+#[derive(Debug, Default)]
+struct Reservoir {
+    samples: Vec<f64>,
+    written: u64,
+}
+
+impl Reservoir {
+    fn record(&mut self, millis: f64) {
+        if self.samples.len() < RESERVOIR {
+            self.samples.push(millis);
+        } else {
+            self.samples[(self.written % RESERVOIR as u64) as usize] = millis;
+        }
+        self.written += 1;
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+/// Shared mutable metrics state (one per runtime).
+#[derive(Debug)]
+pub(crate) struct MetricsInner {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub queue_depth: AtomicUsize,
+    /// Live beam lanes per shard (gauge, updated by each worker).
+    pub shard_lanes: Vec<AtomicUsize>,
+    pub lane_capacity: usize,
+    latency: Mutex<Reservoir>,
+    queue_wait: Mutex<Reservoir>,
+}
+
+impl MetricsInner {
+    pub fn new(shards: usize, lane_capacity: usize) -> Self {
+        MetricsInner {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            shard_lanes: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            lane_capacity,
+            latency: Mutex::new(Reservoir::default()),
+            queue_wait: Mutex::new(Reservoir::default()),
+        }
+    }
+
+    pub fn record_latency(&self, elapsed: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.lock().expect("metrics lock").record(elapsed.as_secs_f64() * 1e3);
+    }
+
+    pub fn record_queue_wait(&self, waited: Duration) {
+        self.queue_wait.lock().expect("metrics lock").record(waited.as_secs_f64() * 1e3);
+    }
+
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        let latency = self.latency.lock().expect("metrics lock");
+        let queue_wait = self.queue_wait.lock().expect("metrics lock");
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            shard_lanes: self.shard_lanes.iter().map(|l| l.load(Ordering::Relaxed)).collect(),
+            lane_capacity_per_shard: self.lane_capacity,
+            p50_latency_ms: latency.percentile(0.50),
+            p95_latency_ms: latency.percentile(0.95),
+            p50_queue_wait_ms: queue_wait.percentile(0.50),
+            p95_queue_wait_ms: queue_wait.percentile(0.95),
+            cache,
+        }
+    }
+}
+
+/// Point-in-time view of the runtime (queue depth and lane gauges are
+/// instantaneous; counters and percentiles are cumulative / recent-window).
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted (cache hits included).
+    pub submitted: u64,
+    /// Requests answered (cache hits included).
+    pub completed: u64,
+    /// Requests waiting for admission right now.
+    pub queue_depth: usize,
+    /// Live beam lanes per shard right now.
+    pub shard_lanes: Vec<usize>,
+    /// Lane budget each shard admits against.
+    pub lane_capacity_per_shard: usize,
+    /// Median end-to-end latency (submit → response), milliseconds.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile end-to-end latency, milliseconds.
+    pub p95_latency_ms: f64,
+    /// Median time spent queued before admission, milliseconds.
+    pub p50_queue_wait_ms: f64,
+    /// 95th-percentile queue wait, milliseconds.
+    pub p95_queue_wait_ms: f64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+impl MetricsSnapshot {
+    /// Mean live-lane occupancy across shards as a fraction of capacity.
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.shard_lanes.is_empty() || self.lane_capacity_per_shard == 0 {
+            return 0.0;
+        }
+        let live: usize = self.shard_lanes.iter().sum();
+        live as f64 / (self.shard_lanes.len() * self.lane_capacity_per_shard) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_occupancy() {
+        let m = MetricsInner::new(2, 10);
+        for ms in 1..=100u64 {
+            m.record_latency(Duration::from_millis(ms));
+        }
+        m.shard_lanes[0].store(5, Ordering::Relaxed);
+        m.shard_lanes[1].store(10, Ordering::Relaxed);
+        let snap = m.snapshot(CacheStats::default());
+        assert_eq!(snap.completed, 100);
+        assert!((snap.p50_latency_ms - 50.0).abs() <= 2.0, "{}", snap.p50_latency_ms);
+        assert!((snap.p95_latency_ms - 95.0).abs() <= 2.0, "{}", snap.p95_latency_ms);
+        assert!((snap.lane_occupancy() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservoir_bounds_memory() {
+        let mut r = Reservoir::default();
+        for i in 0..(RESERVOIR * 2) {
+            r.record(i as f64);
+        }
+        assert_eq!(r.samples.len(), RESERVOIR);
+        assert_eq!(r.written, (RESERVOIR * 2) as u64);
+    }
+}

@@ -1,0 +1,175 @@
+//! The serving runtime's load-bearing contract: for **any** shard count,
+//! arrival order, and cache setting, its output is element-wise identical
+//! to sequential [`Slade::decompile_batch`] — plus fairness (admission
+//! follows arrival under sustained load) and metrics sanity.
+
+use proptest::prelude::*;
+use slade::{Slade, SladeBuilder, TrainProfile};
+use slade_compiler::{Isa, OptLevel};
+use slade_dataset::{generate_train, DatasetProfile};
+use slade_serve::{ServeConfig, ServeRuntime};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One trained tiny decompiler plus a workload of real compiled assembly,
+/// shared by every test in the file (training dominates test cost).
+fn fixture() -> &'static (Arc<Slade>, Vec<String>) {
+    static FIXTURE: OnceLock<(Arc<Slade>, Vec<String>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let items = generate_train(DatasetProfile::tiny(), 13);
+        let slade = SladeBuilder::new(Isa::X86_64, OptLevel::O0)
+            .profile(TrainProfile::tiny())
+            .beam(3)
+            .train(&items, 13);
+        // Deduplicate by normalized text so cache-accounting assertions
+        // can rely on every workload entry being a distinct cache line.
+        let mut seen = std::collections::HashSet::new();
+        let asms: Vec<String> = slade::make_pairs(&items, Isa::X86_64, OptLevel::O0)
+            .into_iter()
+            .map(|(asm, _)| asm)
+            .filter(|asm| seen.insert(slade::normalize_asm(asm)))
+            .take(8)
+            .collect();
+        assert!(asms.len() >= 4, "need a workload, got {}", asms.len());
+        (Arc::new(slade), asms)
+    })
+}
+
+/// Deterministic permutation of `0..n` from a seed (Fisher-Yates with a
+/// splitmix-style stream).
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The headline property: threads × arrival order × cache ⇒ the
+    /// runtime returns exactly what sequential `decompile_batch` returns,
+    /// per element.
+    #[test]
+    fn runtime_output_is_identical_to_sequential(
+        shards in 1usize..=4,
+        perm_seed in 0u64..1_000_000,
+        cache_on in 0u8..2,
+    ) {
+        let (slade, asms) = fixture();
+        let expected = slade.decompile_batch(
+            &asms.iter().map(String::as_str).collect::<Vec<&str>>(),
+        );
+        let mut config = ServeConfig::with_shards(shards);
+        if cache_on == 0 {
+            config = config.without_cache();
+        }
+        // Small per-shard budgets force multi-round admission (requests
+        // genuinely join running batches as lanes free up).
+        config.lanes_per_shard = slade.beam() * 2;
+        let runtime = ServeRuntime::start(Arc::clone(slade), config);
+        // Submit in a random arrival order; duplicates exercise the cache.
+        let order = permutation(asms.len() + 2, perm_seed);
+        let handles: Vec<(usize, slade_serve::RequestHandle)> = order
+            .iter()
+            .map(|&i| {
+                let idx = i % asms.len(); // two duplicates per round
+                (idx, runtime.submit(&asms[idx]))
+            })
+            .collect();
+        for (idx, handle) in handles {
+            prop_assert_eq!(&handle.wait(), &expected[idx], "request {} diverged", idx);
+        }
+        let snap = runtime.metrics();
+        prop_assert_eq!(snap.completed, (asms.len() + 2) as u64);
+        runtime.shutdown();
+    }
+}
+
+#[test]
+fn sustained_load_admits_in_arrival_order_without_starvation() {
+    let (slade, asms) = fixture();
+    // One shard, budget for exactly one request at a time: every queued
+    // request competes for the same lanes, the starvation-prone shape.
+    let config = ServeConfig {
+        shards: 1,
+        lanes_per_shard: slade.beam(),
+        cache_capacity: 0,
+        max_wait: Duration::from_millis(1),
+    };
+    let runtime = ServeRuntime::start(Arc::clone(slade), config);
+    let total = 24usize;
+    let handles: Vec<slade_serve::RequestHandle> =
+        (0..total).map(|i| runtime.submit(&asms[i % asms.len()])).collect();
+    for handle in handles {
+        assert!(!handle.wait().is_empty() || slade.beam() == 0);
+    }
+    let order = runtime.admission_order();
+    assert_eq!(order.len(), total, "every request admitted exactly once");
+    let sorted: Vec<u64> = (0..total as u64).collect();
+    assert_eq!(order, sorted, "admission must follow arrival (no starvation)");
+    runtime.shutdown();
+}
+
+#[test]
+fn admission_order_is_globally_fifo_across_shards() {
+    let (slade, asms) = fixture();
+    let runtime = ServeRuntime::start(
+        Arc::clone(slade),
+        ServeConfig {
+            shards: 3,
+            lanes_per_shard: slade.beam(),
+            cache_capacity: 0,
+            max_wait: Duration::from_millis(1),
+        },
+    );
+    let handles: Vec<slade_serve::RequestHandle> =
+        (0..18).map(|i| runtime.submit(&asms[i % asms.len()])).collect();
+    for handle in handles {
+        handle.wait();
+    }
+    let order = runtime.admission_order();
+    assert_eq!(order.len(), 18);
+    for pair in order.windows(2) {
+        assert!(pair[0] < pair[1], "pop order regressed: {order:?}");
+    }
+    runtime.shutdown();
+}
+
+#[test]
+fn warm_cache_hits_skip_decode_and_metrics_account_for_it() {
+    let (slade, asms) = fixture();
+    let runtime = ServeRuntime::start(Arc::clone(slade), ServeConfig::with_shards(2));
+    let refs: Vec<&str> = asms.iter().map(String::as_str).collect();
+    let cold = runtime.decompile_batch(&refs);
+    let warm = runtime.decompile_batch(&refs);
+    assert_eq!(cold, warm, "cache must return exactly what decode returned");
+    let snap = runtime.metrics();
+    assert_eq!(snap.cache.misses, asms.len() as u64, "first pass all misses");
+    assert_eq!(snap.cache.hits, asms.len() as u64, "second pass all hits");
+    assert_eq!(snap.cache.entries, asms.len());
+    assert!(snap.cache.hit_rate() > 0.49 && snap.cache.hit_rate() < 0.51);
+    assert_eq!(snap.completed, 2 * asms.len() as u64);
+    assert_eq!(snap.queue_depth, 0, "drained runtime has an empty queue");
+    assert!(snap.p95_latency_ms >= snap.p50_latency_ms);
+    // Raw-text and pre-normalized submission hit the same cache line.
+    let normed = slade::normalize_asm(&asms[0]);
+    let via_norm = runtime.decompile_batch_normalized(&[&normed]);
+    assert_eq!(via_norm[0], cold[0]);
+    assert_eq!(runtime.metrics().cache.hits, asms.len() as u64 + 1);
+    runtime.shutdown();
+}
+
+#[test]
+fn batch_of_one_matches_direct_engine_call() {
+    let (slade, asms) = fixture();
+    let runtime =
+        ServeRuntime::start(Arc::clone(slade), ServeConfig::with_shards(1).without_cache());
+    for asm in asms.iter().take(3) {
+        assert_eq!(runtime.decompile(asm), slade.decompile(asm));
+    }
+    runtime.shutdown();
+}

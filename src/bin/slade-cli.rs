@@ -7,6 +7,7 @@
 //! slade-cli compile   --src file.c --func name --isa x86|arm --opt O0|O3
 //! slade-cli decompile --model model.json --asm file.s [--context file.c] [--beam K]
 //! slade-cli eval      --model model.json [--items N] [--seed N] [--repair]
+//!                     [--threads N]
 //! ```
 //!
 //! `train` writes a self-contained JSON artifact (weights + tokenizer +
@@ -72,7 +73,8 @@ const USAGE: &str = "usage:
                       [--profile tiny|default] [--items N] [--seed N]
   slade-cli compile   --src file.c --func name --isa x86|arm --opt O0|O3
   slade-cli decompile --model model.json --asm file.s [--context file.c] [--beam K]
-  slade-cli eval      --model model.json [--items N] [--seed N] [--repair]";
+  slade-cli eval      --model model.json [--items N] [--seed N] [--repair]
+                      [--threads N]";
 
 /// `--key value` and bare `--flag` arguments.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -222,6 +224,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let artifact = load_artifact(flags)?;
     let seed = numeric(flags, "seed", 99)?;
     let items = numeric(flags, "items", 24)? as usize;
+    let threads = numeric(flags, "threads", 1)?.max(1) as usize;
     let isa = artifact.isa();
     let opt = artifact.opt();
     // Fresh held-out items, deduplicated against nothing the model saw
@@ -233,9 +236,10 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let ctx = ToolContext {
         isa,
         opt,
-        slade: artifact.slade,
+        slade: std::sync::Arc::new(artifact.slade),
         chatgpt: slade_baselines::ChatGptSim::new(&pairs),
         btc: None,
+        threads,
     };
     let tool = if flags.contains_key("repair") { Tool::SladeRepair } else { Tool::Slade };
     eprintln!(

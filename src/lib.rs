@@ -59,5 +59,9 @@ pub use slade_baselines as baselines;
 /// The SLaDe pipeline itself.
 pub use slade as core;
 
+/// The multi-threaded serving runtime (worker pool, admission queue,
+/// result cache).
+pub use slade_serve as serve;
+
 /// Metrics, IO harness and figure regenerators.
 pub use slade_eval as eval;
