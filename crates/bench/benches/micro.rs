@@ -2,7 +2,7 @@
 //! critical path: compilation, parsing, lifting, emulation, tokenization,
 //! model forward pass, edit distance and the IO harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
 use slade_minic::parse_program;
 
@@ -155,4 +155,241 @@ criterion_group! {
     bench_batched_decode,
     bench_repair_and_typeinf
 }
-criterion_main!(benches);
+
+/// Times `f` over `iters` calls, best of 3 rounds, in ns per call.
+fn time_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+#[derive(serde::Serialize)]
+struct KernelRow {
+    name: String,
+    scalar_ns: f64,
+    simd_ns: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct DecodeRow {
+    backend: &'static str,
+    isa: &'static str,
+    tokens_per_sec_per_core: f64,
+}
+
+#[derive(serde::Serialize)]
+struct KernelReport {
+    detected_isa: &'static str,
+    host_parallelism: usize,
+    kernels: Vec<KernelRow>,
+    decode: Vec<DecodeRow>,
+    /// Acceptance headline: SIMD f32 decode tokens/sec-per-core over
+    /// forced-scalar f32.
+    decode_simd_speedup_f32: f64,
+    /// Int8 decode throughput relative to f32 on the detected tier.
+    decode_int8_over_f32: f64,
+}
+
+/// Decode tokens/sec on one core for a model: run the engine session loop
+/// to completion and divide tokens decoded by wall time (single-threaded,
+/// so per-core = total).
+fn decode_tokens_per_sec(model: &slade_nn::Seq2Seq) -> f64 {
+    use slade_nn::{DecodeRequest, InferenceEngine};
+    let engine = InferenceEngine::new(model);
+    let requests: Vec<DecodeRequest> = (0..8)
+        .map(|i| DecodeRequest {
+            src: (0..24u32).map(|t| 4 + (t * 7 + i) % 480).collect(),
+            bos: 1,
+            eos: 2,
+            max_len: 24,
+            beam: 5,
+        })
+        .collect();
+    let refs: Vec<&DecodeRequest> = requests.iter().collect();
+    let mut best = f64::NEG_INFINITY;
+    for _ in 0..3 {
+        let mut session = engine.session(8 * 5, 24);
+        let t0 = std::time::Instant::now();
+        session.admit_many(&refs);
+        while !session.is_idle() {
+            session.step();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        best = best.max(session.decoded_tokens() as f64 / secs);
+    }
+    best
+}
+
+/// Per-kernel and end-to-end decode benchmarks across ISA tiers and
+/// weight backends; writes `BENCH_kernels.json` at the workspace root.
+/// Skipped when a name filter is active that does not match "kernels"
+/// (CI's smoke pass filters on "decode").
+fn bench_kernels() {
+    use slade_nn::kernels::{self, IsaTier};
+    use slade_nn::{Backend, Seq2Seq, TransformerConfig};
+
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("kernels: bench");
+        return;
+    }
+    if let Some(filter) =
+        args.iter().skip(1).find(|a| !a.starts_with('-') && !a.ends_with("bench"))
+    {
+        if !"kernels".contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    let detected = kernels::detected_tier();
+    println!("kernels: detected isa {}, comparing against forced scalar", detected.name());
+
+    // Decode-path shapes on the small profile: lane projections
+    // (lanes x d @ d x d), FFN (d x dff), and the logits projection
+    // (lanes x d @ d x vocab) — the three matmul shapes one engine step
+    // is made of, at 8 requests x beam 5 = 40 lanes.
+    let (lanes, d, dff, vocab) = (40usize, 64usize, 128usize, 512usize);
+    let a = vec![0.37f32; lanes * d];
+    let w_dd = vec![0.11f32; d * d];
+    let w_dff = vec![0.07f32; d * dff];
+    let w_vocab = vec![0.05f32; d * vocab];
+    let mut out = vec![0.0f32; lanes * vocab];
+
+    let mut rows: Vec<KernelRow> = Vec::new();
+    let mut run = |name: String, iters: usize, f: &mut dyn FnMut()| {
+        kernels::set_tier(IsaTier::Scalar);
+        let scalar_ns = time_ns(iters, &mut *f);
+        kernels::set_tier(detected);
+        let simd_ns = time_ns(iters, &mut *f);
+        println!(
+            "kernel_{name:<34} scalar {scalar_ns:>11.0} ns, {} {simd_ns:>11.0} ns ({:.2}x)",
+            detected.name(),
+            scalar_ns / simd_ns
+        );
+        rows.push(KernelRow { name, scalar_ns, simd_ns, speedup: scalar_ns / simd_ns });
+    };
+    run(format!("xposed_{lanes}x{d}x{d}"), 200, &mut || {
+        kernels::matmul_xposed_into(&a, &w_dd, &mut out[..lanes * d], lanes, d, d);
+    });
+    run(format!("xposed_{lanes}x{d}x{dff}"), 200, &mut || {
+        kernels::matmul_xposed_into(&a, &w_dff, &mut out[..lanes * dff], lanes, d, dff);
+    });
+    run(format!("xposed_{lanes}x{d}x{vocab}"), 50, &mut || {
+        kernels::matmul_xposed_into(&a, &w_vocab, &mut out[..lanes * vocab], lanes, d, vocab);
+    });
+    // Packed j-block layout (what ProjWeight::F32 actually stores): the
+    // sequential slabs dodge the L1 set conflicts the plain transposed
+    // layout hits at the 2 KB row stride of the vocab projection.
+    let w_vocab_packed = kernels::pack_xposed_blocks(&w_vocab, d, vocab);
+    run(format!("xpacked_{lanes}x{d}x{vocab}"), 50, &mut || {
+        kernels::matmul_xpacked_into(
+            &a,
+            &w_vocab_packed,
+            &mut out[..lanes * vocab],
+            lanes,
+            d,
+            vocab,
+        );
+    });
+    run(format!("transb_{lanes}x{d}x{d}"), 200, &mut || {
+        kernels::matmul_transb_into(&a, &w_dd, &mut out[..lanes * d], lanes, d, d);
+    });
+    run(format!("row_max_{vocab}"), 2_000, &mut || {
+        criterion::black_box(kernels::row_max(&out[..vocab]));
+    });
+    run(format!("sum_exp_{vocab}"), 2_000, &mut || {
+        let max = kernels::row_max(&out[..vocab]);
+        criterion::black_box(kernels::sum_exp(&out[..vocab], max));
+    });
+    // Int8 logits projection (the largest matmul of a step).
+    let mut xq = vec![0i8; lanes * d];
+    let mut xs = vec![0.0f32; lanes];
+    for i in 0..lanes {
+        xs[i] = kernels::quantize_row_i8(&a[i * d..(i + 1) * d], &mut xq[i * d..(i + 1) * d]);
+    }
+    let mut wq = vec![0i8; vocab * d];
+    let mut ws = vec![0.0f32; vocab];
+    for j in 0..vocab {
+        ws[j] =
+            kernels::quantize_row_i8(&w_vocab[j * d..(j + 1) * d], &mut wq[j * d..(j + 1) * d]);
+    }
+    run(format!("qmatmul_{lanes}x{d}x{vocab}"), 50, &mut || {
+        kernels::qmatmul_transb_into(
+            &xq,
+            &xs,
+            &wq,
+            &ws,
+            None,
+            &mut out[..lanes * vocab],
+            lanes,
+            d,
+            vocab,
+        );
+    });
+
+    // End-to-end decode throughput per tier x backend.
+    let f32_model = Seq2Seq::new(TransformerConfig::small(512), 7);
+    let mut int8_cfg = TransformerConfig::small(512);
+    int8_cfg.backend = Backend::Int8;
+    let mut int8_model = f32_model.clone();
+    int8_model.cfg = int8_cfg;
+    let mut decode = Vec::new();
+    for (backend, model) in [("f32", &f32_model), ("int8", &int8_model)] {
+        for tier in [IsaTier::Scalar, detected] {
+            kernels::set_tier(tier);
+            let tps = decode_tokens_per_sec(model);
+            println!(
+                "decode_tokens_per_sec_{backend}_{:<8} {tps:>14.0} tok/s/core",
+                tier.name()
+            );
+            decode.push(DecodeRow { backend, isa: tier.name(), tokens_per_sec_per_core: tps });
+            if detected == IsaTier::Scalar {
+                break; // scalar == detected: one row per backend
+            }
+        }
+    }
+    kernels::set_tier(detected);
+
+    let find = |backend: &str, isa: &str| {
+        decode
+            .iter()
+            .find(|r| r.backend == backend && r.isa == isa)
+            .map(|r| r.tokens_per_sec_per_core)
+            .unwrap_or(0.0)
+    };
+    let f32_scalar = find("f32", "scalar");
+    let f32_simd = find("f32", detected.name());
+    let int8_simd = find("int8", detected.name());
+    let report = KernelReport {
+        detected_isa: detected.name(),
+        host_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        kernels: rows,
+        decode,
+        decode_simd_speedup_f32: f32_simd / f32_scalar.max(1e-12),
+        decode_int8_over_f32: int8_simd / f32_simd.max(1e-12),
+    };
+    println!(
+        "decode simd speedup (f32): {:.2}x; int8 vs f32 on {}: {:.2}x",
+        report.decode_simd_speedup_f32,
+        detected.name(),
+        report.decode_int8_over_f32
+    );
+    let json = serde_json::to_string(&report).expect("kernel report serialization");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    bench_kernels();
+}

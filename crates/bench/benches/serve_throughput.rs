@@ -42,9 +42,14 @@ struct LatencyResult {
 struct Report {
     workload: String,
     host_parallelism: usize,
+    kernel_isa: &'static str,
+    backend: &'static str,
     shard_results: Vec<ShardResult>,
     speedup_4_vs_1_cold: f64,
     warm_over_cold_at_1_shard: f64,
+    /// Decode throughput of a 1-shard cache-off runtime, normalized per
+    /// worker thread (tokens counted by the engine, not requests).
+    decode_tokens_per_sec_per_core: f64,
     batch_of_one: LatencyResult,
 }
 
@@ -146,6 +151,29 @@ fn main() {
     println!("decompile1_engine_direct {engine_ms:>14.2} ms");
     println!("decompile1_serve_runtime {runtime_ms:>14.2} ms ({overhead_pct:+.1}% vs direct)");
 
+    // Decode tokens/sec-per-core: 1 shard (one worker thread), cache off
+    // so every request decodes; diff the engine's token counter around the
+    // timed pass.
+    let runtime =
+        ServeRuntime::start(Arc::clone(&slade), ServeConfig::with_shards(1).without_cache());
+    runtime.decompile(&spinup);
+    let mut tokens_per_sec_per_core = 0.0f64;
+    for _ in 0..3 {
+        let before = runtime.metrics().decode_tokens;
+        let t0 = Instant::now();
+        let out = runtime.decompile_batch(&refs);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(out.len(), REQUESTS);
+        let decoded = (runtime.metrics().decode_tokens - before) as f64;
+        tokens_per_sec_per_core = tokens_per_sec_per_core.max(decoded / secs);
+    }
+    let snap = runtime.metrics();
+    let (kernel_isa, backend) = (snap.kernel_isa, snap.backend);
+    runtime.shutdown();
+    println!(
+        "serve_decode_tokens_per_sec_per_core {tokens_per_sec_per_core:>14.0} tok/s ({kernel_isa}, {backend})"
+    );
+
     let cold = |s: usize| {
         shard_results
             .iter()
@@ -158,10 +186,13 @@ fn main() {
             "{REQUESTS} requests x beam {BEAM} x {MAX_TGT} tokens, small profile"
         ),
         host_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        kernel_isa,
+        backend,
         speedup_4_vs_1_cold: cold(4) / cold(1).max(1e-12),
         warm_over_cold_at_1_shard: shard_results[0].warm_requests_per_sec
             / shard_results[0].cold_requests_per_sec.max(1e-12),
         shard_results,
+        decode_tokens_per_sec_per_core: tokens_per_sec_per_core,
         batch_of_one: LatencyResult { engine_direct_ms: engine_ms, runtime_ms, overhead_pct },
     };
     println!(

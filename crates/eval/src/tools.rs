@@ -149,6 +149,7 @@ fn train_btc(pairs: &[(String, String)], profile: TrainProfile, seed: u64) -> Bt
         enc_layers: profile.layers,
         dec_layers: profile.layers,
         max_len: profile.max_src_len.max(profile.max_tgt_len) + 2,
+        backend: Default::default(),
     };
     let mut model = Seq2Seq::new(cfg, seed);
     for _ in 0..profile.epochs.div_ceil(2) {

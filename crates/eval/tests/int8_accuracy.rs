@@ -1,0 +1,51 @@
+//! Eval-accuracy gate for the int8 weight backend: quantizing the decode
+//! path must not regress IO-correctness on the seed eval set.
+//!
+//! This is the end-to-end acceptance test of the quantization scheme —
+//! the per-kernel error-bound property tests (`slade_nn`) say each matmul
+//! stays close to f32; this says the *composition* (every projection of
+//! every layer of every decode step, through beam search, type inference,
+//! and the IO harness) still selects compiling/correct hypotheses.
+
+use slade::{Backend, TrainProfile};
+use slade_compiler::{Isa, OptLevel};
+use slade_dataset::{generate_exebench_eval, generate_train, DatasetProfile};
+use slade_eval::{evaluate, Tool, ToolContext};
+use std::sync::Arc;
+
+#[test]
+fn int8_backend_does_not_regress_eval_accuracy() {
+    let data = DatasetProfile::tiny();
+    let train = generate_train(data, 42);
+    let eval_items = generate_exebench_eval(data, 42, &train);
+    let mut ctx =
+        ToolContext::train(&train, Isa::X86_64, OptLevel::O0, TrainProfile::tiny(), 42);
+    assert_eq!(ctx.slade.backend(), Backend::F32);
+
+    let f32_records = evaluate(&ctx, &eval_items, &[Tool::Slade]);
+    assert!(!f32_records.is_empty());
+    let f32_correct = f32_records.iter().filter(|r| r.correct).count();
+    let f32_compiles = f32_records.iter().filter(|r| r.compiles).count();
+
+    // Same trained weights, int8 decode path.
+    let mut quantized = (*ctx.slade).clone();
+    quantized.set_backend(Backend::Int8);
+    ctx.slade = Arc::new(quantized);
+    assert_eq!(ctx.slade.backend(), Backend::Int8);
+
+    let int8_records = evaluate(&ctx, &eval_items, &[Tool::Slade]);
+    assert_eq!(int8_records.len(), f32_records.len());
+    let int8_correct = int8_records.iter().filter(|r| r.correct).count();
+    let int8_compiles = int8_records.iter().filter(|r| r.compiles).count();
+
+    assert!(
+        int8_correct >= f32_correct,
+        "int8 regressed IO-correctness: {int8_correct} < {f32_correct} (of {})",
+        f32_records.len()
+    );
+    assert!(
+        int8_compiles >= f32_compiles,
+        "int8 regressed compile rate: {int8_compiles} < {f32_compiles} (of {})",
+        f32_records.len()
+    );
+}

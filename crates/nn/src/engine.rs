@@ -139,6 +139,7 @@ impl<'m> InferenceEngine<'m> {
             cap_pos,
             reserved: 0,
             next_ticket: 0,
+            decoded_tokens: 0,
         }
     }
 
@@ -260,6 +261,7 @@ pub struct DecodeSession<'m> {
     /// width up front, the worst case its survivors can fan out to).
     reserved: usize,
     next_ticket: u64,
+    decoded_tokens: u64,
 }
 
 impl<'m> DecodeSession<'m> {
@@ -294,6 +296,13 @@ impl<'m> DecodeSession<'m> {
     /// True when no request is in flight.
     pub fn is_idle(&self) -> bool {
         self.slots.is_empty()
+    }
+
+    /// Total tokens decoded by this session so far — one per live lane
+    /// per [`DecodeSession::step`]. Monotonic; serving layers diff it
+    /// between polls to report decode throughput.
+    pub fn decoded_tokens(&self) -> u64 {
+        self.decoded_tokens
     }
 
     /// Admits one request; returns its ticket (stable id handed back by
@@ -379,6 +388,7 @@ impl<'m> DecodeSession<'m> {
             }
         }
         let logits = m.decode_step_batch(&mut self.state, &tokens);
+        self.decoded_tokens += tokens.len() as u64;
         let mut parents: Vec<usize> = Vec::with_capacity(tokens.len());
         let mut lane_base = 0usize;
         for slot in self.slots.iter_mut() {

@@ -1,0 +1,1517 @@
+//! Runtime-dispatched SIMD kernel layer.
+//!
+//! Every hot kernel in this crate (`matmul_transb_into`,
+//! `matmul_xposed_into`, `matmul_transb_batched`, the fused
+//! log-softmax+top-k max and exp-sum passes, and the int8
+//! `qmatmul_transb_into`) routes through this module. An ISA tier is selected once at startup —
+//! AVX2 on x86-64 hosts that support it, NEON on aarch64, scalar
+//! otherwise — and can be overridden with the `SLADE_KERNEL_ISA`
+//! environment variable (`auto` | `scalar` | `avx2` | `neon`; unsupported
+//! requests fall back to scalar) or in-process via [`set_tier`] (used by
+//! benches and property tests to compare tiers).
+//!
+//! # Bit-identity contract
+//!
+//! All f32 tiers of a kernel produce **bit-identical** output. This is
+//! load-bearing: the engine's `decode_scalar ≡ decode_batch` equivalence
+//! and the serving runtime's `runtime ≡ sequential` property both assume
+//! logits do not depend on which code path (or batch composition)
+//! produced them. The shared accumulation semantics, per output element:
+//!
+//! - the reduction index `p` is split into 8 lanes by `p mod 8`;
+//! - each lane accumulates its products in ascending `p` order
+//!   (`lane += a*b`, a rounded multiply followed by a rounded add — no
+//!   FMA anywhere, so scalar and vector rounding agree);
+//! - a `k % 8` tail touches **only** lanes `0..k % 8` (never adding a
+//!   `+0.0` to an untouched lane, which would flip a `-0.0` partial);
+//! - lanes reduce through the fixed binary tree
+//!   `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`, the order an AVX2
+//!   128-bit-split horizontal add performs.
+//!
+//! Both matmul orientations (`transb`: B rows contiguous over `k`;
+//! `xposed`: B transposed, columns contiguous) implement these exact
+//! per-element semantics, so projecting through a weight matrix yields
+//! the same bits regardless of orientation — the scalar decode path
+//! (transb) and the batched decode path (xposed) stay interchangeable.
+//!
+//! The int8 kernels accumulate in exact i32 arithmetic (products are
+//! bounded by 127², far from overflow for any model dimension here), so
+//! they are trivially bit-identical across tiers; activations are
+//! quantized by a single scalar routine on every tier for the same
+//! reason.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction-set tier a kernel call executes under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum IsaTier {
+    /// Portable scalar reference kernels (auto-vectorized at the
+    /// target's baseline, e.g. SSE2 on x86-64).
+    Scalar = 0,
+    /// Explicit 256-bit AVX2 intrinsics (x86-64).
+    Avx2 = 1,
+    /// Explicit 128-bit NEON intrinsics, paired to emulate 8 lanes
+    /// (aarch64).
+    Neon = 2,
+}
+
+impl IsaTier {
+    /// Stable lowercase name for metrics and bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaTier::Scalar => "scalar",
+            IsaTier::Avx2 => "avx2",
+            IsaTier::Neon => "neon",
+        }
+    }
+
+    fn from_u8(v: u8) -> IsaTier {
+        match v {
+            1 => IsaTier::Avx2,
+            2 => IsaTier::Neon,
+            _ => IsaTier::Scalar,
+        }
+    }
+}
+
+/// Sentinel meaning "tier not yet resolved".
+const TIER_UNSET: u8 = u8::MAX;
+
+/// Resolved tier; initialized lazily on first kernel call.
+static ACTIVE: AtomicU8 = AtomicU8::new(TIER_UNSET);
+
+/// The best tier this host supports, by `std::arch` feature detection.
+pub fn detected_tier() -> IsaTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return IsaTier::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is architecturally mandatory on aarch64.
+        return IsaTier::Neon;
+    }
+    #[allow(unreachable_code)]
+    IsaTier::Scalar
+}
+
+/// Whether this host can actually execute `tier`.
+fn tier_supported(tier: IsaTier) -> bool {
+    match tier {
+        IsaTier::Scalar => true,
+        IsaTier::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                std::arch::is_x86_feature_detected!("avx2")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                false
+            }
+        }
+        IsaTier::Neon => cfg!(target_arch = "aarch64"),
+    }
+}
+
+/// Resolve the startup tier: `SLADE_KERNEL_ISA` override first, then
+/// feature detection. Unsupported or unrecognized requests degrade to
+/// the detected tier (`auto`) or scalar.
+fn resolve_tier() -> IsaTier {
+    let requested = std::env::var("SLADE_KERNEL_ISA").unwrap_or_default();
+    match requested.trim().to_ascii_lowercase().as_str() {
+        "scalar" => IsaTier::Scalar,
+        "avx2" if tier_supported(IsaTier::Avx2) => IsaTier::Avx2,
+        "neon" if tier_supported(IsaTier::Neon) => IsaTier::Neon,
+        "avx2" | "neon" => IsaTier::Scalar,
+        _ => detected_tier(),
+    }
+}
+
+/// The tier kernel dispatch currently uses (resolving it on first call).
+pub fn active_tier() -> IsaTier {
+    let v = ACTIVE.load(Ordering::Relaxed);
+    if v != TIER_UNSET {
+        return IsaTier::from_u8(v);
+    }
+    let tier = resolve_tier();
+    ACTIVE.store(tier as u8, Ordering::Relaxed);
+    tier
+}
+
+/// Force a dispatch tier in-process (benches and tests comparing tiers).
+/// Requests the host cannot execute clamp to scalar; returns the tier
+/// actually installed.
+pub fn set_tier(tier: IsaTier) -> IsaTier {
+    let t = if tier_supported(tier) { tier } else { IsaTier::Scalar };
+    ACTIVE.store(t as u8, Ordering::Relaxed);
+    t
+}
+
+/// Lane count of the shared accumulation semantics (see module docs).
+pub const LANES: usize = 8;
+
+/// Fixed binary-tree reduction of the 8 lane partials — the order an
+/// AVX2 split-and-add horizontal reduce performs.
+#[inline(always)]
+fn reduce8(l: &[f32; 8]) -> f32 {
+    ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]))
+}
+
+/// Pairwise max with VMAXPS semantics: `if a > b { a } else { b }`
+/// (ties and NaN resolve to `b`), so scalar and vector max passes agree
+/// bit-for-bit.
+#[inline(always)]
+fn vmax(a: f32, b: f32) -> f32 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Elementwise `e^x` shared by every tier of the `sum_exp` kernel, for
+/// finite `x ≤ 0` (softmax operands are `v - max`). The operation
+/// sequence — `exp2`-style range reduction with round-to-nearest-even, a
+/// degree-6 Horner for `e^r` on `r ∈ [-ln2/2, ln2/2]`, and an
+/// exponent-field scale — is mirrored instruction-for-instruction by the
+/// AVX2 lane implementation, so tiers agree bit-for-bit (every step is an
+/// exactly-rounded IEEE op; no FMA, no libm). Inputs below the normal
+/// range flush to zero. Relative error ≤ ~4e-8, within a ulp of libm.
+#[inline(always)]
+fn exp_lane(x: f32) -> f32 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const LN2: f32 = std::f32::consts::LN_2;
+    let y = x * LOG2E;
+    let n = y.round_ties_even();
+    let r = (y - n) * LN2;
+    let mut p = 1.0 / 720.0;
+    p = p * r + 1.0 / 120.0;
+    p = p * r + 1.0 / 24.0;
+    p = p * r + 1.0 / 6.0;
+    p = p * r + 0.5;
+    p = p * r + 1.0;
+    p = p * r + 1.0;
+    if x < -87.0 {
+        return 0.0;
+    }
+    // n ∈ [-126, 0] here, so the biased exponent stays normal.
+    let scale = f32::from_bits(((n as i32 + 127) as u32) << 23);
+    p * scale
+}
+
+/// Elementwise GELU (tanh approximation, as BART uses) shared by every
+/// tier. `tanh(u)` is evaluated as `sign(u) · (1 - e) / (1 + e)` with
+/// `e = exp(-2|u|)` through [`exp_lane`], so — like `exp_lane` — the
+/// AVX2 lane implementation mirrors the operation sequence exactly and
+/// tiers agree bit-for-bit. This is also the body of the public
+/// `math::gelu`, so the training path and the dispatched decode path
+/// compute the same function.
+#[inline(always)]
+pub(crate) fn gelu_lane(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    const A: f32 = 0.044715;
+    let u = C * (x + A * x * x * x);
+    let au = f32::from_bits(u.to_bits() & 0x7fff_ffff);
+    let e = exp_lane(-(au + au));
+    let t = (1.0 - e) / (1.0 + e);
+    let t = f32::from_bits(t.to_bits() | (u.to_bits() & 0x8000_0000));
+    0.5 * x * (1.0 + t)
+}
+
+/// Canonical scalar reference kernels. Every other tier must reproduce
+/// these bit-for-bit (f32) or exactly (int8). Written so LLVM can
+/// auto-vectorize the lane loops at the target baseline.
+pub mod scalar {
+    use super::{reduce8, vmax};
+
+    /// Lane-split dot product of two equal-length contiguous slices.
+    #[inline]
+    pub(crate) fn dot8(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut lanes = [0.0f32; 8];
+        let chunks = a.len() / 8;
+        for (av, bv) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+            for ((l, &x), &y) in lanes.iter_mut().zip(av).zip(bv) {
+                *l += x * y;
+            }
+        }
+        let base = chunks * 8;
+        for ((l, &x), &y) in lanes.iter_mut().zip(&a[base..]).zip(&b[base..]) {
+            *l += x * y;
+        }
+        reduce8(&lanes)
+    }
+
+    /// Lane-split dot of row `ar` against column `j` of `bt` (`bt` is
+    /// `k x n`, so the column is strided by `n`). Shared by the xposed
+    /// column-tail of every tier.
+    #[inline]
+    pub(crate) fn dot8_col(ar: &[f32], bt: &[f32], n: usize, j: usize) -> f32 {
+        let mut lanes = [0.0f32; 8];
+        for (p, &av) in ar.iter().enumerate() {
+            lanes[p & 7] += av * bt[p * n + j];
+        }
+        reduce8(&lanes)
+    }
+
+    /// `C = A * B^T` into `c` — scalar tier.
+    /// `a` is `m x k`, `b` is `n x k` (rows contiguous over `k`),
+    /// `c` is `m x n`.
+    pub fn matmul_transb_into(
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            let ar = &a[i * k..(i + 1) * k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv = dot8(ar, &b[j * k..(j + 1) * k]);
+            }
+        }
+    }
+
+    /// `C = A * B` into `c` where `bt` is B pre-transposed to `k x n`
+    /// (output columns contiguous) — scalar tier. Accumulates an
+    /// 8-lane x 8-column tile so the column loop auto-vectorizes.
+    pub fn matmul_xposed_into(
+        a: &[f32],
+        bt: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let nblocks = n / 8;
+        for i in 0..m {
+            let ar = &a[i * k..(i + 1) * k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for jb in 0..nblocks {
+                let j0 = jb * 8;
+                // acc[lane][col]: lane = p mod 8, col within the j-block.
+                let mut acc = [[0.0f32; 8]; 8];
+                for (p, &av) in ar.iter().enumerate() {
+                    let brow = &bt[p * n + j0..p * n + j0 + 8];
+                    for (q, &bv) in acc[p & 7].iter_mut().zip(brow) {
+                        *q += av * bv;
+                    }
+                }
+                for (col, cv) in crow[j0..j0 + 8].iter_mut().enumerate() {
+                    let lanes = [
+                        acc[0][col],
+                        acc[1][col],
+                        acc[2][col],
+                        acc[3][col],
+                        acc[4][col],
+                        acc[5][col],
+                        acc[6][col],
+                        acc[7][col],
+                    ];
+                    *cv = reduce8(&lanes);
+                }
+            }
+            for (j, cv) in crow.iter_mut().enumerate().skip(nblocks * 8) {
+                *cv = dot8_col(ar, bt, n, j);
+            }
+        }
+    }
+
+    /// `C = A * B` with `bp` = B packed by [`super::pack_xposed_blocks`]
+    /// — scalar tier. Identical per-element accumulation to
+    /// [`matmul_xposed_into`]; only the addresses the reduction walks
+    /// differ (sequential slabs instead of `n`-strided columns).
+    pub fn matmul_xpacked_into(
+        a: &[f32],
+        bp: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let nblocks = n / 8;
+        let tail_base = nblocks * k * 8;
+        for i in 0..m {
+            let ar = &a[i * k..(i + 1) * k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for jb in 0..nblocks {
+                let slab = &bp[jb * k * 8..(jb + 1) * k * 8];
+                let mut acc = [[0.0f32; 8]; 8];
+                for (p, &av) in ar.iter().enumerate() {
+                    let brow = &slab[p * 8..(p + 1) * 8];
+                    for (q, &bv) in acc[p & 7].iter_mut().zip(brow) {
+                        *q += av * bv;
+                    }
+                }
+                for (col, cv) in crow[jb * 8..(jb + 1) * 8].iter_mut().enumerate() {
+                    let lanes = [
+                        acc[0][col],
+                        acc[1][col],
+                        acc[2][col],
+                        acc[3][col],
+                        acc[4][col],
+                        acc[5][col],
+                        acc[6][col],
+                        acc[7][col],
+                    ];
+                    *cv = reduce8(&lanes);
+                }
+            }
+            for (jt, cv) in crow.iter_mut().skip(nblocks * 8).enumerate() {
+                // Tail columns are stored contiguously, so the plain
+                // lane-split dot applies (same semantics as dot8_col).
+                *cv = dot8(ar, &bp[tail_base + jt * k..tail_base + (jt + 1) * k]);
+            }
+        }
+    }
+
+    /// Lane-split `Σ exp(v - max)` (the log-softmax normalizer) — scalar
+    /// tier. Uses the shared polynomial [`super::exp_lane`] on every
+    /// tier, so the sum is bit-identical regardless of dispatch.
+    pub fn sum_exp(row: &[f32], max: f32) -> f32 {
+        let mut lanes = [0.0f32; 8];
+        for (p, &v) in row.iter().enumerate() {
+            lanes[p & 7] += super::exp_lane(v - max);
+        }
+        reduce8(&lanes)
+    }
+
+    /// Elementwise GELU over a buffer — scalar tier. Purely elementwise
+    /// (no reduction), so no lane split is needed for cross-tier
+    /// bit-identity: each output depends only on its own input through
+    /// the shared [`super::gelu_lane`] operation sequence.
+    pub fn gelu_into(buf: &mut [f32]) {
+        for v in buf {
+            *v = super::gelu_lane(*v);
+        }
+    }
+
+    /// Row max with VMAXPS-compatible lane semantics — scalar tier.
+    pub fn row_max(row: &[f32]) -> f32 {
+        let mut lanes = [f32::NEG_INFINITY; 8];
+        for (p, &v) in row.iter().enumerate() {
+            let l = p & 7;
+            lanes[l] = vmax(lanes[l], v);
+        }
+        vmax(
+            vmax(vmax(lanes[0], lanes[4]), vmax(lanes[2], lanes[6])),
+            vmax(vmax(lanes[1], lanes[5]), vmax(lanes[3], lanes[7])),
+        )
+    }
+
+    /// Exact i8 x i8 -> i32 dot product — scalar tier.
+    #[inline]
+    pub(crate) fn qdot(x: &[i8], w: &[i8]) -> i32 {
+        let mut acc = 0i32;
+        for (&xv, &wv) in x.iter().zip(w) {
+            acc += xv as i32 * wv as i32;
+        }
+        acc
+    }
+
+    /// Int8 `C = Xq * Wq^T` with f32 dequant-on-accumulate — scalar
+    /// tier. `xq` is `m x k` with per-row scales `xs`, `wq` is `n x k`
+    /// with per-row scales `ws`; `out[i,j] = dot_i32 * (xs[i]*ws[j]) +
+    /// bias[j]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn qmatmul_transb_into(
+        xq: &[i8],
+        xs: &[f32],
+        wq: &[i8],
+        ws: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            let xr = &xq[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, ov) in orow.iter_mut().enumerate() {
+                let acc = qdot(xr, &wq[j * k..(j + 1) * k]);
+                let deq = acc as f32 * (xs[i] * ws[j]);
+                *ov = match bias {
+                    Some(b) => deq + b[j],
+                    None => deq,
+                };
+            }
+        }
+    }
+}
+
+/// AVX2 tier: 256-bit kernels bit-identical to [`scalar`]. Safe
+/// wrappers assert AVX2 support before entering `target_feature` code.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use super::reduce8;
+    use super::scalar::{dot8_col, qdot};
+    use std::arch::x86_64::*;
+
+    #[inline]
+    fn assert_avx2() {
+        assert!(
+            std::arch::is_x86_feature_detected!("avx2"),
+            "AVX2 kernels called on a host without AVX2"
+        );
+    }
+
+    /// `C = A * B^T` into `c` — AVX2 tier (see [`scalar::matmul_transb_into`]).
+    pub fn matmul_transb_into(
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        assert!(a.len() >= m * k && b.len() >= n * k && c.len() >= m * n);
+        assert_avx2();
+        unsafe { transb_avx2(a, b, c, m, k, n) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn transb_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        let chunks = k / 8;
+        let tail = k % 8;
+        let base = chunks * 8;
+        for i in 0..m {
+            let ar = a.as_ptr().add(i * k);
+            // Four output columns at a time: each keeps its own lane
+            // accumulator (so per-element accumulation is unchanged),
+            // and the four independent add chains hide vaddps latency
+            // that a single chain would expose.
+            let mut j = 0usize;
+            while j + 4 <= n {
+                let b0 = b.as_ptr().add(j * k);
+                let b1 = b.as_ptr().add((j + 1) * k);
+                let b2 = b.as_ptr().add((j + 2) * k);
+                let b3 = b.as_ptr().add((j + 3) * k);
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                let mut acc2 = _mm256_setzero_ps();
+                let mut acc3 = _mm256_setzero_ps();
+                for ch in 0..chunks {
+                    let av = _mm256_loadu_ps(ar.add(ch * 8));
+                    // mul + add (no FMA): rounding must match scalar.
+                    acc0 =
+                        _mm256_add_ps(acc0, _mm256_mul_ps(av, _mm256_loadu_ps(b0.add(ch * 8))));
+                    acc1 =
+                        _mm256_add_ps(acc1, _mm256_mul_ps(av, _mm256_loadu_ps(b1.add(ch * 8))));
+                    acc2 =
+                        _mm256_add_ps(acc2, _mm256_mul_ps(av, _mm256_loadu_ps(b2.add(ch * 8))));
+                    acc3 =
+                        _mm256_add_ps(acc3, _mm256_mul_ps(av, _mm256_loadu_ps(b3.add(ch * 8))));
+                }
+                for (col, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                    let mut lanes = [0.0f32; 8];
+                    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+                    let br = b.as_ptr().add((j + col) * k);
+                    for (l, lane) in lanes.iter_mut().enumerate().take(tail) {
+                        *lane += *ar.add(base + l) * *br.add(base + l);
+                    }
+                    c[i * n + j + col] = reduce8(&lanes);
+                }
+                j += 4;
+            }
+            while j < n {
+                let br = b.as_ptr().add(j * k);
+                let mut acc = _mm256_setzero_ps();
+                for ch in 0..chunks {
+                    let av = _mm256_loadu_ps(ar.add(ch * 8));
+                    let bv = _mm256_loadu_ps(br.add(ch * 8));
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+                }
+                let mut lanes = [0.0f32; 8];
+                _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+                for (l, lane) in lanes.iter_mut().enumerate().take(tail) {
+                    *lane += *ar.add(base + l) * *br.add(base + l);
+                }
+                c[i * n + j] = reduce8(&lanes);
+                j += 1;
+            }
+        }
+    }
+
+    /// `C = A * B` with pre-transposed `bt` — AVX2 tier (see
+    /// [`scalar::matmul_xposed_into`]).
+    pub fn matmul_xposed_into(
+        a: &[f32],
+        bt: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        assert!(a.len() >= m * k && bt.len() >= k * n && c.len() >= m * n);
+        assert_avx2();
+        unsafe { xposed_avx2(a, bt, c, m, k, n) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn xposed_avx2(a: &[f32], bt: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        let nblocks = n / 8;
+        let chunks = k / 8;
+        let ktail = k % 8;
+        let base = chunks * 8;
+        // j-block outer so the `k x 8` slab of `bt` this block reads
+        // stays cache-hot across all `m` rows of `a` (the loop
+        // interchange reorders whole output elements, never the
+        // accumulation inside one, so bit-identity is unaffected).
+        for jb in 0..nblocks {
+            let j0 = jb * 8;
+            for i in 0..m {
+                let ar = a.as_ptr().add(i * k);
+                // One named accumulator per lane (p mod 8): a dynamic
+                // `acc[p & 7]` would force the array into memory; named
+                // registers keep the whole rotation in ymm.
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                let mut acc2 = _mm256_setzero_ps();
+                let mut acc3 = _mm256_setzero_ps();
+                let mut acc4 = _mm256_setzero_ps();
+                let mut acc5 = _mm256_setzero_ps();
+                let mut acc6 = _mm256_setzero_ps();
+                let mut acc7 = _mm256_setzero_ps();
+                for ch in 0..chunks {
+                    let p = ch * 8;
+                    let col = bt.as_ptr().add(p * n + j0);
+                    let av = ar.add(p);
+                    acc0 = _mm256_add_ps(
+                        acc0,
+                        _mm256_mul_ps(_mm256_set1_ps(*av), _mm256_loadu_ps(col)),
+                    );
+                    acc1 = _mm256_add_ps(
+                        acc1,
+                        _mm256_mul_ps(_mm256_set1_ps(*av.add(1)), _mm256_loadu_ps(col.add(n))),
+                    );
+                    acc2 = _mm256_add_ps(
+                        acc2,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(2)),
+                            _mm256_loadu_ps(col.add(2 * n)),
+                        ),
+                    );
+                    acc3 = _mm256_add_ps(
+                        acc3,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(3)),
+                            _mm256_loadu_ps(col.add(3 * n)),
+                        ),
+                    );
+                    acc4 = _mm256_add_ps(
+                        acc4,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(4)),
+                            _mm256_loadu_ps(col.add(4 * n)),
+                        ),
+                    );
+                    acc5 = _mm256_add_ps(
+                        acc5,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(5)),
+                            _mm256_loadu_ps(col.add(5 * n)),
+                        ),
+                    );
+                    acc6 = _mm256_add_ps(
+                        acc6,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(6)),
+                            _mm256_loadu_ps(col.add(6 * n)),
+                        ),
+                    );
+                    acc7 = _mm256_add_ps(
+                        acc7,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(7)),
+                            _mm256_loadu_ps(col.add(7 * n)),
+                        ),
+                    );
+                }
+                // k tail: ascending p into lanes 0..ktail only.
+                let col = bt.as_ptr().add(base * n + j0);
+                let av = ar.add(base);
+                if ktail > 0 {
+                    acc0 = _mm256_add_ps(
+                        acc0,
+                        _mm256_mul_ps(_mm256_set1_ps(*av), _mm256_loadu_ps(col)),
+                    );
+                }
+                if ktail > 1 {
+                    acc1 = _mm256_add_ps(
+                        acc1,
+                        _mm256_mul_ps(_mm256_set1_ps(*av.add(1)), _mm256_loadu_ps(col.add(n))),
+                    );
+                }
+                if ktail > 2 {
+                    acc2 = _mm256_add_ps(
+                        acc2,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(2)),
+                            _mm256_loadu_ps(col.add(2 * n)),
+                        ),
+                    );
+                }
+                if ktail > 3 {
+                    acc3 = _mm256_add_ps(
+                        acc3,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(3)),
+                            _mm256_loadu_ps(col.add(3 * n)),
+                        ),
+                    );
+                }
+                if ktail > 4 {
+                    acc4 = _mm256_add_ps(
+                        acc4,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(4)),
+                            _mm256_loadu_ps(col.add(4 * n)),
+                        ),
+                    );
+                }
+                if ktail > 5 {
+                    acc5 = _mm256_add_ps(
+                        acc5,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(5)),
+                            _mm256_loadu_ps(col.add(5 * n)),
+                        ),
+                    );
+                }
+                if ktail > 6 {
+                    acc6 = _mm256_add_ps(
+                        acc6,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(6)),
+                            _mm256_loadu_ps(col.add(6 * n)),
+                        ),
+                    );
+                }
+                // Element-wise tree over the 8 lane vectors — the same
+                // tree reduce8 performs per element.
+                let s04 = _mm256_add_ps(acc0, acc4);
+                let s26 = _mm256_add_ps(acc2, acc6);
+                let s15 = _mm256_add_ps(acc1, acc5);
+                let s37 = _mm256_add_ps(acc3, acc7);
+                let even = _mm256_add_ps(s04, s26);
+                let odd = _mm256_add_ps(s15, s37);
+                _mm256_storeu_ps(c.as_mut_ptr().add(i * n + j0), _mm256_add_ps(even, odd));
+            }
+        }
+        for i in 0..m {
+            let ar = &a[i * k..(i + 1) * k];
+            for j in nblocks * 8..n {
+                c[i * n + j] = dot8_col(ar, bt, n, j);
+            }
+        }
+    }
+
+    /// `C = A * B` with `bp` packed by [`super::pack_xposed_blocks`] —
+    /// AVX2 tier (see [`scalar::matmul_xpacked_into`]).
+    pub fn matmul_xpacked_into(
+        a: &[f32],
+        bp: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        assert!(a.len() >= m * k && bp.len() >= k * n && c.len() >= m * n);
+        assert_avx2();
+        unsafe { xpacked_avx2(a, bp, c, m, k, n) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn xpacked_avx2(a: &[f32], bp: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        let nblocks = n / 8;
+        let chunks = k / 8;
+        let ktail = k % 8;
+        let base = chunks * 8;
+        // j-block outer: each block's 2 KiB slab is read sequentially
+        // and stays L1-hot across all `m` rows of `a`.
+        for jb in 0..nblocks {
+            let slab = bp.as_ptr().add(jb * k * 8);
+            for i in 0..m {
+                let ar = a.as_ptr().add(i * k);
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                let mut acc2 = _mm256_setzero_ps();
+                let mut acc3 = _mm256_setzero_ps();
+                let mut acc4 = _mm256_setzero_ps();
+                let mut acc5 = _mm256_setzero_ps();
+                let mut acc6 = _mm256_setzero_ps();
+                let mut acc7 = _mm256_setzero_ps();
+                for ch in 0..chunks {
+                    let p = ch * 8;
+                    let av = ar.add(p);
+                    let brow = slab.add(p * 8);
+                    acc0 = _mm256_add_ps(
+                        acc0,
+                        _mm256_mul_ps(_mm256_set1_ps(*av), _mm256_loadu_ps(brow)),
+                    );
+                    acc1 = _mm256_add_ps(
+                        acc1,
+                        _mm256_mul_ps(_mm256_set1_ps(*av.add(1)), _mm256_loadu_ps(brow.add(8))),
+                    );
+                    acc2 = _mm256_add_ps(
+                        acc2,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(2)),
+                            _mm256_loadu_ps(brow.add(16)),
+                        ),
+                    );
+                    acc3 = _mm256_add_ps(
+                        acc3,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(3)),
+                            _mm256_loadu_ps(brow.add(24)),
+                        ),
+                    );
+                    acc4 = _mm256_add_ps(
+                        acc4,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(4)),
+                            _mm256_loadu_ps(brow.add(32)),
+                        ),
+                    );
+                    acc5 = _mm256_add_ps(
+                        acc5,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(5)),
+                            _mm256_loadu_ps(brow.add(40)),
+                        ),
+                    );
+                    acc6 = _mm256_add_ps(
+                        acc6,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(6)),
+                            _mm256_loadu_ps(brow.add(48)),
+                        ),
+                    );
+                    acc7 = _mm256_add_ps(
+                        acc7,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(7)),
+                            _mm256_loadu_ps(brow.add(56)),
+                        ),
+                    );
+                }
+                let av = ar.add(base);
+                let brow = slab.add(base * 8);
+                if ktail > 0 {
+                    acc0 = _mm256_add_ps(
+                        acc0,
+                        _mm256_mul_ps(_mm256_set1_ps(*av), _mm256_loadu_ps(brow)),
+                    );
+                }
+                if ktail > 1 {
+                    acc1 = _mm256_add_ps(
+                        acc1,
+                        _mm256_mul_ps(_mm256_set1_ps(*av.add(1)), _mm256_loadu_ps(brow.add(8))),
+                    );
+                }
+                if ktail > 2 {
+                    acc2 = _mm256_add_ps(
+                        acc2,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(2)),
+                            _mm256_loadu_ps(brow.add(16)),
+                        ),
+                    );
+                }
+                if ktail > 3 {
+                    acc3 = _mm256_add_ps(
+                        acc3,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(3)),
+                            _mm256_loadu_ps(brow.add(24)),
+                        ),
+                    );
+                }
+                if ktail > 4 {
+                    acc4 = _mm256_add_ps(
+                        acc4,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(4)),
+                            _mm256_loadu_ps(brow.add(32)),
+                        ),
+                    );
+                }
+                if ktail > 5 {
+                    acc5 = _mm256_add_ps(
+                        acc5,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(5)),
+                            _mm256_loadu_ps(brow.add(40)),
+                        ),
+                    );
+                }
+                if ktail > 6 {
+                    acc6 = _mm256_add_ps(
+                        acc6,
+                        _mm256_mul_ps(
+                            _mm256_set1_ps(*av.add(6)),
+                            _mm256_loadu_ps(brow.add(48)),
+                        ),
+                    );
+                }
+                let s04 = _mm256_add_ps(acc0, acc4);
+                let s26 = _mm256_add_ps(acc2, acc6);
+                let s15 = _mm256_add_ps(acc1, acc5);
+                let s37 = _mm256_add_ps(acc3, acc7);
+                let even = _mm256_add_ps(s04, s26);
+                let odd = _mm256_add_ps(s15, s37);
+                _mm256_storeu_ps(c.as_mut_ptr().add(i * n + jb * 8), _mm256_add_ps(even, odd));
+            }
+        }
+        let tail_base = nblocks * k * 8;
+        for i in 0..m {
+            let ar = &a[i * k..(i + 1) * k];
+            for (jt, j) in (nblocks * 8..n).enumerate() {
+                c[i * n + j] =
+                    super::scalar::dot8(ar, &bp[tail_base + jt * k..tail_base + (jt + 1) * k]);
+            }
+        }
+    }
+
+    /// Row max — AVX2 tier (see [`scalar::row_max`]).
+    pub fn row_max(row: &[f32]) -> f32 {
+        assert_avx2();
+        unsafe { row_max_avx2(row) }
+    }
+
+    /// `Σ exp(v - max)` — AVX2 tier (see [`scalar::sum_exp`]).
+    pub fn sum_exp(row: &[f32], max: f32) -> f32 {
+        assert_avx2();
+        unsafe { sum_exp_avx2(row, max) }
+    }
+
+    /// Vector mirror of [`super::exp_lane`] — the identical operation
+    /// sequence per element, so each lane rounds exactly as the scalar
+    /// tier does.
+    #[target_feature(enable = "avx2")]
+    unsafe fn exp8(x: __m256) -> __m256 {
+        let y = _mm256_mul_ps(x, _mm256_set1_ps(std::f32::consts::LOG2_E));
+        let n = _mm256_round_ps(y, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        let r = _mm256_mul_ps(_mm256_sub_ps(y, n), _mm256_set1_ps(std::f32::consts::LN_2));
+        let mut p = _mm256_set1_ps(1.0 / 720.0);
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(1.0 / 120.0));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(1.0 / 24.0));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(1.0 / 6.0));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(0.5));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(1.0));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(1.0));
+        let ni = _mm256_cvtps_epi32(n);
+        let scale = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            ni,
+            _mm256_set1_epi32(127),
+        )));
+        let res = _mm256_mul_ps(p, scale);
+        // Flush x < -87 to zero (same threshold as the scalar tier; the
+        // kept range has a normal biased exponent, so `scale` is exact).
+        let keep = _mm256_cmp_ps::<_CMP_GE_OQ>(x, _mm256_set1_ps(-87.0));
+        _mm256_and_ps(res, keep)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn sum_exp_avx2(row: &[f32], max: f32) -> f32 {
+        let chunks = row.len() / 8;
+        let base = chunks * 8;
+        let maxv = _mm256_set1_ps(max);
+        let mut acc = _mm256_setzero_ps();
+        for ch in 0..chunks {
+            let v = _mm256_loadu_ps(row.as_ptr().add(ch * 8));
+            acc = _mm256_add_ps(acc, exp8(_mm256_sub_ps(v, maxv)));
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for (l, &v) in lanes.iter_mut().zip(&row[base..]) {
+            *l += super::exp_lane(v - max);
+        }
+        reduce8(&lanes)
+    }
+
+    /// Elementwise GELU over a buffer — AVX2 tier (see
+    /// [`scalar::gelu_into`]).
+    pub fn gelu_into(buf: &mut [f32]) {
+        assert_avx2();
+        unsafe { gelu_avx2(buf) }
+    }
+
+    /// Vector mirror of [`super::gelu_lane`]: the same mul/add chain for
+    /// the tanh argument, `exp8` for `e = exp(-2|u|)`, an exactly-rounded
+    /// VDIVPS for `(1 - e) / (1 + e)`, and sign reattachment via bit ops.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gelu8(x: __m256) -> __m256 {
+        let c = _mm256_set1_ps(0.797_884_6);
+        let a = _mm256_set1_ps(0.044715);
+        let one = _mm256_set1_ps(1.0);
+        let sign = _mm256_set1_ps(-0.0);
+        let x3 = _mm256_mul_ps(_mm256_mul_ps(_mm256_mul_ps(a, x), x), x);
+        let u = _mm256_mul_ps(c, _mm256_add_ps(x, x3));
+        let au = _mm256_andnot_ps(sign, u);
+        let e = exp8(_mm256_xor_ps(_mm256_add_ps(au, au), sign));
+        let t = _mm256_div_ps(_mm256_sub_ps(one, e), _mm256_add_ps(one, e));
+        let t = _mm256_or_ps(t, _mm256_and_ps(u, sign));
+        _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(0.5), x), _mm256_add_ps(one, t))
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn gelu_avx2(buf: &mut [f32]) {
+        let chunks = buf.len() / 8;
+        let base = chunks * 8;
+        for ch in 0..chunks {
+            let p = buf.as_mut_ptr().add(ch * 8);
+            _mm256_storeu_ps(p, gelu8(_mm256_loadu_ps(p)));
+        }
+        for v in &mut buf[base..] {
+            *v = super::gelu_lane(*v);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn row_max_avx2(row: &[f32]) -> f32 {
+        let chunks = row.len() / 8;
+        let base = chunks * 8;
+        let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+        for ch in 0..chunks {
+            let v = _mm256_loadu_ps(row.as_ptr().add(ch * 8));
+            acc = _mm256_max_ps(acc, v);
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for (l, &v) in lanes.iter_mut().zip(&row[base..]) {
+            *l = super::vmax(*l, v);
+        }
+        super::vmax(
+            super::vmax(super::vmax(lanes[0], lanes[4]), super::vmax(lanes[2], lanes[6])),
+            super::vmax(super::vmax(lanes[1], lanes[5]), super::vmax(lanes[3], lanes[7])),
+        )
+    }
+
+    /// Int8 matmul — AVX2 tier (see [`scalar::qmatmul_transb_into`]).
+    /// The i32 accumulation is exact, so this is bit-identical to the
+    /// scalar tier by construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn qmatmul_transb_into(
+        xq: &[i8],
+        xs: &[f32],
+        wq: &[i8],
+        ws: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        assert!(xq.len() >= m * k && wq.len() >= n * k && out.len() >= m * n);
+        assert_avx2();
+        unsafe { qmatmul_avx2(xq, xs, wq, ws, bias, out, m, k, n) }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    unsafe fn qmatmul_avx2(
+        xq: &[i8],
+        xs: &[f32],
+        wq: &[i8],
+        ws: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let chunks = k / 32;
+        let base = chunks * 32;
+        for i in 0..m {
+            let xr = xq.as_ptr().add(i * k);
+            for j in 0..n {
+                let wr = wq.as_ptr().add(j * k);
+                let mut acc = _mm256_setzero_si256();
+                for ch in 0..chunks {
+                    let xv = _mm256_loadu_si256(xr.add(ch * 32) as *const __m256i);
+                    let wv = _mm256_loadu_si256(wr.add(ch * 32) as *const __m256i);
+                    let xlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv));
+                    let xhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1));
+                    let wlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wv));
+                    let whi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wv, 1));
+                    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xlo, wlo));
+                    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xhi, whi));
+                }
+                let mut lanes = [0i32; 8];
+                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+                let mut sum: i32 = lanes.iter().sum();
+                sum += qdot(
+                    std::slice::from_raw_parts(xr.add(base), k - base),
+                    std::slice::from_raw_parts(wr.add(base), k - base),
+                );
+                let deq = sum as f32 * (xs[i] * ws[j]);
+                out[i * n + j] = match bias {
+                    Some(b) => deq + b[j],
+                    None => deq,
+                };
+            }
+        }
+    }
+}
+
+/// NEON tier (aarch64): paired 128-bit q-registers emulate the 8-lane
+/// semantics — lanes 0-3 in the low register, 4-7 in the high one — so
+/// the lo/hi tree reduce matches the AVX2 split reduce bit-for-bit.
+/// The int8 kernel reuses the scalar i32 path (exact arithmetic makes
+/// any implementation bit-identical; vectorizing it is a pure perf
+/// follow-up on real aarch64 hardware).
+#[cfg(target_arch = "aarch64")]
+pub mod neon {
+    use super::reduce8;
+    use super::scalar::{dot8_col, qdot};
+    use std::arch::aarch64::*;
+
+    /// `C = A * B^T` into `c` — NEON tier (see [`scalar::matmul_transb_into`]).
+    pub fn matmul_transb_into(
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        assert!(a.len() >= m * k && b.len() >= n * k && c.len() >= m * n);
+        unsafe { transb_neon(a, b, c, m, k, n) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn transb_neon(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        let chunks = k / 8;
+        let tail = k % 8;
+        let base = chunks * 8;
+        for i in 0..m {
+            let ar = a.as_ptr().add(i * k);
+            for j in 0..n {
+                let br = b.as_ptr().add(j * k);
+                let mut acc_lo = vdupq_n_f32(0.0);
+                let mut acc_hi = vdupq_n_f32(0.0);
+                for ch in 0..chunks {
+                    let alo = vld1q_f32(ar.add(ch * 8));
+                    let ahi = vld1q_f32(ar.add(ch * 8 + 4));
+                    let blo = vld1q_f32(br.add(ch * 8));
+                    let bhi = vld1q_f32(br.add(ch * 8 + 4));
+                    // mul + add (no fused multiply-accumulate): rounding
+                    // must match the scalar tier.
+                    acc_lo = vaddq_f32(acc_lo, vmulq_f32(alo, blo));
+                    acc_hi = vaddq_f32(acc_hi, vmulq_f32(ahi, bhi));
+                }
+                let mut lanes = [0.0f32; 8];
+                vst1q_f32(lanes.as_mut_ptr(), acc_lo);
+                vst1q_f32(lanes.as_mut_ptr().add(4), acc_hi);
+                for l in 0..tail {
+                    lanes[l] += *ar.add(base + l) * *br.add(base + l);
+                }
+                c[i * n + j] = reduce8(&lanes);
+            }
+        }
+    }
+
+    /// `C = A * B` with pre-transposed `bt` — NEON tier (see
+    /// [`scalar::matmul_xposed_into`]).
+    pub fn matmul_xposed_into(
+        a: &[f32],
+        bt: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        assert!(a.len() >= m * k && bt.len() >= k * n && c.len() >= m * n);
+        unsafe { xposed_neon(a, bt, c, m, k, n) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn xposed_neon(a: &[f32], bt: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        let nblocks = n / 8;
+        for i in 0..m {
+            let ar = &a[i * k..(i + 1) * k];
+            for jb in 0..nblocks {
+                let j0 = jb * 8;
+                // acc[lane] = (cols 0-3, cols 4-7) of this j-block.
+                let mut acc = [(vdupq_n_f32(0.0), vdupq_n_f32(0.0)); 8];
+                for (p, &av) in ar.iter().enumerate() {
+                    let avv = vdupq_n_f32(av);
+                    let blo = vld1q_f32(bt.as_ptr().add(p * n + j0));
+                    let bhi = vld1q_f32(bt.as_ptr().add(p * n + j0 + 4));
+                    let l = p & 7;
+                    acc[l].0 = vaddq_f32(acc[l].0, vmulq_f32(avv, blo));
+                    acc[l].1 = vaddq_f32(acc[l].1, vmulq_f32(avv, bhi));
+                }
+                let e_lo =
+                    vaddq_f32(vaddq_f32(acc[0].0, acc[4].0), vaddq_f32(acc[2].0, acc[6].0));
+                let o_lo =
+                    vaddq_f32(vaddq_f32(acc[1].0, acc[5].0), vaddq_f32(acc[3].0, acc[7].0));
+                let e_hi =
+                    vaddq_f32(vaddq_f32(acc[0].1, acc[4].1), vaddq_f32(acc[2].1, acc[6].1));
+                let o_hi =
+                    vaddq_f32(vaddq_f32(acc[1].1, acc[5].1), vaddq_f32(acc[3].1, acc[7].1));
+                vst1q_f32(c.as_mut_ptr().add(i * n + j0), vaddq_f32(e_lo, o_lo));
+                vst1q_f32(c.as_mut_ptr().add(i * n + j0 + 4), vaddq_f32(e_hi, o_hi));
+            }
+            for j in nblocks * 8..n {
+                c[i * n + j] = dot8_col(ar, bt, n, j);
+            }
+        }
+    }
+
+    /// `C = A * B` with `bp` packed by [`super::pack_xposed_blocks`] —
+    /// NEON tier (see [`scalar::matmul_xpacked_into`]).
+    pub fn matmul_xpacked_into(
+        a: &[f32],
+        bp: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        assert!(a.len() >= m * k && bp.len() >= k * n && c.len() >= m * n);
+        unsafe { xpacked_neon(a, bp, c, m, k, n) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn xpacked_neon(a: &[f32], bp: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        let nblocks = n / 8;
+        for jb in 0..nblocks {
+            let slab = bp.as_ptr().add(jb * k * 8);
+            for i in 0..m {
+                let ar = &a[i * k..(i + 1) * k];
+                // acc[lane] = (cols 0-3, cols 4-7) of this j-block.
+                let mut acc = [(vdupq_n_f32(0.0), vdupq_n_f32(0.0)); 8];
+                for (p, &av) in ar.iter().enumerate() {
+                    let avv = vdupq_n_f32(av);
+                    let blo = vld1q_f32(slab.add(p * 8));
+                    let bhi = vld1q_f32(slab.add(p * 8 + 4));
+                    let l = p & 7;
+                    acc[l].0 = vaddq_f32(acc[l].0, vmulq_f32(avv, blo));
+                    acc[l].1 = vaddq_f32(acc[l].1, vmulq_f32(avv, bhi));
+                }
+                let e_lo =
+                    vaddq_f32(vaddq_f32(acc[0].0, acc[4].0), vaddq_f32(acc[2].0, acc[6].0));
+                let o_lo =
+                    vaddq_f32(vaddq_f32(acc[1].0, acc[5].0), vaddq_f32(acc[3].0, acc[7].0));
+                let e_hi =
+                    vaddq_f32(vaddq_f32(acc[0].1, acc[4].1), vaddq_f32(acc[2].1, acc[6].1));
+                let o_hi =
+                    vaddq_f32(vaddq_f32(acc[1].1, acc[5].1), vaddq_f32(acc[3].1, acc[7].1));
+                vst1q_f32(c.as_mut_ptr().add(i * n + jb * 8), vaddq_f32(e_lo, o_lo));
+                vst1q_f32(c.as_mut_ptr().add(i * n + jb * 8 + 4), vaddq_f32(e_hi, o_hi));
+            }
+        }
+        let tail_base = nblocks * k * 8;
+        for i in 0..m {
+            let ar = &a[i * k..(i + 1) * k];
+            for (jt, j) in (nblocks * 8..n).enumerate() {
+                c[i * n + j] =
+                    super::scalar::dot8(ar, &bp[tail_base + jt * k..tail_base + (jt + 1) * k]);
+            }
+        }
+    }
+
+    /// Row max — NEON tier (see [`scalar::row_max`]).
+    pub fn row_max(row: &[f32]) -> f32 {
+        unsafe { row_max_neon(row) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn row_max_neon(row: &[f32]) -> f32 {
+        let chunks = row.len() / 8;
+        let base = chunks * 8;
+        let mut acc_lo = vdupq_n_f32(f32::NEG_INFINITY);
+        let mut acc_hi = vdupq_n_f32(f32::NEG_INFINITY);
+        for ch in 0..chunks {
+            acc_lo = vmaxq_f32(acc_lo, vld1q_f32(row.as_ptr().add(ch * 8)));
+            acc_hi = vmaxq_f32(acc_hi, vld1q_f32(row.as_ptr().add(ch * 8 + 4)));
+        }
+        let mut lanes = [0.0f32; 8];
+        vst1q_f32(lanes.as_mut_ptr(), acc_lo);
+        vst1q_f32(lanes.as_mut_ptr().add(4), acc_hi);
+        for (l, &v) in lanes.iter_mut().zip(&row[base..]) {
+            *l = super::vmax(*l, v);
+        }
+        super::vmax(
+            super::vmax(super::vmax(lanes[0], lanes[4]), super::vmax(lanes[2], lanes[6])),
+            super::vmax(super::vmax(lanes[1], lanes[5]), super::vmax(lanes[3], lanes[7])),
+        )
+    }
+
+    /// Int8 matmul — NEON tier delegates to the scalar i32 path (exact,
+    /// therefore bit-identical).
+    #[allow(clippy::too_many_arguments)]
+    pub fn qmatmul_transb_into(
+        xq: &[i8],
+        xs: &[f32],
+        wq: &[i8],
+        ws: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let _ = qdot; // shared helper referenced so tiers stay symmetric
+        super::scalar::qmatmul_transb_into(xq, xs, wq, ws, bias, out, m, k, n);
+    }
+}
+
+/// Dispatched `C = A * B^T` (`a`: `m x k`, `b`: `n x k`, `c`: `m x n`).
+pub fn matmul_transb_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 => avx2::matmul_transb_into(a, b, c, m, k, n),
+        #[cfg(target_arch = "aarch64")]
+        IsaTier::Neon => neon::matmul_transb_into(a, b, c, m, k, n),
+        _ => scalar::matmul_transb_into(a, b, c, m, k, n),
+    }
+}
+
+/// Dispatched `C = A * B` with `bt` = B pre-transposed to `k x n`.
+pub fn matmul_xposed_into(a: &[f32], bt: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 => avx2::matmul_xposed_into(a, bt, c, m, k, n),
+        #[cfg(target_arch = "aarch64")]
+        IsaTier::Neon => neon::matmul_xposed_into(a, bt, c, m, k, n),
+        _ => scalar::matmul_xposed_into(a, bt, c, m, k, n),
+    }
+}
+
+/// Packs a pre-transposed `k x n` matrix (`bt`, output columns
+/// contiguous) into the layout the `matmul_xpacked_into` kernels read:
+/// one sequential `k x 8` slab per full j-block (slab row `p` holds the
+/// block's 8 columns at reduction index `p`), followed by each tail
+/// column stored contiguously over `k`. Done once at weight
+/// materialization: the plain layout walks columns at an `n`-element
+/// stride, which for large `n` (the logits projection) lands every row
+/// in the same few L1 sets and thrashes them; the packed slabs stream
+/// sequentially instead.
+pub fn pack_xposed_blocks(bt: &[f32], k: usize, n: usize) -> Vec<f32> {
+    debug_assert!(bt.len() >= k * n);
+    let nblocks = n / 8;
+    let mut out = Vec::with_capacity(k * n);
+    for jb in 0..nblocks {
+        let j0 = jb * 8;
+        for p in 0..k {
+            out.extend_from_slice(&bt[p * n + j0..p * n + j0 + 8]);
+        }
+    }
+    for j in nblocks * 8..n {
+        for p in 0..k {
+            out.push(bt[p * n + j]);
+        }
+    }
+    out
+}
+
+/// Dispatched `C = A * B` with `bp` = B packed by
+/// [`pack_xposed_blocks`]. Bit-identical to [`matmul_xposed_into`] on
+/// the unpacked matrix — same per-element accumulation, cache-friendly
+/// addresses.
+pub fn matmul_xpacked_into(a: &[f32], bp: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 => avx2::matmul_xpacked_into(a, bp, c, m, k, n),
+        #[cfg(target_arch = "aarch64")]
+        IsaTier::Neon => neon::matmul_xpacked_into(a, bp, c, m, k, n),
+        _ => scalar::matmul_xpacked_into(a, bp, c, m, k, n),
+    }
+}
+
+/// Dispatched batched `C = A * B^T` over `batch` independent problems at
+/// the given strides. Per-element arithmetic is identical to the
+/// unbatched kernel (the batch loop only selects offsets).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_transb_batched(
+    a: &[f32],
+    a_stride: usize,
+    b: &[f32],
+    b_stride: usize,
+    c: &mut [f32],
+    c_stride: usize,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let tier = active_tier();
+    for bi in 0..batch {
+        let av = &a[bi * a_stride..];
+        let bv = &b[bi * b_stride..];
+        let cv = &mut c[bi * c_stride..];
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            IsaTier::Avx2 => avx2::matmul_transb_into(av, bv, cv, m, k, n),
+            #[cfg(target_arch = "aarch64")]
+            IsaTier::Neon => neon::matmul_transb_into(av, bv, cv, m, k, n),
+            _ => scalar::matmul_transb_into(av, bv, cv, m, k, n),
+        }
+    }
+}
+
+/// Dispatched row max (the max pass of the fused log-softmax+top-k; the
+/// top-k insertion stays scalar on every tier because its order is the
+/// contract).
+pub fn row_max(row: &[f32]) -> f32 {
+    if row.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 => avx2::row_max(row),
+        #[cfg(target_arch = "aarch64")]
+        IsaTier::Neon => neon::row_max(row),
+        _ => scalar::row_max(row),
+    }
+}
+
+/// Dispatched `Σ exp(v - max)` — the normalizer pass of the fused
+/// log-softmax+top-k, lane-split by 8 like the matmuls. Every tier uses
+/// the shared polynomial `exp` ([`exp_lane`] and its AVX2 mirror), not
+/// libm, so the sum is bit-identical across tiers. `max` must be the
+/// row's max (finite inputs, `v - max ≤ 0`).
+pub fn sum_exp(row: &[f32], max: f32) -> f32 {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 => avx2::sum_exp(row, max),
+        _ => scalar::sum_exp(row, max),
+    }
+}
+
+/// Dispatched elementwise GELU over a buffer (the FFN activation).
+/// Every tier evaluates the shared [`gelu_lane`] operation sequence —
+/// polynomial `exp`, no libm — so results are bit-identical across
+/// tiers, and identical to the public scalar `math::gelu`.
+pub fn gelu_into(buf: &mut [f32]) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 => avx2::gelu_into(buf),
+        _ => scalar::gelu_into(buf),
+    }
+}
+
+/// Per-row symmetric int8 quantization: `scale = absmax / 127`, values
+/// round-to-nearest clamped to `[-127, 127]`. Returns the scale (0.0
+/// for an all-zero or non-finite row, with `dst` zeroed). Always
+/// scalar, on every tier: rounding must not depend on dispatch.
+pub fn quantize_row_i8(src: &[f32], dst: &mut [i8]) -> f32 {
+    debug_assert_eq!(src.len(), dst.len());
+    let mut absmax = 0.0f32;
+    for &v in src {
+        let a = v.abs();
+        if a > absmax {
+            absmax = a;
+        }
+    }
+    if absmax == 0.0 || !absmax.is_finite() {
+        dst.fill(0);
+        return 0.0;
+    }
+    let inv = 127.0 / absmax;
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d = (v * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    absmax / 127.0
+}
+
+/// Dispatched int8 `C = Xq * Wq^T` with f32 dequant-on-accumulate.
+/// `xq`: `m x k` activations with per-row scales `xs`; `wq`: `n x k`
+/// weights with per-row scales `ws`.
+#[allow(clippy::too_many_arguments)]
+pub fn qmatmul_transb_into(
+    xq: &[i8],
+    xs: &[f32],
+    wq: &[i8],
+    ws: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 => avx2::qmatmul_transb_into(xq, xs, wq, ws, bias, out, m, k, n),
+        #[cfg(target_arch = "aarch64")]
+        IsaTier::Neon => neon::qmatmul_transb_into(xq, xs, wq, ws, bias, out, m, k, n),
+        _ => scalar::qmatmul_transb_into(xq, xs, wq, ws, bias, out, m, k, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tier_knob_round_trips() {
+        let prev = active_tier();
+        assert_eq!(set_tier(IsaTier::Scalar), IsaTier::Scalar);
+        assert_eq!(active_tier(), IsaTier::Scalar);
+        // Unsupported requests clamp to scalar instead of crashing.
+        let installed = set_tier(IsaTier::Neon);
+        if !cfg!(target_arch = "aarch64") {
+            assert_eq!(installed, IsaTier::Scalar);
+        }
+        set_tier(prev);
+    }
+
+    #[test]
+    fn transb_and_xposed_orientations_agree_bitwise() {
+        // Same projection through both weight orientations must give the
+        // same bits: the scalar decode path uses transb, the batched
+        // path uses xposed.
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (2, 7, 5), (3, 16, 8), (4, 19, 13)] {
+            let a = fill(1, m * k);
+            let w = fill(2, n * k); // n x k, transb orientation
+            let mut wt = vec![0.0f32; k * n];
+            for r in 0..n {
+                for p in 0..k {
+                    wt[p * n + r] = w[r * k + p];
+                }
+            }
+            let mut c1 = vec![0.0f32; m * n];
+            let mut c2 = vec![0.0f32; m * n];
+            scalar::matmul_transb_into(&a, &w, &mut c1, m, k, n);
+            scalar::matmul_xposed_into(&a, &wt, &mut c2, m, k, n);
+            for (x, y) in c1.iter().zip(&c2) {
+                assert_eq!(x.to_bits(), y.to_bits(), "shape ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_round_trips_within_bound() {
+        let src = fill(7, 33);
+        let mut q = vec![0i8; 33];
+        let scale = quantize_row_i8(&src, &mut q);
+        assert!(scale > 0.0);
+        for (&v, &qq) in src.iter().zip(&q) {
+            assert!((v - qq as f32 * scale).abs() <= scale * 0.5 + 1e-6);
+        }
+        let zeros = vec![0.0f32; 8];
+        let mut qz = vec![1i8; 8];
+        assert_eq!(quantize_row_i8(&zeros, &mut qz), 0.0);
+        assert!(qz.iter().all(|&v| v == 0));
+    }
+}

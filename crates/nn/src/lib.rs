@@ -7,8 +7,12 @@
 //! see `DESIGN.md` for the scaling substitution argument.
 //!
 //! Layout:
-//! - [`math`] — dense kernels (matmul variants, softmax, GELU);
-//! - [`store`] — flat parameter store with gradients and Adam moments;
+//! - [`kernels`] — runtime-dispatched SIMD kernel tiers (AVX2 / NEON /
+//!   scalar, all bit-identical) plus the int8 quantized matmul;
+//! - [`math`] — dense kernels (matmul variants, softmax, GELU), hot
+//!   paths dispatching through [`kernels`];
+//! - [`store`] — flat parameter store with gradients and Adam moments,
+//!   plus per-row symmetric int8 quantization ([`QuantizedTensor`]);
 //! - [`model`] — the seq2seq Transformer with hand-written backward passes,
 //!   optional seeded dropout (for the paper's §V-C ablation), forward-only
 //!   evaluation ([`Seq2Seq::eval_loss`]), KV-cached incremental
@@ -35,10 +39,12 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod kernels;
 pub mod math;
 pub mod model;
 pub mod store;
 
 pub use engine::{DecodeRequest, InferenceEngine};
-pub use model::{BatchedDecoderState, DecoderState, Seq2Seq, TransformerConfig};
-pub use store::{ParamStore, ParamTensor};
+pub use kernels::IsaTier;
+pub use model::{Backend, BatchedDecoderState, DecoderState, Seq2Seq, TransformerConfig};
+pub use store::{ParamStore, ParamTensor, QuantizedTensor};

@@ -1,10 +1,21 @@
 //! Dense math kernels used by the Transformer (single-threaded f32).
+//!
+//! The hot kernels (`matmul_transb_into`, `matmul_xposed_into`,
+//! `matmul_transb_batched`, and the max pass of [`log_softmax_topk`])
+//! dispatch through [`crate::kernels`] to the best ISA tier the host
+//! supports (AVX2 / NEON / scalar), all tiers bit-identical. The
+//! training-only kernels below stay plain scalar code.
 
-/// `c[m,n] = a[m,k] @ b[k,n]`.
-pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+use crate::kernels;
+
+/// Writes `c[m,n] = a[m,k] @ b[k,n]` into a caller-provided buffer
+/// (accumulating into `c`'s zeroed contents; skips zero `a` entries,
+/// which dropout-masked activations make common).
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
-    let mut c = vec![0.0f32; m * n];
+    debug_assert_eq!(c.len(), m * n);
+    c.fill(0.0);
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
@@ -18,21 +29,32 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
             }
         }
     }
+}
+
+/// `c[m,n] = a[m,k] @ b[k,n]` — allocating wrapper over [`matmul_into`],
+/// kept for tests; non-test callers provide their own buffer.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    matmul_into(a, b, &mut c, m, k, n);
     c
 }
 
-/// `c[m,n] = a[m,k] @ b[n,k]ᵀ` — the Linear-layer forward shape.
+/// `c[m,n] = a[m,k] @ b[n,k]ᵀ` — allocating wrapper over
+/// [`matmul_transb_into`], kept for tests; non-test callers provide
+/// their own buffer.
 pub fn matmul_transb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut c = vec![0.0f32; m * n];
     matmul_transb_into(a, b, &mut c, m, k, n);
     c
 }
 
-/// `c[m,n] = a[k,m]ᵀ @ b[k,n]` — the weight-gradient shape.
-pub fn matmul_transa(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+/// Writes `c[m,n] = a[k,m]ᵀ @ b[k,n]` — the weight-gradient shape —
+/// into a caller-provided buffer (zeroed first; skips zero `a` entries).
+pub fn matmul_transa_into(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
-    let mut c = vec![0.0f32; m * n];
+    debug_assert_eq!(c.len(), m * n);
+    c.fill(0.0);
     for p in 0..k {
         let arow = &a[p * m..(p + 1) * m];
         let brow = &b[p * n..(p + 1) * n];
@@ -46,6 +68,13 @@ pub fn matmul_transa(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<
             }
         }
     }
+}
+
+/// `c[m,n] = a[k,m]ᵀ @ b[k,n]` — allocating wrapper over
+/// [`matmul_transa_into`], kept for tests.
+pub fn matmul_transa(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    matmul_transa_into(a, b, &mut c, k, m, n);
     c
 }
 
@@ -70,56 +99,16 @@ pub fn softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
 /// the allocation-free variant of [`matmul_transb`], and the kernel the
 /// batched decode path lives on.
 ///
-/// Rows of `a` are processed in blocks of four: each loaded `b` element
-/// feeds four independent accumulator chains, which both quarters the `b`
-/// traffic and breaks the single FMA dependency chain that bounds a
-/// one-row (`m = 1`) dot product. This is where batching beams/requests
-/// turns into actual speedup — a single hypothesis cannot fill the block.
-/// Each accumulator still sums over `k` in index order, so results are
-/// bit-identical to the row-at-a-time loop.
+/// Dispatches through [`crate::kernels`] to the active ISA tier. Every
+/// tier implements the same lane-split accumulation semantics (8 lanes
+/// by reduction index mod 8, fixed tree reduce — see the module docs of
+/// [`crate::kernels`]), so results are bit-identical regardless of tier
+/// and of which rows share a batch.
 pub fn matmul_transb_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    let mut i = 0usize;
-    while i + 4 <= m {
-        let a0 = &a[i * k..(i + 1) * k];
-        let a1 = &a[(i + 1) * k..(i + 2) * k];
-        let a2 = &a[(i + 2) * k..(i + 3) * k];
-        let a3 = &a[(i + 3) * k..(i + 4) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc0 = 0.0f32;
-            let mut acc1 = 0.0f32;
-            let mut acc2 = 0.0f32;
-            let mut acc3 = 0.0f32;
-            // Zipped iteration keeps the quad-accumulator loop free of
-            // bounds checks.
-            for ((((&bv, &x0), &x1), &x2), &x3) in brow.iter().zip(a0).zip(a1).zip(a2).zip(a3) {
-                acc0 += x0 * bv;
-                acc1 += x1 * bv;
-                acc2 += x2 * bv;
-                acc3 += x3 * bv;
-            }
-            c[i * n + j] = acc0;
-            c[(i + 1) * n + j] = acc1;
-            c[(i + 2) * n + j] = acc2;
-            c[(i + 3) * n + j] = acc3;
-        }
-        i += 4;
-    }
-    while i < m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            c[i * n + j] = acc;
-        }
-        i += 1;
-    }
+    kernels::matmul_transb_into(a, b, c, m, k, n);
 }
 
 /// Transposes `src[rows, cols]` into `dst[cols, rows]`.
@@ -134,57 +123,19 @@ pub fn transpose_into(src: &[f32], dst: &mut [f32], rows: usize, cols: usize) {
 }
 
 /// `c[m,n] = a[m,k] @ bt[k,n]` with `bt` already transposed — the
-/// vectorization-friendly orientation the batched decode path uses with
-/// pre-transposed weights. The inner loop walks `c` and `bt` rows
-/// contiguously (independent element updates, no reduction chain), so the
-/// compiler vectorizes it; rows of `a` are processed in blocks of four so
-/// each `bt` row streams from cache once per block instead of once per
-/// row. For every output element the sum still runs over `k` in ascending
-/// order — results are bit-identical to [`matmul_transb`] against the
-/// untransposed weights.
+/// orientation the batched decode path uses with pre-transposed weights
+/// (output columns contiguous, so vector lanes span columns).
+///
+/// Dispatches through [`crate::kernels`]. All tiers implement the same
+/// lane-split accumulation semantics as [`matmul_transb_into`], so
+/// projecting through `bt` here yields **bit-identical** results to
+/// `matmul_transb` against the untransposed weights — the invariant
+/// that keeps scalar and batched decode interchangeable.
 pub fn matmul_xposed_into(a: &[f32], bt: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(bt.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    let mut i = 0usize;
-    while i + 4 <= m {
-        // Split the four output rows so the compiler sees disjoint slices.
-        let (c0, rest) = c[i * n..].split_at_mut(n);
-        let (c1, rest) = rest.split_at_mut(n);
-        let (c2, c3full) = rest.split_at_mut(n);
-        let c3 = &mut c3full[..n];
-        c0.fill(0.0);
-        c1.fill(0.0);
-        c2.fill(0.0);
-        c3.fill(0.0);
-        let a0 = &a[i * k..(i + 1) * k];
-        let a1 = &a[(i + 1) * k..(i + 2) * k];
-        let a2 = &a[(i + 2) * k..(i + 3) * k];
-        let a3 = &a[(i + 3) * k..(i + 4) * k];
-        for p in 0..k {
-            let (av0, av1, av2, av3) = (a0[p], a1[p], a2[p], a3[p]);
-            let brow = &bt[p * n..(p + 1) * n];
-            for (j, &bv) in brow.iter().enumerate() {
-                c0[j] += av0 * bv;
-                c1[j] += av1 * bv;
-                c2[j] += av2 * bv;
-                c3[j] += av3 * bv;
-            }
-        }
-        i += 4;
-    }
-    while i < m {
-        let crow = &mut c[i * n..(i + 1) * n];
-        crow.fill(0.0);
-        let arow = &a[i * k..(i + 1) * k];
-        for (p, &av) in arow.iter().enumerate() {
-            let brow = &bt[p * n..(p + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
-        }
-        i += 1;
-    }
+    kernels::matmul_xposed_into(a, bt, c, m, k, n);
 }
 
 /// Batched matmul over independent operand pairs living in strided arenas:
@@ -205,22 +156,7 @@ pub fn matmul_transb_batched(
     n: usize,
 ) {
     debug_assert!(a_stride >= m * k && b_stride >= n * k && c_stride >= m * n);
-    for bi in 0..batch {
-        let abase = &a[bi * a_stride..bi * a_stride + m * k];
-        let bbase = &b[bi * b_stride..bi * b_stride + n * k];
-        let cbase = &mut c[bi * c_stride..bi * c_stride + m * n];
-        for i in 0..m {
-            let arow = &abase[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &bbase[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                cbase[i * n + j] = acc;
-            }
-        }
-    }
+    kernels::matmul_transb_batched(a, a_stride, b, b_stride, c, c_stride, batch, m, k, n);
 }
 
 /// In-place row-wise log-softmax over an `[rows, cols]` matrix: the proper
@@ -253,18 +189,17 @@ pub fn log_softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
 /// the full vocabulary would select.
 pub fn log_softmax_topk(row: &[f32], k: usize) -> Vec<(usize, f32)> {
     let k = k.max(1).min(row.len());
-    let mut max = f32::NEG_INFINITY;
-    for &v in row {
-        if v > max {
-            max = v;
-        }
-    }
-    let mut sum = 0.0f32;
+    // The max and exp-sum passes dispatch to the SIMD tier (the exp-sum
+    // uses the kernel layer's lane-split accumulation and shared
+    // polynomial exp, so its value does not depend on dispatch); only
+    // the insertion pass below stays scalar, because its order is the
+    // tie-breaking contract.
+    let max = kernels::row_max(row);
+    let sum = kernels::sum_exp(row, max);
     // `best` is kept sorted descending by logit; ties keep earlier indices
     // first because later candidates only displace strictly smaller ones.
     let mut best: Vec<(usize, f32)> = Vec::with_capacity(k + 1);
     for (i, &v) in row.iter().enumerate() {
-        sum += (v - max).exp();
         if best.len() < k || v > best[best.len() - 1].1 {
             let pos = best.partition_point(|&(_, bv)| bv >= v);
             best.insert(pos, (i, v));
@@ -277,9 +212,13 @@ pub fn log_softmax_topk(row: &[f32], k: usize) -> Vec<(usize, f32)> {
     best.iter().map(|&(i, v)| (i, v - lse)).collect()
 }
 
-/// GELU activation (tanh approximation, as BART uses).
+/// GELU activation (tanh approximation, as BART uses). Delegates to the
+/// kernel layer's shared polynomial evaluation so the training path and
+/// the dispatched SIMD decode path ([`kernels::gelu_into`]) compute the
+/// same function bit-for-bit; `tanh` via libm would differ from the
+/// vector tiers by a ulp.
 pub fn gelu(x: f32) -> f32 {
-    0.5 * x * (1.0 + ((0.797_884_6) * (x + 0.044715 * x * x * x)).tanh())
+    kernels::gelu_lane(x)
 }
 
 /// Derivative of [`gelu`].

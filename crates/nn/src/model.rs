@@ -12,9 +12,33 @@
 //! layer is finite-difference checked in the tests.
 
 use crate::math::*;
-use crate::store::{PId, ParamStore};
+use crate::store::{PId, ParamStore, QuantizedTensor};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Inference weight backend: which numeric format the batched decode and
+/// encode paths project through. Training always runs f32; the backend
+/// only changes how weights are materialized for inference, below the
+/// engine seam — `crates/serve` never inspects it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Backend {
+    /// Full-precision f32 weights (pre-transposed), the default.
+    #[default]
+    F32,
+    /// Per-row symmetric int8 weights with i8×i8→i32 dot products and
+    /// f32 dequant-on-accumulate.
+    Int8,
+}
+
+impl Backend {
+    /// Stable lowercase name for metrics and bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::F32 => "f32",
+            Backend::Int8 => "int8",
+        }
+    }
+}
 
 /// Hyperparameters of the seq2seq model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,6 +57,10 @@ pub struct TransformerConfig {
     pub dec_layers: usize,
     /// Maximum sequence length (positional table size).
     pub max_len: usize,
+    /// Inference weight backend (defaults to f32 so pre-knob artifacts
+    /// deserialize unchanged).
+    #[serde(default)]
+    pub backend: Backend,
 }
 
 impl TransformerConfig {
@@ -47,6 +75,7 @@ impl TransformerConfig {
             enc_layers: 2,
             dec_layers: 2,
             max_len: 160,
+            backend: Backend::F32,
         }
     }
 
@@ -60,6 +89,7 @@ impl TransformerConfig {
             enc_layers: 1,
             dec_layers: 1,
             max_len: 24,
+            backend: Backend::F32,
         }
     }
 }
@@ -280,7 +310,8 @@ impl Seq2Seq {
     }
 
     fn linear(&self, w: PId, b: PId, x: &[f32], t: usize, din: usize, dout: usize) -> Vec<f32> {
-        let mut y = matmul_transb(x, self.store.data(w), t, din, dout);
+        let mut y = vec![0.0f32; t * dout];
+        matmul_transb_into(x, self.store.data(w), &mut y, t, din, dout);
         let bias = self.store.data(b);
         for row in 0..t {
             for j in 0..dout {
@@ -378,8 +409,10 @@ impl Seq2Seq {
         let dh = d / h;
         let scale = 1.0 / (dh as f32).sqrt();
         // Output projection backward.
-        let dctx = matmul(dout, self.store.data(a.wo), t, d, d);
-        let dwo = matmul_transa(dout, &cache.ctx, t, d, d);
+        let mut dctx = vec![0.0f32; t * d];
+        matmul_into(dout, self.store.data(a.wo), &mut dctx, t, d, d);
+        let mut dwo = vec![0.0f32; d * d];
+        matmul_transa_into(dout, &cache.ctx, &mut dwo, t, d, d);
         self.store.add_grad(a.wo, &dwo);
         self.store.add_grad(a.bo, &col_sums(dout, t, d));
         let mut dq = vec![0.0f32; t * d];
@@ -422,18 +455,24 @@ impl Seq2Seq {
                 }
             }
         }
-        // Project back through the three input linears.
-        let mut dx = matmul(&dq, self.store.data(a.wq), t, d, d);
-        let dwq = matmul_transa(&dq, x, t, d, d);
-        self.store.add_grad(a.wq, &dwq);
+        // Project back through the three input linears (scratch buffers
+        // reused for the weight grads; the allocating matmul wrappers are
+        // test-only).
+        let mut dw = vec![0.0f32; d * d];
+        let mut dx = vec![0.0f32; t * d];
+        matmul_into(&dq, self.store.data(a.wq), &mut dx, t, d, d);
+        matmul_transa_into(&dq, x, &mut dw, t, d, d);
+        self.store.add_grad(a.wq, &dw);
         self.store.add_grad(a.bq, &col_sums(&dq, t, d));
-        let mut dkv = matmul(&dk, self.store.data(a.wk), s, d, d);
-        let dwk = matmul_transa(&dk, kv, s, d, d);
-        self.store.add_grad(a.wk, &dwk);
+        let mut dkv = vec![0.0f32; s * d];
+        matmul_into(&dk, self.store.data(a.wk), &mut dkv, s, d, d);
+        matmul_transa_into(&dk, kv, &mut dw, s, d, d);
+        self.store.add_grad(a.wk, &dw);
         self.store.add_grad(a.bk, &col_sums(&dk, s, d));
-        let dkv2 = matmul(&dv, self.store.data(a.wv), s, d, d);
-        let dwv = matmul_transa(&dv, kv, s, d, d);
-        self.store.add_grad(a.wv, &dwv);
+        let mut dkv2 = vec![0.0f32; s * d];
+        matmul_into(&dv, self.store.data(a.wv), &mut dkv2, s, d, d);
+        matmul_transa_into(&dv, kv, &mut dw, s, d, d);
+        self.store.add_grad(a.wv, &dw);
         self.store.add_grad(a.bv, &col_sums(&dv, s, d));
         for (a_, b_) in dkv.iter_mut().zip(&dkv2) {
             *a_ += b_;
@@ -512,17 +551,20 @@ impl Seq2Seq {
         let dff = self.cfg.d_ff;
         let mut act = hidden.to_vec();
         act.iter_mut().for_each(|v| *v = gelu(*v));
-        let dact = matmul(dy, self.store.data(f.w2), t, d, dff);
-        let dw2 = matmul_transa(dy, &act, t, d, dff);
-        self.store.add_grad(f.w2, &dw2);
+        let mut dact = vec![0.0f32; t * dff];
+        matmul_into(dy, self.store.data(f.w2), &mut dact, t, d, dff);
+        let mut dw = vec![0.0f32; d * dff];
+        matmul_transa_into(dy, &act, &mut dw, t, d, dff);
+        self.store.add_grad(f.w2, &dw);
         self.store.add_grad(f.b2, &col_sums(dy, t, d));
         let mut dhidden = dact;
         for (dh, h) in dhidden.iter_mut().zip(hidden) {
             *dh *= gelu_grad(*h);
         }
-        let dx = matmul(&dhidden, self.store.data(f.w1), t, dff, d);
-        let dw1 = matmul_transa(&dhidden, x, t, dff, d);
-        self.store.add_grad(f.w1, &dw1);
+        let mut dx = vec![0.0f32; t * d];
+        matmul_into(&dhidden, self.store.data(f.w1), &mut dx, t, dff, d);
+        matmul_transa_into(&dhidden, x, &mut dw, t, dff, d);
+        self.store.add_grad(f.w1, &dw);
         self.store.add_grad(f.b1, &col_sums(&dhidden, t, dff));
         dx
     }
@@ -569,7 +611,16 @@ impl Seq2Seq {
         let hn = self.decoder_hidden(mem, s, tgt_prefix);
         let d = self.cfg.d_model;
         let last = &hn[(t - 1) * d..t * d];
-        matmul_transb(last, self.store.data(self.embed), 1, d, self.cfg.vocab)
+        let mut logits = vec![0.0f32; self.cfg.vocab];
+        matmul_transb_into(
+            last,
+            self.store.data(self.embed),
+            &mut logits,
+            1,
+            d,
+            self.cfg.vocab,
+        );
+        logits
     }
 
     /// Decoder forward over a full prefix; returns the `t × vocab` logits of
@@ -577,7 +628,10 @@ impl Seq2Seq {
     pub fn decode_all_logits(&self, mem: &[f32], s: usize, tgt_prefix: &[u32]) -> Vec<f32> {
         let hn = self.decoder_hidden(mem, s, tgt_prefix);
         let d = self.cfg.d_model;
-        matmul_transb(&hn, self.store.data(self.embed), tgt_prefix.len(), d, self.cfg.vocab)
+        let t = tgt_prefix.len();
+        let mut logits = vec![0.0f32; t * self.cfg.vocab];
+        matmul_transb_into(&hn, self.store.data(self.embed), &mut logits, t, d, self.cfg.vocab);
+        logits
     }
 
     /// Forward-only mean cross-entropy of a teacher-forced pair — the
@@ -707,7 +761,8 @@ impl Seq2Seq {
         let (hn, mdec, rdec) = self.layer_norm(&self.ln_dec_out, &pre_dec_ln, t);
         // ---- loss: tied-output softmax cross-entropy ----
         let v = self.cfg.vocab;
-        let mut logits = matmul_transb(&hn, self.store.data(self.embed), t, d, v);
+        let mut logits = vec![0.0f32; t * v];
+        matmul_transb_into(&hn, self.store.data(self.embed), &mut logits, t, d, v);
         softmax_rows(&mut logits, t, v);
         let mut loss = 0.0f32;
         let mut dlogits = logits; // becomes (p - onehot)/t
@@ -721,8 +776,10 @@ impl Seq2Seq {
         loss *= inv_t;
         // ---- backward ----
         // Tied output: dhn = dlogits @ E; dE += dlogits^T @ hn.
-        let dhn = matmul(&dlogits, self.store.data(self.embed), t, v, d);
-        let de_out = matmul_transa(&dlogits, &hn, t, v, d);
+        let mut dhn = vec![0.0f32; t * d];
+        matmul_into(&dlogits, self.store.data(self.embed), &mut dhn, t, v, d);
+        let mut de_out = vec![0.0f32; v * d];
+        matmul_transa_into(&dlogits, &hn, &mut de_out, t, v, d);
         self.store.add_grad(self.embed, &de_out);
         let ln_dec_out = self.ln_dec_out.clone();
         let mut dh = self.layer_norm_bwd(&ln_dec_out, &pre_dec_ln, &mdec, &rdec, &dhn, t);
@@ -863,31 +920,29 @@ impl Seq2Seq {
         }
         state.pos += 1;
         let (hn, ..) = self.layer_norm(&self.ln_dec_out, &x, 1);
-        matmul_transb(&hn, self.store.data(self.embed), 1, d, self.cfg.vocab)
+        let mut logits = vec![0.0f32; self.cfg.vocab];
+        matmul_transb_into(&hn, self.store.data(self.embed), &mut logits, 1, d, self.cfg.vocab);
+        logits
     }
 
-    /// Writes `linear(x)` into a caller-provided buffer against a
-    /// pre-transposed (`[din, dout]`) weight matrix, via the vectorized
-    /// [`matmul_xposed_into`] kernel — the batched decode path reuses
-    /// scratch across steps instead of allocating.
+    /// Writes `linear(x)` into a caller-provided buffer through an
+    /// inference weight materialized by [`Seq2Seq::proj_weight`] —
+    /// pre-transposed f32 or per-row int8, per the configured
+    /// [`Backend`]. The batched paths reuse scratch across steps instead
+    /// of allocating.
     #[allow(clippy::too_many_arguments)]
-    fn linear_xposed_into(
+    fn project_into(
         &self,
-        wt: &[f32],
+        w: &ProjWeight,
         b: PId,
         x: &[f32],
         out: &mut [f32],
         t: usize,
         din: usize,
         dout: usize,
+        quant: &mut QuantScratch,
     ) {
-        matmul_xposed_into(x, wt, out, t, din, dout);
-        let bias = self.store.data(b);
-        for row in 0..t {
-            for j in 0..dout {
-                out[row * dout + j] += bias[j];
-            }
-        }
+        w.apply(x, Some(self.store.data(b)), out, t, din, dout, quant);
     }
 
     /// Allocation-free [`Seq2Seq::layer_norm`] for inference (no
@@ -943,19 +998,21 @@ impl Seq2Seq {
         let mut hidden = vec![0.0f32; total * dff];
         let max_t = lens.iter().copied().max().unwrap_or(0);
         let mut probs = vec![0.0f32; max_t * max_t];
-        // Weights transposed once per batch into the layout the vectorized
-        // kernel streams through; amortized over `total` rows.
-        let xposed: Vec<[Vec<f32>; 6]> = self
+        // Weights materialized once per batch in the backend's inference
+        // format (transposed f32 or per-row int8); amortized over `total`
+        // rows.
+        let mut quant = QuantScratch::default();
+        let xposed: Vec<[ProjWeight; 6]> = self
             .enc
             .iter()
             .map(|layer| {
                 [
-                    self.xposed(layer.attn.wq, d, d),
-                    self.xposed(layer.attn.wk, d, d),
-                    self.xposed(layer.attn.wv, d, d),
-                    self.xposed(layer.attn.wo, d, d),
-                    self.xposed(layer.ffn.w1, dff, d),
-                    self.xposed(layer.ffn.w2, d, dff),
+                    self.proj_weight(layer.attn.wq, d, d),
+                    self.proj_weight(layer.attn.wk, d, d),
+                    self.proj_weight(layer.attn.wv, d, d),
+                    self.proj_weight(layer.attn.wo, d, d),
+                    self.proj_weight(layer.ffn.w1, dff, d),
+                    self.proj_weight(layer.ffn.w2, d, dff),
                 ]
             })
             .collect();
@@ -963,9 +1020,9 @@ impl Seq2Seq {
             // Self-attention: one projection matmul per weight over all rows.
             self.layer_norm_into(&layer.ln1, &hbuf, total, &mut ln);
             let a = &layer.attn;
-            self.linear_xposed_into(&xw[0], a.bq, &ln, &mut q, total, d, d);
-            self.linear_xposed_into(&xw[1], a.bk, &ln, &mut k, total, d, d);
-            self.linear_xposed_into(&xw[2], a.bv, &ln, &mut v, total, d, d);
+            self.project_into(&xw[0], a.bq, &ln, &mut q, total, d, d, &mut quant);
+            self.project_into(&xw[1], a.bk, &ln, &mut k, total, d, d, &mut quant);
+            self.project_into(&xw[2], a.bv, &ln, &mut v, total, d, d, &mut quant);
             ctx.iter_mut().for_each(|c| *c = 0.0);
             for (si, &t) in lens.iter().enumerate() {
                 if t == 0 {
@@ -1002,13 +1059,31 @@ impl Seq2Seq {
                     }
                 }
             }
-            self.linear_xposed_into(&xw[3], a.bo, &ctx, &mut proj, total, d, d);
+            self.project_into(&xw[3], a.bo, &ctx, &mut proj, total, d, d, &mut quant);
             add_into(&mut hbuf, &proj);
             // FFN: both matmuls batched over all rows.
             self.layer_norm_into(&layer.ln2, &hbuf, total, &mut ln);
-            self.linear_xposed_into(&xw[4], layer.ffn.b1, &ln, &mut hidden, total, d, dff);
-            hidden.iter_mut().for_each(|x| *x = gelu(*x));
-            self.linear_xposed_into(&xw[5], layer.ffn.b2, &hidden, &mut proj, total, dff, d);
+            self.project_into(
+                &xw[4],
+                layer.ffn.b1,
+                &ln,
+                &mut hidden,
+                total,
+                d,
+                dff,
+                &mut quant,
+            );
+            crate::kernels::gelu_into(&mut hidden[..total * dff]);
+            self.project_into(
+                &xw[5],
+                layer.ffn.b2,
+                &hidden,
+                &mut proj,
+                total,
+                dff,
+                d,
+                &mut quant,
+            );
             add_into(&mut hbuf, &proj);
         }
         self.layer_norm_into(&self.ln_enc_out, &hbuf, total, &mut ln);
@@ -1025,12 +1100,30 @@ impl Seq2Seq {
         t
     }
 
+    /// Materializes one weight tensor in the configured backend's
+    /// inference format: pre-transposed f32, or per-row symmetric int8
+    /// quantized straight from the `[dout, din]` layout (each row is one
+    /// output channel, already in the orientation the int8 kernel
+    /// consumes — this is the backend's "load time").
+    fn proj_weight(&self, w: PId, dout: usize, din: usize) -> ProjWeight {
+        match self.cfg.backend {
+            Backend::F32 => ProjWeight::F32(crate::kernels::pack_xposed_blocks(
+                &self.xposed(w, dout, din),
+                din,
+                dout,
+            )),
+            Backend::Int8 => {
+                ProjWeight::Int8(QuantizedTensor::quantize(self.store.data(w), dout, din))
+            }
+        }
+    }
+
     /// Creates an empty [`BatchedDecoderState`] with room for `cap_lanes`
     /// concurrent hypotheses of up to `cap_pos` decoded tokens each. All
     /// arenas are allocated up front and the decoder weights the batched
-    /// step needs are transposed once here (into the layout
-    /// [`matmul_xposed_into`] vectorizes over); the per-step decode path
-    /// then allocates nothing. The state snapshots the weights, so it must
+    /// step needs are materialized once here (transposed and packed for
+    /// the f32 backend, per-row quantized for int8); the per-step decode
+    /// path then allocates nothing. The state snapshots the weights, so it must
     /// not outlive parameter updates.
     pub fn begin_decode_batch(&self, cap_lanes: usize, cap_pos: usize) -> BatchedDecoderState {
         let layers = self.dec.len();
@@ -1041,17 +1134,17 @@ impl Seq2Seq {
             .dec
             .iter()
             .map(|layer| XposedDecLayer {
-                self_wq: self.xposed(layer.self_attn.wq, d, d),
-                self_wk: self.xposed(layer.self_attn.wk, d, d),
-                self_wv: self.xposed(layer.self_attn.wv, d, d),
-                self_wo: self.xposed(layer.self_attn.wo, d, d),
-                cross_wq: self.xposed(layer.cross_attn.wq, d, d),
-                cross_wo: self.xposed(layer.cross_attn.wo, d, d),
-                ffn_w1: self.xposed(layer.ffn.w1, dff, d),
-                ffn_w2: self.xposed(layer.ffn.w2, d, dff),
+                self_wq: self.proj_weight(layer.self_attn.wq, d, d),
+                self_wk: self.proj_weight(layer.self_attn.wk, d, d),
+                self_wv: self.proj_weight(layer.self_attn.wv, d, d),
+                self_wo: self.proj_weight(layer.self_attn.wo, d, d),
+                cross_wq: self.proj_weight(layer.cross_attn.wq, d, d),
+                cross_wo: self.proj_weight(layer.cross_attn.wo, d, d),
+                ffn_w1: self.proj_weight(layer.ffn.w1, dff, d),
+                ffn_w2: self.proj_weight(layer.ffn.w2, d, dff),
             })
             .collect();
-        let embed_t = self.xposed(self.embed, self.cfg.vocab, d);
+        let embed_t = self.proj_weight(self.embed, self.cfg.vocab, d);
         BatchedDecoderState {
             d,
             cap_pos: cap_pos.max(1),
@@ -1128,7 +1221,7 @@ impl Seq2Seq {
             );
             let a = &layer.self_attn;
             let xw = &st.xposed[l];
-            self.linear_xposed_into(
+            self.project_into(
                 &xw.self_wq,
                 a.bq,
                 &st.scratch.ln[..n * d],
@@ -1136,8 +1229,9 @@ impl Seq2Seq {
                 n,
                 d,
                 d,
+                &mut st.scratch.quant,
             );
-            self.linear_xposed_into(
+            self.project_into(
                 &xw.self_wk,
                 a.bk,
                 &st.scratch.ln[..n * d],
@@ -1145,8 +1239,9 @@ impl Seq2Seq {
                 n,
                 d,
                 d,
+                &mut st.scratch.quant,
             );
-            self.linear_xposed_into(
+            self.project_into(
                 &xw.self_wv,
                 a.bv,
                 &st.scratch.ln[..n * d],
@@ -1154,6 +1249,7 @@ impl Seq2Seq {
                 n,
                 d,
                 d,
+                &mut st.scratch.quant,
             );
             for lane in 0..n {
                 let p = st.lane_pos[lane];
@@ -1173,7 +1269,7 @@ impl Seq2Seq {
                     &mut st.scratch.ctx[lane * d..(lane + 1) * d],
                 );
             }
-            self.linear_xposed_into(
+            self.project_into(
                 &xw.self_wo,
                 a.bo,
                 &st.scratch.ctx[..n * d],
@@ -1181,6 +1277,7 @@ impl Seq2Seq {
                 n,
                 d,
                 d,
+                &mut st.scratch.quant,
             );
             add_into(&mut st.scratch.x[..n * d], &st.scratch.proj[..n * d]);
             // Cross-attention against each lane's request memory.
@@ -1191,7 +1288,7 @@ impl Seq2Seq {
                 &mut st.scratch.ln[..n * d],
             );
             let c = &layer.cross_attn;
-            self.linear_xposed_into(
+            self.project_into(
                 &xw.cross_wq,
                 c.bq,
                 &st.scratch.ln[..n * d],
@@ -1199,6 +1296,7 @@ impl Seq2Seq {
                 n,
                 d,
                 d,
+                &mut st.scratch.quant,
             );
             for lane in 0..n {
                 let mem = &st.cross[st.lane_cross[lane]];
@@ -1213,7 +1311,7 @@ impl Seq2Seq {
                     &mut st.scratch.ctx[lane * d..(lane + 1) * d],
                 );
             }
-            self.linear_xposed_into(
+            self.project_into(
                 &xw.cross_wo,
                 c.bo,
                 &st.scratch.ctx[..n * d],
@@ -1221,6 +1319,7 @@ impl Seq2Seq {
                 n,
                 d,
                 d,
+                &mut st.scratch.quant,
             );
             add_into(&mut st.scratch.x[..n * d], &st.scratch.proj[..n * d]);
             // FFN.
@@ -1230,7 +1329,7 @@ impl Seq2Seq {
                 n,
                 &mut st.scratch.ln[..n * d],
             );
-            self.linear_xposed_into(
+            self.project_into(
                 &xw.ffn_w1,
                 layer.ffn.b1,
                 &st.scratch.ln[..n * d],
@@ -1238,9 +1337,10 @@ impl Seq2Seq {
                 n,
                 d,
                 dff,
+                &mut st.scratch.quant,
             );
-            st.scratch.hidden[..n * dff].iter_mut().for_each(|x| *x = gelu(*x));
-            self.linear_xposed_into(
+            crate::kernels::gelu_into(&mut st.scratch.hidden[..n * dff]);
+            self.project_into(
                 &xw.ffn_w2,
                 layer.ffn.b2,
                 &st.scratch.hidden[..n * dff],
@@ -1248,6 +1348,7 @@ impl Seq2Seq {
                 n,
                 dff,
                 d,
+                &mut st.scratch.quant,
             );
             add_into(&mut st.scratch.x[..n * d], &st.scratch.proj[..n * d]);
         }
@@ -1260,13 +1361,16 @@ impl Seq2Seq {
             n,
             &mut st.scratch.ln[..n * d],
         );
-        matmul_xposed_into(
+        // Tied output head through the same backend-materialized weight
+        // (no bias).
+        st.embed_t.apply(
             &st.scratch.ln[..n * d],
-            &st.embed_t,
+            None,
             &mut st.scratch.logits[..n * vocab],
             n,
             d,
             vocab,
+            &mut st.scratch.quant,
         );
         &st.scratch.logits[..n * vocab]
     }
@@ -1274,7 +1378,10 @@ impl Seq2Seq {
     /// Projects one request's encoder memory into per-layer cross K/V and
     /// registers it with the batched state, returning its handle for
     /// [`BatchedDecoderState::add_lane`]. Done once per request; lanes
-    /// (beam hypotheses) of the same request share the projections. Slots
+    /// (beam hypotheses) of the same request share the projections. The
+    /// K/V projections always run in f32 regardless of [`Backend`]: they
+    /// happen once per request (not per step), so quantizing them buys
+    /// nothing and would add error to every later step. Slots
     /// freed by [`BatchedDecoderState::release_cross_memory`] are reused,
     /// so a long-running continuous-batching session does not grow its
     /// cross-memory table beyond its peak concurrency.
@@ -1437,18 +1544,106 @@ impl DecoderState {
     }
 }
 
-/// Pre-transposed (`[din, dout]`) decoder weights for one layer — the
-/// memory layout [`matmul_xposed_into`] streams through vectorized.
+/// One projection's inference weights, materialized in the configured
+/// [`Backend`]'s format by [`Seq2Seq::proj_weight`].
+#[derive(Debug, Clone)]
+enum ProjWeight {
+    /// Pre-transposed f32 weights packed into j-block slabs
+    /// ([`crate::kernels::pack_xposed_blocks`]) — the layout
+    /// [`crate::kernels::matmul_xpacked_into`] streams through
+    /// sequentially.
+    F32(Vec<f32>),
+    /// Per-row symmetric int8 weights kept in the original `[dout, din]`
+    /// orientation (each row one output channel, contiguous over the
+    /// reduction dimension — what the int8 kernel consumes directly).
+    Int8(QuantizedTensor),
+}
+
+impl ProjWeight {
+    /// Projects `x` (`t × din`) into `out` (`t × dout`), adding `bias`
+    /// when given. The int8 path quantizes activations per row into the
+    /// caller's scratch — always with the scalar routine, so rounding is
+    /// identical on every dispatch tier — then runs the dispatched
+    /// i8×i8→i32 matmul with f32 dequant-on-accumulate.
+    #[allow(clippy::too_many_arguments)]
+    fn apply(
+        &self,
+        x: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        t: usize,
+        din: usize,
+        dout: usize,
+        quant: &mut QuantScratch,
+    ) {
+        match self {
+            ProjWeight::F32(wt) => {
+                crate::kernels::matmul_xpacked_into(x, wt, &mut out[..t * dout], t, din, dout);
+                if let Some(b) = bias {
+                    for row in 0..t {
+                        for (o, &bv) in out[row * dout..(row + 1) * dout].iter_mut().zip(b) {
+                            *o += bv;
+                        }
+                    }
+                }
+            }
+            ProjWeight::Int8(qt) => {
+                debug_assert_eq!(qt.rows, dout);
+                debug_assert_eq!(qt.cols, din);
+                quant.ensure(t, din);
+                for r in 0..t {
+                    quant.xs[r] = crate::kernels::quantize_row_i8(
+                        &x[r * din..(r + 1) * din],
+                        &mut quant.xq[r * din..(r + 1) * din],
+                    );
+                }
+                crate::kernels::qmatmul_transb_into(
+                    &quant.xq[..t * din],
+                    &quant.xs[..t],
+                    &qt.q,
+                    &qt.scales,
+                    bias,
+                    &mut out[..t * dout],
+                    t,
+                    din,
+                    dout,
+                );
+            }
+        }
+    }
+}
+
+/// Reusable activation-quantization scratch for the int8 backend (row
+/// int8 values plus one scale per row).
+#[derive(Debug, Clone, Default)]
+struct QuantScratch {
+    xq: Vec<i8>,
+    xs: Vec<f32>,
+}
+
+impl QuantScratch {
+    fn ensure(&mut self, t: usize, din: usize) {
+        if self.xq.len() < t * din {
+            self.xq.resize(t * din, 0);
+        }
+        if self.xs.len() < t {
+            self.xs.resize(t, 0.0);
+        }
+    }
+}
+
+/// Backend-materialized decoder weights for one layer (see
+/// [`ProjWeight`]).
 #[derive(Debug, Clone)]
 struct XposedDecLayer {
-    self_wq: Vec<f32>,
-    self_wk: Vec<f32>,
-    self_wv: Vec<f32>,
-    self_wo: Vec<f32>,
-    cross_wq: Vec<f32>,
-    cross_wo: Vec<f32>,
-    ffn_w1: Vec<f32>,
-    ffn_w2: Vec<f32>,
+    self_wq: ProjWeight,
+    self_wk: ProjWeight,
+    self_wv: ProjWeight,
+    self_wo: ProjWeight,
+    cross_wq: ProjWeight,
+    cross_wo: ProjWeight,
+    ffn_w1: ProjWeight,
+    ffn_w2: ProjWeight,
 }
 
 /// Per-layer cross-attention projections of one request's encoder memory,
@@ -1477,6 +1672,7 @@ struct StepScratch {
     hidden: Vec<f32>,
     logits: Vec<f32>,
     scores: Vec<f32>,
+    quant: QuantScratch,
 }
 
 impl StepScratch {
@@ -1535,10 +1731,11 @@ pub struct BatchedDecoderState {
     lane_pos: Vec<usize>,
     /// Cross-memory handle, per lane.
     lane_cross: Vec<usize>,
-    /// Pre-transposed decoder weights (snapshot taken at construction).
+    /// Backend-materialized decoder weights (snapshot at construction).
     xposed: Vec<XposedDecLayer>,
-    /// Pre-transposed tied output embedding, `[d_model, vocab]`.
-    embed_t: Vec<f32>,
+    /// Tied output embedding in the backend's format (f32: transposed
+    /// `[d_model, vocab]`; int8: per-row quantized `[vocab, d_model]`).
+    embed_t: ProjWeight,
     scratch: StepScratch,
 }
 

@@ -1,0 +1,383 @@
+//! Property tests for the kernel layer's bit-identity contract
+//! (satellite of the SIMD dispatch work; see `kernels` module docs).
+//!
+//! SIMD tiers are compared against the scalar reference by calling the
+//! per-tier entry points directly (`scalar::` vs `avx2::`), not via
+//! [`slade_nn::kernels::set_tier`] — the dispatch override is
+//! process-global and these tests run on the harness's parallel threads.
+//! Shapes deliberately cover the awkward cases: `k` not a multiple of
+//! the 8-lane width (tail path), `m = 1` / `n = 1` (degenerate tiles),
+//! and `n` not a multiple of 8 (xposed column tail).
+//!
+//! One `proptest!` block per test: the vendored macro expands a long
+//! recursive muncher and a combined block overflows the recursion limit.
+
+use proptest::prelude::*;
+use slade_nn::kernels::{self, scalar};
+
+fn mat(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-4.0f32..4.0, len)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn has_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Deterministic pseudo-random matrix (splitmix-style; no rand dep so
+/// shapes shrink reproducibly).
+fn seeded(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Rows of `seeded` data quantized per row — inputs for the int8 kernels.
+#[cfg(target_arch = "x86_64")]
+fn quantized(seed: u64, rows: usize, cols: usize) -> (Vec<i8>, Vec<f32>) {
+    let data = seeded(seed, rows * cols);
+    let mut q = vec![0i8; rows * cols];
+    let mut scales = vec![0.0f32; rows];
+    for r in 0..rows {
+        scales[r] = kernels::quantize_row_i8(
+            &data[r * cols..(r + 1) * cols],
+            &mut q[r * cols..(r + 1) * cols],
+        );
+    }
+    (q, scales)
+}
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avx2_transb_is_bit_identical_to_scalar(
+        m in 1usize..5,
+        k in 1usize..40,
+        n in 1usize..20,
+        seed in 0u64..1_000,
+    ) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        let a = seeded(seed, m * k);
+        let b = seeded(seed ^ 0xb, n * k);
+        let mut cs = vec![0.0f32; m * n];
+        let mut cv = vec![0.0f32; m * n];
+        scalar::matmul_transb_into(&a, &b, &mut cs, m, k, n);
+        kernels::avx2::matmul_transb_into(&a, &b, &mut cv, m, k, n);
+        for (s, v) in cs.iter().zip(&cv) {
+            prop_assert_eq!(s.to_bits(), v.to_bits(), "shape ({},{},{})", m, k, n);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avx2_xposed_is_bit_identical_to_scalar(
+        m in 1usize..5,
+        k in 1usize..40,
+        n in 1usize..20,
+        seed in 0u64..1_000,
+    ) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        let a = seeded(seed, m * k);
+        let bt = seeded(seed ^ 0xc, k * n);
+        let mut cs = vec![0.0f32; m * n];
+        let mut cv = vec![0.0f32; m * n];
+        scalar::matmul_xposed_into(&a, &bt, &mut cs, m, k, n);
+        kernels::avx2::matmul_xposed_into(&a, &bt, &mut cv, m, k, n);
+        for (s, v) in cs.iter().zip(&cv) {
+            prop_assert_eq!(s.to_bits(), v.to_bits(), "shape ({},{},{})", m, k, n);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avx2_row_max_is_bit_identical_to_scalar(row in mat(57)) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        for len in [1usize, 7, 8, 9, 31, 57] {
+            let r = &row[..len];
+            prop_assert_eq!(
+                scalar::row_max(r).to_bits(),
+                kernels::avx2::row_max(r).to_bits()
+            );
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avx2_sum_exp_is_bit_identical_to_scalar(row in mat(57)) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        for len in [1usize, 7, 8, 9, 31, 57] {
+            let r = &row[..len];
+            let max = scalar::row_max(r);
+            prop_assert_eq!(
+                scalar::sum_exp(r, max).to_bits(),
+                kernels::avx2::sum_exp(r, max).to_bits()
+            );
+            // Widened operands reach the flush-to-zero branch (v - max
+            // far below -87), which must also agree across tiers.
+            let wide: Vec<f32> = r.iter().map(|v| v * 40.0).collect();
+            let wmax = scalar::row_max(&wide);
+            prop_assert_eq!(
+                scalar::sum_exp(&wide, wmax).to_bits(),
+                kernels::avx2::sum_exp(&wide, wmax).to_bits()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sum_exp_matches_libm_within_tolerance(row in mat(57)) {
+        // The kernel's polynomial exp stays within a few ulps of libm,
+        // so the summed normalizer agrees to ~1e-6 relative.
+        let max = kernels::row_max(&row);
+        let got = kernels::sum_exp(&row, max);
+        let want: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+        prop_assert!(
+            (got - want).abs() <= want * 1e-5 + 1e-6,
+            "{} vs {}", got, want
+        );
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avx2_gelu_is_bit_identical_to_scalar(row in mat(57)) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        for len in [1usize, 7, 8, 9, 31, 57] {
+            // Scale some inputs far out so the tanh saturates (exp
+            // flush-to-zero path) on both tiers.
+            for scale in [1.0f32, 25.0] {
+                let src: Vec<f32> = row[..len].iter().map(|v| v * scale).collect();
+                let mut a = src.clone();
+                let mut b = src;
+                scalar::gelu_into(&mut a);
+                kernels::avx2::gelu_into(&mut b);
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gelu_matches_libm_tanh_within_tolerance(row in mat(57)) {
+        // The polynomial-exp tanh stays within a few ulps of the libm
+        // formulation the kernel replaced.
+        let mut got = row.clone();
+        kernels::gelu_into(&mut got);
+        for (&x, &g) in row.iter().zip(&got) {
+            let want = 0.5 * x * (1.0 + ((0.797_884_6f32) * (x + 0.044715 * x * x * x)).tanh());
+            prop_assert!(
+                (g - want).abs() <= want.abs() * 1e-5 + 1e-6,
+                "x={}: {} vs {}", x, g, want
+            );
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avx2_qmatmul_is_exactly_scalar(
+        m in 1usize..5,
+        k in 1usize..40,
+        n in 1usize..20,
+        seed in 0u64..1_000,
+    ) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        let (xq, xs) = quantized(seed, m, k);
+        let (wq, ws) = quantized(seed ^ 0xd, n, k);
+        let bias = seeded(seed ^ 0xe, n);
+        let mut os = vec![0.0f32; m * n];
+        let mut ov = vec![0.0f32; m * n];
+        scalar::qmatmul_transb_into(&xq, &xs, &wq, &ws, Some(&bias), &mut os, m, k, n);
+        kernels::avx2::qmatmul_transb_into(&xq, &xs, &wq, &ws, Some(&bias), &mut ov, m, k, n);
+        // i32 accumulation is exact, so the tiers agree to the bit.
+        for (s, v) in os.iter().zip(&ov) {
+            prop_assert_eq!(s.to_bits(), v.to_bits(), "shape ({},{},{})", m, k, n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transb_and_xposed_agree_bitwise(
+        m in 1usize..5,
+        k in 1usize..40,
+        n in 1usize..20,
+        seed in 0u64..1_000,
+    ) {
+        // Cross-orientation identity: the scalar decode path projects via
+        // transb, the batched path via a pre-transposed copy of the same
+        // weights. Uses the dispatched entry points, so whichever tier is
+        // active must uphold it.
+        let a = seeded(seed, m * k);
+        let w = seeded(seed ^ 0xf, n * k); // n x k
+        let mut wt = vec![0.0f32; k * n];
+        for r in 0..n {
+            for p in 0..k {
+                wt[p * n + r] = w[r * k + p];
+            }
+        }
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        kernels::matmul_transb_into(&a, &w, &mut c1, m, k, n);
+        kernels::matmul_xposed_into(&a, &wt, &mut c2, m, k, n);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "shape ({},{},{})", m, k, n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batched_transb_matches_unbatched_loop(
+        m in 1usize..5,
+        k in 1usize..40,
+        n in 1usize..20,
+        batch in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let a = seeded(seed, batch * m * k);
+        let b = seeded(seed ^ 0x10, batch * n * k);
+        let mut cb = vec![0.0f32; batch * m * n];
+        kernels::matmul_transb_batched(
+            &a, m * k, &b, n * k, &mut cb, m * n, batch, m, k, n,
+        );
+        for bi in 0..batch {
+            let mut c = vec![0.0f32; m * n];
+            kernels::matmul_transb_into(
+                &a[bi * m * k..(bi + 1) * m * k],
+                &b[bi * n * k..(bi + 1) * n * k],
+                &mut c,
+                m, k, n,
+            );
+            for (x, y) in c.iter().zip(&cb[bi * m * n..(bi + 1) * m * n]) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantize_round_trip_error_is_half_a_step(row in mat(37)) {
+        let mut q = vec![0i8; row.len()];
+        let scale = kernels::quantize_row_i8(&row, &mut q);
+        for (&v, &qv) in row.iter().zip(&q) {
+            // Round-to-nearest: each value lands within half a
+            // quantization step of its dequantized image.
+            prop_assert!(
+                (v - qv as f32 * scale).abs() <= scale * 0.5 + 1e-6,
+                "{} vs {} (scale {})", v, qv as f32 * scale, scale
+            );
+        }
+        let absmax = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if absmax > 0.0 {
+            // The largest-magnitude element saturates the int8 range.
+            prop_assert!(q.iter().any(|&v| v.unsigned_abs() == 127));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qmatmul_error_vs_f32_is_bounded(
+        m in 1usize..5,
+        k in 1usize..40,
+        n in 1usize..20,
+        seed in 0u64..1_000,
+    ) {
+        // Quantize activations and weights per row, multiply in int8, and
+        // compare against the f32 reference. Worst-case error per output:
+        // each x error ≤ xs/2 against |w| ≤ 127·ws (and symmetrically),
+        // plus the cross term — bounded by
+        //   ws/2·Σ|x| + xs/2·Σ|w| + k·xs·ws/4,
+        // with 1.5× slack for rounding of the bound arithmetic itself.
+        let x = seeded(seed, m * k);
+        let w = seeded(seed ^ 0x11, n * k);
+        let mut xq = vec![0i8; m * k];
+        let mut xs = vec![0.0f32; m];
+        for i in 0..m {
+            xs[i] = kernels::quantize_row_i8(
+                &x[i * k..(i + 1) * k],
+                &mut xq[i * k..(i + 1) * k],
+            );
+        }
+        let mut wq = vec![0i8; n * k];
+        let mut ws = vec![0.0f32; n];
+        for j in 0..n {
+            ws[j] = kernels::quantize_row_i8(
+                &w[j * k..(j + 1) * k],
+                &mut wq[j * k..(j + 1) * k],
+            );
+        }
+        let mut qo = vec![0.0f32; m * n];
+        kernels::qmatmul_transb_into(&xq, &xs, &wq, &ws, None, &mut qo, m, k, n);
+        let mut fo = vec![0.0f32; m * n];
+        kernels::matmul_transb_into(&x, &w, &mut fo, m, k, n);
+        for i in 0..m {
+            let sum_ax: f32 = x[i * k..(i + 1) * k].iter().map(|v| v.abs()).sum();
+            for j in 0..n {
+                let sum_aw: f32 = w[j * k..(j + 1) * k].iter().map(|v| v.abs()).sum();
+                let bound = ws[j] * 0.5 * sum_ax
+                    + xs[i] * 0.5 * sum_aw
+                    + k as f32 * xs[i] * ws[j] * 0.25;
+                let err = (qo[i * n + j] - fo[i * n + j]).abs();
+                prop_assert!(
+                    err <= bound * 1.5 + 1e-5,
+                    "err {} > bound {} at ({},{}) shape ({},{},{})", err, bound, i, j, m, k, n
+                );
+            }
+        }
+    }
+}

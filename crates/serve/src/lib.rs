@@ -182,12 +182,16 @@ impl ServeRuntime {
             // floor aside).
             (slade.max_batch_lanes() / shards).max(beam)
         };
+        // Resolve the kernel dispatch once up front so the metrics surface
+        // reports what the workers will actually run with.
+        let kernel_isa = slade_nn::kernels::active_tier().name();
+        let backend = slade.model.cfg.backend.name();
         let shared = Arc::new(Shared {
             slade,
             queue: Mutex::new(AdmissionQueue::new()),
             work: Condvar::new(),
             cache: ResultCache::new(config.cache_capacity),
-            metrics: MetricsInner::new(shards, lanes_per_shard),
+            metrics: MetricsInner::new(shards, lanes_per_shard, kernel_isa, backend),
             shutdown: AtomicBool::new(false),
             lanes_per_shard,
             max_wait: config.max_wait,
@@ -329,6 +333,7 @@ fn worker_loop(shared: &Shared, shard: usize) {
     let beam = slade.beam().max(1);
     let mut session = engine.session(shared.lanes_per_shard, slade.max_tgt_len());
     let mut inflight: Vec<(u64, Job)> = Vec::new();
+    let mut tokens_reported: u64 = 0;
     loop {
         // Admission: pop under the lock, in fairness order, while lanes
         // are free; block only when there is nothing to do at all.
@@ -389,5 +394,8 @@ fn worker_loop(shared: &Shared, shard: usize) {
             job.slot.fulfill(outputs);
         }
         shared.metrics.shard_lanes[shard].store(session.live_lanes(), Ordering::Relaxed);
+        let decoded = session.decoded_tokens();
+        shared.metrics.decode_tokens.fetch_add(decoded - tokens_reported, Ordering::Relaxed);
+        tokens_reported = decoded;
     }
 }

@@ -48,18 +48,32 @@ pub(crate) struct MetricsInner {
     /// Live beam lanes per shard (gauge, updated by each worker).
     pub shard_lanes: Vec<AtomicUsize>,
     pub lane_capacity: usize,
+    /// Decode steps × live lanes, summed across shards (cumulative).
+    pub decode_tokens: AtomicU64,
+    /// Kernel ISA tier the workers decode with (resolved once at start).
+    pub kernel_isa: &'static str,
+    /// Weight backend name of the served model ("f32" / "int8").
+    pub backend: &'static str,
     latency: Mutex<Reservoir>,
     queue_wait: Mutex<Reservoir>,
 }
 
 impl MetricsInner {
-    pub fn new(shards: usize, lane_capacity: usize) -> Self {
+    pub fn new(
+        shards: usize,
+        lane_capacity: usize,
+        kernel_isa: &'static str,
+        backend: &'static str,
+    ) -> Self {
         MetricsInner {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             shard_lanes: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
             lane_capacity,
+            decode_tokens: AtomicU64::new(0),
+            kernel_isa,
+            backend,
             latency: Mutex::new(Reservoir::default()),
             queue_wait: Mutex::new(Reservoir::default()),
         }
@@ -83,6 +97,9 @@ impl MetricsInner {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             shard_lanes: self.shard_lanes.iter().map(|l| l.load(Ordering::Relaxed)).collect(),
             lane_capacity_per_shard: self.lane_capacity,
+            decode_tokens: self.decode_tokens.load(Ordering::Relaxed),
+            kernel_isa: self.kernel_isa,
+            backend: self.backend,
             p50_latency_ms: latency.percentile(0.50),
             p95_latency_ms: latency.percentile(0.95),
             p50_queue_wait_ms: queue_wait.percentile(0.50),
@@ -106,6 +123,14 @@ pub struct MetricsSnapshot {
     pub shard_lanes: Vec<usize>,
     /// Lane budget each shard admits against.
     pub lane_capacity_per_shard: usize,
+    /// Tokens decoded so far across all shards (one per live lane per
+    /// engine step; cache hits decode nothing and add nothing).
+    pub decode_tokens: u64,
+    /// Kernel ISA tier the workers decode with ("scalar" / "avx2" /
+    /// "neon"), resolved once at runtime start.
+    pub kernel_isa: &'static str,
+    /// Weight backend of the served model ("f32" / "int8").
+    pub backend: &'static str,
     /// Median end-to-end latency (submit → response), milliseconds.
     pub p50_latency_ms: f64,
     /// 95th-percentile end-to-end latency, milliseconds.
@@ -135,7 +160,7 @@ mod tests {
 
     #[test]
     fn percentiles_and_occupancy() {
-        let m = MetricsInner::new(2, 10);
+        let m = MetricsInner::new(2, 10, "scalar", "f32");
         for ms in 1..=100u64 {
             m.record_latency(Duration::from_millis(ms));
         }

@@ -164,6 +164,40 @@ fn warm_cache_hits_skip_decode_and_metrics_account_for_it() {
 }
 
 #[test]
+fn int8_backend_serves_identically_to_sequential_decode() {
+    // The runtime ≡ sequential contract must hold per backend: flip the
+    // fixture model to int8 weights and re-check, and make sure the
+    // metrics surface reports the dispatch it actually runs with.
+    let (slade, asms) = fixture();
+    let mut quantized = (**slade).clone();
+    quantized.set_backend(slade::Backend::Int8);
+    let quantized = Arc::new(quantized);
+    let refs: Vec<&str> = asms.iter().map(String::as_str).collect();
+    let expected = quantized.decompile_batch(&refs);
+    let runtime = ServeRuntime::start(
+        Arc::clone(&quantized),
+        ServeConfig::with_shards(2).without_cache(),
+    );
+    let served = runtime.decompile_batch(&refs);
+    assert_eq!(served, expected, "int8 runtime diverged from sequential int8 decode");
+    let snap = runtime.metrics();
+    assert_eq!(snap.backend, "int8");
+    assert!(
+        snap.kernel_isa == "scalar" || snap.kernel_isa == "avx2" || snap.kernel_isa == "neon",
+        "unexpected tier {}",
+        snap.kernel_isa
+    );
+    assert!(snap.decode_tokens > 0, "serving decoded tokens must be counted");
+    runtime.shutdown();
+
+    // The f32 runtime reports its backend too (decode already covered by
+    // the headline property test).
+    let f32_runtime = ServeRuntime::start(Arc::clone(slade), ServeConfig::with_shards(1));
+    assert_eq!(f32_runtime.metrics().backend, "f32");
+    f32_runtime.shutdown();
+}
+
+#[test]
 fn batch_of_one_matches_direct_engine_call() {
     let (slade, asms) = fixture();
     let runtime =
