@@ -39,6 +39,22 @@ struct LatencyResult {
 }
 
 #[derive(Serialize)]
+struct TracingOverhead {
+    tokens_per_sec_tracing_on: f64,
+    tokens_per_sec_tracing_off: f64,
+    /// Positive = tracing costs throughput. The observability budget in
+    /// DESIGN.md §11 requires this below 1%.
+    overhead_pct: f64,
+}
+
+#[derive(Serialize)]
+struct LatencyPercentiles {
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     workload: String,
     host_parallelism: usize,
@@ -51,6 +67,14 @@ struct Report {
     /// worker thread (tokens counted by the engine, not requests).
     decode_tokens_per_sec_per_core: f64,
     batch_of_one: LatencyResult,
+    /// End-to-end request latency over the decode-tokens workload
+    /// (histogram-derived, within one bucket width of exact).
+    latency: LatencyPercentiles,
+    /// Decode tok/s with span tracing + stage timing on vs off.
+    tracing_overhead: TracingOverhead,
+    /// Per-stage timing histograms and kernel counters accumulated across
+    /// the whole bench run (from the process-wide observability registry).
+    stage_breakdown: slade_obs::StageBreakdown,
 }
 
 /// A decompiler around an untrained small-profile model: decode cost (the
@@ -167,11 +191,51 @@ fn main() {
         let decoded = (runtime.metrics().decode_tokens - before) as f64;
         tokens_per_sec_per_core = tokens_per_sec_per_core.max(decoded / secs);
     }
+    // Tracing overhead: the same tok/s measurement with spans + stage
+    // timers on vs off. Single-pass noise on a busy host is ±5% — far
+    // above the effect — so each side's rate aggregates total tokens over
+    // total time across 16 interleaved rounds (noise averages out as
+    // 1/√rounds), and the side that runs first alternates per round so a
+    // monotone slowdown inside a round (thermal, cgroup throttling)
+    // cannot systematically favor one side. Pins the <1% budget.
+    let mut tok = [0u64; 2];
+    let mut secs = [0.0f64; 2];
+    for round in 0..16 {
+        let order = if round % 2 == 0 { [false, true] } else { [true, false] };
+        for &tracing in &order {
+            slade_obs::set_tracing(tracing);
+            let before = runtime.metrics().decode_tokens;
+            let t0 = Instant::now();
+            for _ in 0..2 {
+                let out = runtime.decompile_batch(&refs);
+                assert_eq!(out.len(), REQUESTS);
+            }
+            let side = tracing as usize;
+            secs[side] += t0.elapsed().as_secs_f64();
+            tok[side] += runtime.metrics().decode_tokens - before;
+        }
+    }
+    slade_obs::set_tracing(true);
+    let off_rate = tok[0] as f64 / secs[0];
+    let on_rate = tok[1] as f64 / secs[1];
+    let tracing_overhead_pct = (off_rate / on_rate.max(1e-12) - 1.0) * 100.0;
     let snap = runtime.metrics();
     let (kernel_isa, backend) = (snap.kernel_isa, snap.backend);
+    let latency = LatencyPercentiles {
+        p50_ms: snap.p50_latency_ms,
+        p95_ms: snap.p95_latency_ms,
+        p99_ms: snap.p99_latency_ms,
+    };
     runtime.shutdown();
     println!(
         "serve_decode_tokens_per_sec_per_core {tokens_per_sec_per_core:>14.0} tok/s ({kernel_isa}, {backend})"
+    );
+    println!(
+        "serve_tracing_overhead {tracing_overhead_pct:>14.2} % (on {on_rate:.0} vs off {off_rate:.0} tok/s)"
+    );
+    println!(
+        "serve_latency_p50_p95_p99 {:>8.1} {:>8.1} {:>8.1} ms",
+        latency.p50_ms, latency.p95_ms, latency.p99_ms
     );
 
     let cold = |s: usize| {
@@ -194,6 +258,13 @@ fn main() {
         shard_results,
         decode_tokens_per_sec_per_core: tokens_per_sec_per_core,
         batch_of_one: LatencyResult { engine_direct_ms: engine_ms, runtime_ms, overhead_pct },
+        latency,
+        tracing_overhead: TracingOverhead {
+            tokens_per_sec_tracing_on: on_rate,
+            tokens_per_sec_tracing_off: off_rate,
+            overhead_pct: tracing_overhead_pct,
+        },
+        stage_breakdown: slade_obs::obs().stage_snapshot(),
     };
     println!(
         "speedup 4-shard vs 1-shard (cold): {:.2}x; warm/cold at 1 shard: {:.1}x",

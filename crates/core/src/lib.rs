@@ -526,6 +526,7 @@ impl Slade {
         let engine = InferenceEngine::new(&self.model);
         let mut out = Vec::with_capacity(normalized_asm.len());
         for chunk in normalized_asm.chunks(per_chunk) {
+            let tok_timer = slade_obs::StageTimer::start(slade_obs::StageHist::Tokenize);
             let requests: Vec<DecodeRequest> = chunk
                 .iter()
                 .map(|asm| DecodeRequest {
@@ -536,6 +537,7 @@ impl Slade {
                     beam: self.beam,
                 })
                 .collect();
+            drop(tok_timer);
             out.extend(engine.decode_batch(&requests).into_iter().map(|beams| {
                 beams
                     .into_iter()

@@ -146,6 +146,7 @@ pub fn judge(
     hypothesis: &str,
     header: &str,
 ) -> Verdict {
+    let _timer = slade_obs::StageTimer::start(slade_obs::StageHist::Judge);
     let program_src = format!("{}\n{header}\n{hypothesis}", item.context_src);
     match observe(&program_src, &item.name, &item.inputs) {
         Err(_) => Verdict { compiles: false, correct: false },

@@ -264,10 +264,31 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
             let mut rec = EvalRecord { tool, ..base.clone() };
             match tool {
                 Tool::Slade | Tool::SladeNoTypes | Tool::SladeRepair | Tool::Hybrid => {
+                    // Per-example trace: an Example root span with one
+                    // child per post-decode stage, feeding the
+                    // stage-breakdown section of BENCH_serve.json and
+                    // `slade-cli trace`.
+                    let o = slade_obs::obs();
+                    let ex_trace = o.next_trace_id();
+                    let ex_start = o.now_us();
+                    let emit_child =
+                        |stage: slade_obs::Stage, span_id: u32, start_us: u64, detail: u64| {
+                            o.record_span(slade_obs::SpanRecord {
+                                trace_id: ex_trace,
+                                span_id,
+                                parent: 1,
+                                stage,
+                                start_us,
+                                dur_us: o.now_us().saturating_sub(start_us),
+                                detail,
+                            });
+                        };
+                    let typeinf_start = o.now_us();
                     let mut candidates: Vec<(String, String)> = if tool == Tool::SladeNoTypes {
                         beams[ci].iter().map(|h| (h.clone(), String::new())).collect()
                     } else {
-                        beams[ci]
+                        let timer = slade_obs::StageTimer::start(slade_obs::StageHist::TypeInf);
+                        let cands: Vec<(String, String)> = beams[ci]
                             .iter()
                             .map(|h| {
                                 let header =
@@ -275,13 +296,30 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
                                         .unwrap_or_default();
                                 (h.clone(), header)
                             })
-                            .collect()
+                            .collect();
+                        drop(timer);
+                        emit_child(
+                            slade_obs::Stage::TypeInf,
+                            2,
+                            typeinf_start,
+                            cands.len() as u64,
+                        );
+                        cands
                     };
                     if tool == Tool::SladeRepair {
+                        let repair_start = o.now_us();
+                        let timer = slade_obs::StageTimer::start(slade_obs::StageHist::Repair);
                         candidates = slade_repair::repair_candidates(
                             &candidates,
                             &item.context_src,
                             Some(&item.name),
+                        );
+                        drop(timer);
+                        emit_child(
+                            slade_obs::Stage::Repair,
+                            3,
+                            repair_start,
+                            candidates.len() as u64,
                         );
                     }
                     if tool == Tool::Hybrid {
@@ -291,6 +329,7 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
                             candidates.insert(0, (lifted, String::new()));
                         }
                     }
+                    let judge_start = o.now_us();
                     let mut chosen: Option<(&str, Verdict)> = None;
                     let mut verdicts = Vec::new();
                     for (hyp, header) in &candidates {
@@ -301,6 +340,9 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
                             break;
                         }
                     }
+                    // The BTC verification stage: one span covering the
+                    // whole hypothesis loop, detail = hypotheses judged.
+                    emit_child(slade_obs::Stage::Judge, 4, judge_start, verdicts.len() as u64);
                     // Paper: the first hypothesis passing IO; else the top
                     // beam (first compiling preferred for edit similarity).
                     let selected = chosen.or_else(|| {
@@ -315,6 +357,15 @@ pub fn evaluate(ctx: &ToolContext, items: &[DatasetItem], tools: &[Tool]) -> Vec
                         rec.correct = v.correct;
                         rec.edit_sim = Some(edit_similarity(hyp, &item.func_src));
                     }
+                    o.record_span(slade_obs::SpanRecord {
+                        trace_id: ex_trace,
+                        span_id: 1,
+                        parent: 0,
+                        stage: slade_obs::Stage::Example,
+                        start_us: ex_start,
+                        dur_us: o.now_us().saturating_sub(ex_start),
+                        detail: rec.correct as u64,
+                    });
                 }
                 Tool::Ghidra => {
                     match ghidra_decompile(asm, ctx.asm_isa(), &item.name) {

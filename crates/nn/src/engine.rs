@@ -326,6 +326,7 @@ impl<'m> DecodeSession<'m> {
     /// Panics when the group's summed beam widths exceed the free lane
     /// budget.
     pub fn admit_many(&mut self, requests: &[&DecodeRequest]) -> Vec<u64> {
+        let _timer = slade_obs::StageTimer::start(slade_obs::StageHist::Admit);
         let m = self.model;
         // Validate the whole group's reservation before the (expensive)
         // encoder pass, so a rejected group admits nothing at all.
@@ -389,6 +390,10 @@ impl<'m> DecodeSession<'m> {
         }
         let logits = m.decode_step_batch(&mut self.state, &tokens);
         self.decoded_tokens += tokens.len() as u64;
+        // Times the whole scoring section (top-k + survivor selection for
+        // every slot) as one sample; per-call timing of log_softmax_topk
+        // would cost more than the kernel itself.
+        let score_timer = slade_obs::StageTimer::start(slade_obs::StageHist::Score);
         let mut parents: Vec<usize> = Vec::with_capacity(tokens.len());
         let mut lane_base = 0usize;
         for slot in self.slots.iter_mut() {
@@ -433,6 +438,7 @@ impl<'m> DecodeSession<'m> {
             lane_base += lanes;
         }
         self.state.reorder(&parents);
+        drop(score_timer);
         let mut finished = Vec::new();
         let mut i = 0usize;
         while i < self.slots.len() {

@@ -188,6 +188,7 @@ pub fn log_softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
 /// resolve to the lower index, matching what a stable descending sort of
 /// the full vocabulary would select.
 pub fn log_softmax_topk(row: &[f32], k: usize) -> Vec<(usize, f32)> {
+    slade_obs::obs().count(slade_obs::KernelCtr::TopkCalls, 1);
     let k = k.max(1).min(row.len());
     // The max and exp-sum passes dispatch to the SIMD tier (the exp-sum
     // uses the kernel layer's lane-split accumulation and shared

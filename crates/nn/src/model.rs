@@ -942,6 +942,9 @@ impl Seq2Seq {
         dout: usize,
         quant: &mut QuantScratch,
     ) {
+        let o = slade_obs::obs();
+        o.count(slade_obs::KernelCtr::ProjCalls, 1);
+        o.count(slade_obs::KernelCtr::ProjRows, t as u64);
         w.apply(x, Some(self.store.data(b)), out, t, din, dout, quant);
     }
 
@@ -970,6 +973,7 @@ impl Seq2Seq {
     /// encoder memory per input, numerically identical to
     /// [`Seq2Seq::encode`] on each sequence.
     pub fn encode_batch(&self, srcs: &[&[u32]]) -> Vec<Vec<f32>> {
+        let _timer = slade_obs::StageTimer::start(slade_obs::StageHist::Encode);
         let d = self.cfg.d_model;
         let h = self.cfg.n_heads;
         let dh = d / h;
@@ -981,6 +985,7 @@ impl Seq2Seq {
             offsets.push(total);
             total += l;
         }
+        slade_obs::obs().count(slade_obs::KernelCtr::EncodeRows, total as u64);
         // Embed each sequence at its row range (positions restart per
         // sequence, as in the scalar path).
         let mut hbuf = vec![0.0f32; total * d];
@@ -1181,8 +1186,10 @@ impl Seq2Seq {
         state: &'a mut BatchedDecoderState,
         tokens: &[u32],
     ) -> &'a [f32] {
+        let _timer = slade_obs::StageTimer::start(slade_obs::StageHist::DecodeStep);
         let n = tokens.len();
         assert_eq!(n, state.lane_pos.len(), "one token per live lane");
+        slade_obs::obs().count(slade_obs::KernelCtr::DecodeLaneTokens, n as u64);
         // Checked in release too: an overflowing lane would otherwise write
         // into the *next lane's* arena rows and silently corrupt its cache.
         for (lane, &p) in state.lane_pos.iter().enumerate() {
@@ -1843,6 +1850,7 @@ fn attend_into(
     scores: &mut [f32],
     ctx: &mut [f32],
 ) {
+    slade_obs::obs().count(slade_obs::KernelCtr::AttendCalls, 1);
     let d = h * dh;
     let scale = 1.0 / (dh as f32).sqrt();
     ctx.iter_mut().for_each(|c| *c = 0.0);

@@ -1,0 +1,253 @@
+//! Exposition formats: Prometheus text protocol and a validation parser.
+//!
+//! [`PromText`] assembles one exposition document; each metric family is
+//! declared exactly once (`# HELP` / `# TYPE` then all its series), which
+//! [`validate_exposition`] — used by the tests and the CI scrape smoke —
+//! enforces along with line-protocol well-formedness. Durations are
+//! exported in **seconds** (Prometheus convention) even though the crate
+//! records microseconds internally.
+
+use crate::hist::HistSnapshot;
+use std::collections::HashMap;
+
+/// Builder for one Prometheus text-exposition document.
+///
+/// # Panics
+///
+/// Declaring the same family twice panics — duplicate `HELP`/`TYPE`
+/// blocks are a protocol violation the builder refuses to emit.
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+    seen: Vec<&'static str>,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn declare(&mut self, name: &'static str, help: &str, kind: &str) {
+        assert!(!self.seen.contains(&name), "duplicate metric family `{name}`");
+        self.seen.push(name);
+        self.buf.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    /// One counter series.
+    pub fn counter(&mut self, name: &'static str, help: &str, value: u64) {
+        self.declare(name, help, "counter");
+        self.buf.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// One gauge series.
+    pub fn gauge(&mut self, name: &'static str, help: &str, value: f64) {
+        self.declare(name, help, "gauge");
+        self.buf.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// A gauge family with one series per `(label_value, value)` pair.
+    pub fn gauge_series(
+        &mut self,
+        name: &'static str,
+        help: &str,
+        label: &str,
+        series: &[(String, f64)],
+    ) {
+        self.declare(name, help, "gauge");
+        for (lv, v) in series {
+            self.buf.push_str(&format!("{name}{{{label}=\"{lv}\"}} {v}\n"));
+        }
+    }
+
+    /// An info-style gauge carrying identity labels with value 1.
+    pub fn info(&mut self, name: &'static str, help: &str, labels: &[(&str, &str)]) {
+        self.declare(name, help, "gauge");
+        let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        self.buf.push_str(&format!("{name}{{{}}} 1\n", pairs.join(",")));
+    }
+
+    /// A histogram family from a snapshot of **microsecond** samples,
+    /// exported in seconds: coarsened cumulative `_bucket{le=...}` series
+    /// plus `_sum` and `_count`.
+    pub fn histogram_us(&mut self, name: &'static str, help: &str, snap: &HistSnapshot) {
+        self.declare(name, help, "histogram");
+        for (upper_us, cum) in snap.cumulative_octaves() {
+            let le = (upper_us + 1) as f64 / 1e6;
+            self.buf.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        self.buf.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+        self.buf.push_str(&format!("{name}_sum {}\n", snap.sum as f64 / 1e6));
+        self.buf.push_str(&format!("{name}_count {}\n", snap.count));
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Summary of a parsed exposition, for assertions in tests/CI.
+#[derive(Debug, Default)]
+pub struct ExpositionStats {
+    /// Declared metric families.
+    pub families: usize,
+    /// Sample lines (non-comment).
+    pub samples: usize,
+    /// Parsed `name → value` for unlabeled samples.
+    pub values: HashMap<String, f64>,
+}
+
+/// Parses a Prometheus text exposition, enforcing well-formedness: every
+/// sample belongs to a declared family, `HELP`/`TYPE` appear exactly once
+/// per family, sample lines parse as `name[{labels}] value`, and
+/// histogram bucket counts are monotonically non-decreasing in `le`.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate_exposition(text: &str) -> Result<ExpositionStats, String> {
+    let mut stats = ExpositionStats::default();
+    let mut declared: HashMap<String, String> = HashMap::new(); // family -> type
+    let mut helped: Vec<String> = Vec::new();
+    let mut last_bucket: HashMap<String, (f64, u64)> = HashMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().ok_or(format!("{ln}: empty HELP"))?;
+            if helped.contains(&name.to_string()) {
+                return Err(format!("{ln}: duplicate HELP for `{name}`"));
+            }
+            helped.push(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or(format!("{ln}: empty TYPE"))?;
+            let kind = it.next().ok_or(format!("{ln}: TYPE without kind"))?;
+            if declared.contains_key(name) {
+                return Err(format!("{ln}: duplicate TYPE for `{name}`"));
+            }
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("{ln}: unknown type `{kind}`"));
+            }
+            declared.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) =
+            line.rsplit_once(' ').ok_or(format!("{ln}: no value on `{line}`"))?;
+        let value: f64 = value.parse().map_err(|_| format!("{ln}: bad value `{value}`"))?;
+        let (name, labels) = match series.split_once('{') {
+            Some((n, l)) => {
+                let l = l.strip_suffix('}').ok_or(format!("{ln}: unterminated labels"))?;
+                (n, Some(l))
+            }
+            None => (series, None),
+        };
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("{ln}: bad metric name `{name}`"));
+        }
+        // A histogram family declares `x` but emits `x_bucket`/`x_sum`/`x_count`.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                name.strip_suffix(suf)
+                    .filter(|base| declared.get(*base).map(String::as_str) == Some("histogram"))
+            })
+            .unwrap_or(name);
+        if !declared.contains_key(family) {
+            return Err(format!("{ln}: sample for undeclared family `{name}`"));
+        }
+        if let Some(l) = labels {
+            for pair in l.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').ok_or(format!("{ln}: bad label `{pair}`"))?;
+                if !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                    return Err(format!("{ln}: unquoted label value `{k}={v}`"));
+                }
+                if name.ends_with("_bucket") && k == "le" && v != "\"+Inf\"" {
+                    let le: f64 = v
+                        .trim_matches('"')
+                        .parse()
+                        .map_err(|_| format!("{ln}: bad le `{v}`"))?;
+                    let entry =
+                        last_bucket.entry(name.to_string()).or_insert((f64::NEG_INFINITY, 0));
+                    if le <= entry.0 {
+                        return Err(format!("{ln}: le not increasing on `{name}`"));
+                    }
+                    if (value as u64) < entry.1 {
+                        return Err(format!("{ln}: bucket count decreased on `{name}`"));
+                    }
+                    *entry = (le, value as u64);
+                }
+            }
+        } else {
+            stats.values.insert(name.to_string(), value);
+        }
+        stats.samples += 1;
+    }
+    for name in declared.keys() {
+        if !helped.contains(name) {
+            return Err(format!("TYPE without HELP for `{name}`"));
+        }
+    }
+    stats.families = declared.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn builder_output_validates() {
+        let h = Histogram::new();
+        for v in [100u64, 2_000, 2_000, 50_000] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.counter("slade_requests_total", "Requests accepted.", 42);
+        p.gauge("slade_queue_depth", "Waiting requests.", 3.0);
+        p.gauge_series(
+            "slade_shard_lanes",
+            "Live lanes per shard.",
+            "shard",
+            &[("0".into(), 4.0), ("1".into(), 2.0)],
+        );
+        p.info("slade_build_info", "Serving configuration.", &[("isa", "avx2")]);
+        p.histogram_us("slade_latency_seconds", "End-to-end latency.", &h.snapshot());
+        let text = p.finish();
+        let stats = validate_exposition(&text).expect("well-formed");
+        assert_eq!(stats.families, 5);
+        assert_eq!(stats.values["slade_requests_total"], 42.0);
+        assert!(text.contains("slade_latency_seconds_count 4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric family")]
+    fn duplicate_family_panics() {
+        let mut p = PromText::new();
+        p.counter("x_total", "x", 1);
+        p.counter("x_total", "x", 2);
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate_exposition("no_decl 1\n").is_err());
+        assert!(
+            validate_exposition("# HELP a a\n# TYPE a gauge\n# TYPE a gauge\na 1\n").is_err()
+        );
+        assert!(validate_exposition("# HELP a a\n# TYPE a gauge\na not_a_number\n").is_err());
+        let dup_help = "# HELP a a\n# HELP a a\n# TYPE a gauge\na 1\n";
+        assert!(validate_exposition(dup_help).is_err());
+    }
+}

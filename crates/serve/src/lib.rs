@@ -50,6 +50,7 @@ pub use queue::AdmissionQueue;
 use metrics::MetricsInner;
 use slade::{normalize_asm, Slade};
 use slade_nn::{DecodeRequest, InferenceEngine};
+use slade_obs::{SpanRecord, Stage};
 use slade_tokenizer::special;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -103,6 +104,23 @@ struct Job {
     key: Option<CacheKey>,
     slot: Arc<ResponseSlot>,
     submitted: Instant,
+    /// Trace id for the request's span tree.
+    trace_id: u64,
+    /// Submit time, µs since the observability epoch (span start times).
+    submitted_us: u64,
+}
+
+/// Fixed span ids within a request's trace: the tree shape is static
+/// (root → queue/tokenize/encode/decode → per-step children), so ids are
+/// assigned by position rather than a per-trace counter.
+mod span_id {
+    pub const REQUEST: u32 = 1;
+    pub const QUEUE: u32 = 2;
+    pub const TOKENIZE: u32 = 3;
+    pub const ENCODE: u32 = 4;
+    pub const DECODE: u32 = 5;
+    /// Decode-step spans are `FIRST_STEP + step_index`.
+    pub const FIRST_STEP: u32 = 6;
 }
 
 /// Completion cell a caller blocks on.
@@ -126,9 +144,16 @@ impl ResponseSlot {
 /// its hypotheses are ready.
 pub struct RequestHandle {
     slot: Arc<ResponseSlot>,
+    trace_id: u64,
 }
 
 impl RequestHandle {
+    /// The request's trace id — look up its span tree afterwards with
+    /// [`ServeRuntime::trace_spans`] or `slade-cli trace`.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
     /// Blocks until the request completes; returns up to `beam`
     /// hypotheses, best first.
     pub fn wait(self) -> Vec<String> {
@@ -219,7 +244,10 @@ impl ServeRuntime {
     /// with its boilerplate intact.
     pub fn submit_normalized(&self, normalized_asm: String) -> RequestHandle {
         let sh = &*self.shared;
+        let o = slade_obs::obs();
         sh.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let trace_id = o.next_trace_id();
+        let submitted_us = o.now_us();
         let slot = Arc::new(ResponseSlot::new());
         let key = sh.cache.enabled().then(|| {
             CacheKey::new(
@@ -232,9 +260,28 @@ impl ServeRuntime {
         });
         if let Some(key) = &key {
             if let Some(outputs) = sh.cache.get(key, &normalized_asm) {
+                let dur = o.now_us() - submitted_us;
+                o.record_span(SpanRecord {
+                    trace_id,
+                    span_id: span_id::QUEUE, // position 2 in the fixed tree
+                    parent: span_id::REQUEST,
+                    stage: Stage::Cache,
+                    start_us: submitted_us,
+                    dur_us: dur,
+                    detail: 1,
+                });
+                o.record_span(SpanRecord {
+                    trace_id,
+                    span_id: span_id::REQUEST,
+                    parent: 0,
+                    stage: Stage::Request,
+                    start_us: submitted_us,
+                    dur_us: dur,
+                    detail: 1, // cache hit
+                });
                 sh.metrics.record_latency(Duration::ZERO);
                 slot.fulfill(outputs);
-                return RequestHandle { slot };
+                return RequestHandle { slot, trace_id };
             }
         }
         let job = Job {
@@ -242,15 +289,17 @@ impl ServeRuntime {
             key,
             slot: Arc::clone(&slot),
             submitted: Instant::now(),
+            trace_id,
+            submitted_us,
         };
         {
             let mut q = self.shared.queue.lock().expect("queue lock");
             let deadline = Instant::now() + sh.max_wait;
             q.push(job, deadline);
-            sh.metrics.queue_depth.store(q.len(), Ordering::Relaxed);
+            sh.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
         }
         self.shared.work.notify_all();
-        RequestHandle { slot }
+        RequestHandle { slot, trace_id }
     }
 
     /// Decompiles one function, blocking until its hypotheses are ready.
@@ -279,6 +328,21 @@ impl ServeRuntime {
     /// Point-in-time metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot(self.shared.cache.stats())
+    }
+
+    /// Prometheus text exposition of the full metrics surface: queue,
+    /// lanes, cache, both latency histograms, per-stage histograms, and
+    /// kernel counters. Assembled from snapshots — scraping never takes a
+    /// lock a worker records through.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.prometheus(self.shared.cache.stats())
+    }
+
+    /// Every recorded span of one request's trace (see
+    /// [`RequestHandle::trace_id`]), oldest first. Spans evicted by ring
+    /// wraparound (capacity `SLADE_TRACE_RING`) are absent.
+    pub fn trace_spans(&self, trace_id: u64) -> Vec<SpanRecord> {
+        slade_obs::obs().ring().for_trace(trace_id)
     }
 
     /// The decompiler being served.
@@ -327,12 +391,23 @@ impl Drop for ServeRuntime {
 /// encode as one batch) — *including while earlier requests are
 /// mid-decode* — then advances all live lanes one step and completes
 /// whatever finished, freeing lanes for the next iteration's admissions.
+/// One in-flight request plus its trace bookkeeping.
+struct Inflight {
+    ticket: u64,
+    job: Job,
+    /// Decode span start, µs since the observability epoch.
+    decode_start_us: u64,
+    /// Batched steps this request has participated in.
+    steps: u64,
+}
+
 fn worker_loop(shared: &Shared, shard: usize) {
     let slade = &shared.slade;
+    let o = slade_obs::obs();
     let engine = InferenceEngine::new(&slade.model);
     let beam = slade.beam().max(1);
     let mut session = engine.session(shared.lanes_per_shard, slade.max_tgt_len());
-    let mut inflight: Vec<(u64, Job)> = Vec::new();
+    let mut inflight: Vec<Inflight> = Vec::new();
     let mut tokens_reported: u64 = 0;
     loop {
         // Admission: pop under the lock, in fairness order, while lanes
@@ -359,9 +434,25 @@ fn worker_loop(shared: &Shared, shard: usize) {
                 }
                 q = shared.work.wait(q).expect("queue wait");
             }
-            shared.metrics.queue_depth.store(q.len(), Ordering::Relaxed);
         }
         if !batch.is_empty() {
+            shared.metrics.queue_depth_sub(batch.len());
+            let tracing = o.enabled();
+            let popped_us = o.now_us();
+            if tracing {
+                for job in &batch {
+                    o.record_span(SpanRecord {
+                        trace_id: job.trace_id,
+                        span_id: span_id::QUEUE,
+                        parent: span_id::REQUEST,
+                        stage: Stage::Queue,
+                        start_us: job.submitted_us,
+                        dur_us: popped_us.saturating_sub(job.submitted_us),
+                        detail: shard as u64,
+                    });
+                }
+            }
+            let tok_timer = slade_obs::StageTimer::start(slade_obs::StageHist::Tokenize);
             let requests: Vec<DecodeRequest> = batch
                 .iter()
                 .map(|job| DecodeRequest {
@@ -372,25 +463,108 @@ fn worker_loop(shared: &Shared, shard: usize) {
                     beam: slade.beam(),
                 })
                 .collect();
+            let tokenize_us = tok_timer.elapsed_us();
+            drop(tok_timer);
             let refs: Vec<&DecodeRequest> = requests.iter().collect();
+            let encode_start_us = o.now_us();
             let tickets = session.admit_many(&refs);
+            let admitted_us = o.now_us();
             for (ticket, job) in tickets.into_iter().zip(batch) {
                 shared.metrics.record_queue_wait(job.submitted.elapsed());
-                inflight.push((ticket, job));
+                if tracing {
+                    // Tokenize/encode ran batched; each member's span
+                    // carries the group duration (the time the request
+                    // actually spent in the stage).
+                    o.record_span(SpanRecord {
+                        trace_id: job.trace_id,
+                        span_id: span_id::TOKENIZE,
+                        parent: span_id::REQUEST,
+                        stage: Stage::Tokenize,
+                        start_us: popped_us,
+                        dur_us: tokenize_us,
+                        detail: 0,
+                    });
+                    o.record_span(SpanRecord {
+                        trace_id: job.trace_id,
+                        span_id: span_id::ENCODE,
+                        parent: span_id::REQUEST,
+                        stage: Stage::Encode,
+                        start_us: encode_start_us,
+                        dur_us: admitted_us.saturating_sub(encode_start_us),
+                        detail: 0,
+                    });
+                }
+                inflight.push(Inflight { ticket, job, decode_start_us: admitted_us, steps: 0 });
             }
         }
-        for (ticket, beams) in session.step() {
+        let tracing = o.enabled();
+        let step_start_us = if tracing && !inflight.is_empty() { o.now_us() } else { 0 };
+        let finished = session.step();
+        if tracing && !inflight.is_empty() {
+            let step_dur_us = o.now_us().saturating_sub(step_start_us);
+            let live = inflight.len() as u64;
+            for f in inflight.iter_mut() {
+                o.record_span(SpanRecord {
+                    trace_id: f.job.trace_id,
+                    span_id: span_id::FIRST_STEP.saturating_add(f.steps as u32),
+                    parent: span_id::DECODE,
+                    stage: Stage::DecodeStep,
+                    start_us: step_start_us,
+                    dur_us: step_dur_us,
+                    detail: live,
+                });
+                f.steps += 1;
+            }
+        } else {
+            for f in inflight.iter_mut() {
+                f.steps += 1;
+            }
+        }
+        for (ticket, beams) in finished {
             let at = inflight
                 .iter()
-                .position(|(t, _)| *t == ticket)
+                .position(|f| f.ticket == ticket)
                 .expect("finished ticket is in flight");
-            let (_, job) = inflight.swap_remove(at);
+            let Inflight { job, decode_start_us, steps, .. } = inflight.swap_remove(at);
             let outputs: Vec<String> =
                 beams.iter().map(|ids| slade.tokenizer.decode(ids)).collect();
             if let Some(key) = job.key {
                 shared.cache.insert(key, &job.norm_asm, outputs.clone());
             }
-            shared.metrics.record_latency(job.submitted.elapsed());
+            let elapsed = job.submitted.elapsed();
+            if tracing {
+                let done_us = o.now_us();
+                o.record_span(SpanRecord {
+                    trace_id: job.trace_id,
+                    span_id: span_id::DECODE,
+                    parent: span_id::REQUEST,
+                    stage: Stage::Decode,
+                    start_us: decode_start_us,
+                    dur_us: done_us.saturating_sub(decode_start_us),
+                    detail: steps,
+                });
+                o.record_span(SpanRecord {
+                    trace_id: job.trace_id,
+                    span_id: span_id::REQUEST,
+                    parent: 0,
+                    stage: Stage::Request,
+                    start_us: job.submitted_us,
+                    dur_us: done_us.saturating_sub(job.submitted_us),
+                    detail: 0,
+                });
+            }
+            let slow = o.slow_threshold_us();
+            if slow > 0 && elapsed.as_micros() as u64 >= slow {
+                o.count(slade_obs::KernelCtr::SlowRequests, 1);
+                eprintln!(
+                    "slade-serve: slow request trace_id={} shard={shard} {}ms (threshold {}ms, {steps} steps); inspect with `slade-cli trace {}`",
+                    job.trace_id,
+                    elapsed.as_millis(),
+                    slow / 1000,
+                    job.trace_id,
+                );
+            }
+            shared.metrics.record_latency(elapsed);
             job.slot.fulfill(outputs);
         }
         shared.metrics.shard_lanes[shard].store(session.live_lanes(), Ordering::Relaxed);

@@ -1,43 +1,20 @@
-//! Serving metrics: cheap always-on counters (atomics), a bounded latency
-//! reservoir, and a plain-struct snapshot for callers (benches serialize
-//! it to JSON; an HTTP front-end would render it).
+//! Serving metrics: cheap always-on counters (atomics), wait-free
+//! log-bucketed latency histograms ([`slade_obs::Histogram`]), and two
+//! export surfaces — a plain-struct snapshot (benches serialize it to
+//! JSON) and a Prometheus text exposition
+//! ([`crate::ServeRuntime::metrics_text`]).
+//!
+//! The histograms replaced a `Mutex<Reservoir>` whose `percentile` cloned
+//! and sorted 4096 samples **under the same lock the workers recorded
+//! into** — a scrape could stall every decode worker. Recording is now
+//! three relaxed `fetch_add`s and a snapshot copies bucket counts without
+//! taking any lock, so scraping can never stall decode.
 
 use crate::cache::CacheStats;
 use serde::Serialize;
+use slade_obs::{export::PromText, Histogram, KernelCtr, StageHist};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
-
-/// Capacity of the latency reservoir; beyond it, new samples overwrite
-/// round-robin so percentiles track recent traffic at O(1) memory.
-const RESERVOIR: usize = 4096;
-
-#[derive(Debug, Default)]
-struct Reservoir {
-    samples: Vec<f64>,
-    written: u64,
-}
-
-impl Reservoir {
-    fn record(&mut self, millis: f64) {
-        if self.samples.len() < RESERVOIR {
-            self.samples.push(millis);
-        } else {
-            self.samples[(self.written % RESERVOIR as u64) as usize] = millis;
-        }
-        self.written += 1;
-    }
-
-    fn percentile(&self, p: f64) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(f64::total_cmp);
-        let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
-    }
-}
 
 /// Shared mutable metrics state (one per runtime).
 #[derive(Debug)]
@@ -54,8 +31,10 @@ pub(crate) struct MetricsInner {
     pub kernel_isa: &'static str,
     /// Weight backend name of the served model ("f32" / "int8").
     pub backend: &'static str,
-    latency: Mutex<Reservoir>,
-    queue_wait: Mutex<Reservoir>,
+    /// End-to-end latency in µs (submit → response).
+    latency: Histogram,
+    /// Time spent queued before admission, µs.
+    queue_wait: Histogram,
 }
 
 impl MetricsInner {
@@ -74,23 +53,37 @@ impl MetricsInner {
             decode_tokens: AtomicU64::new(0),
             kernel_isa,
             backend,
-            latency: Mutex::new(Reservoir::default()),
-            queue_wait: Mutex::new(Reservoir::default()),
+            latency: Histogram::new(),
+            queue_wait: Histogram::new(),
         }
     }
 
     pub fn record_latency(&self, elapsed: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        self.latency.lock().expect("metrics lock").record(elapsed.as_secs_f64() * 1e3);
+        self.latency.record(elapsed.as_micros() as u64);
     }
 
     pub fn record_queue_wait(&self, waited: Duration) {
-        self.queue_wait.lock().expect("metrics lock").record(waited.as_secs_f64() * 1e3);
+        self.queue_wait.record(waited.as_micros() as u64);
+    }
+
+    /// Saturating queue-depth decrement: a shed/cancel path racing the
+    /// submit-side increment must clamp at zero, never wrap the gauge to
+    /// `usize::MAX`. Debug builds assert the race did not actually occur.
+    pub fn queue_depth_sub(&self, n: usize) {
+        let prev = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| Some(d.saturating_sub(n)))
+            .expect("fetch_update closure always returns Some");
+        debug_assert!(prev >= n, "queue_depth underflow: {prev} - {n}");
     }
 
     pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
-        let latency = self.latency.lock().expect("metrics lock");
-        let queue_wait = self.queue_wait.lock().expect("metrics lock");
+        // Copy out first, then compute: quantiles run on the snapshot, so
+        // a slow scrape never holds anything a worker records through.
+        let latency = self.latency.snapshot();
+        let queue_wait = self.queue_wait.snapshot();
+        let us = |v: u64| v as f64 / 1e3;
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -100,17 +93,138 @@ impl MetricsInner {
             decode_tokens: self.decode_tokens.load(Ordering::Relaxed),
             kernel_isa: self.kernel_isa,
             backend: self.backend,
-            p50_latency_ms: latency.percentile(0.50),
-            p95_latency_ms: latency.percentile(0.95),
-            p50_queue_wait_ms: queue_wait.percentile(0.50),
-            p95_queue_wait_ms: queue_wait.percentile(0.95),
+            p50_latency_ms: us(latency.quantile(0.50)),
+            p95_latency_ms: us(latency.quantile(0.95)),
+            p99_latency_ms: us(latency.quantile(0.99)),
+            p50_queue_wait_ms: us(queue_wait.quantile(0.50)),
+            p95_queue_wait_ms: us(queue_wait.quantile(0.95)),
+            p99_queue_wait_ms: us(queue_wait.quantile(0.99)),
             cache,
         }
+    }
+
+    /// Prometheus text exposition covering the runtime counters/gauges,
+    /// both latency histograms, the process-wide per-stage histograms,
+    /// and the kernel counters.
+    pub fn prometheus(&self, cache: CacheStats) -> String {
+        let o = slade_obs::obs();
+        let mut p = PromText::new();
+        p.counter(
+            "slade_requests_submitted_total",
+            "Requests accepted (cache hits included).",
+            self.submitted.load(Ordering::Relaxed),
+        );
+        p.counter(
+            "slade_requests_completed_total",
+            "Requests answered (cache hits included).",
+            self.completed.load(Ordering::Relaxed),
+        );
+        p.gauge(
+            "slade_queue_depth",
+            "Requests waiting for admission right now.",
+            self.queue_depth.load(Ordering::Relaxed) as f64,
+        );
+        let lanes: Vec<(String, f64)> = self
+            .shard_lanes
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i.to_string(), l.load(Ordering::Relaxed) as f64))
+            .collect();
+        p.gauge_series("slade_shard_lanes", "Live beam lanes per shard.", "shard", &lanes);
+        p.gauge(
+            "slade_lane_capacity_per_shard",
+            "Lane budget each shard admits against.",
+            self.lane_capacity as f64,
+        );
+        p.counter(
+            "slade_decode_tokens_total",
+            "Tokens decoded across all shards (lanes x steps).",
+            self.decode_tokens.load(Ordering::Relaxed),
+        );
+        p.counter("slade_cache_hits_total", "Result-cache hits.", cache.hits);
+        p.counter("slade_cache_misses_total", "Result-cache misses.", cache.misses);
+        p.counter("slade_cache_insertions_total", "Result-cache insertions.", cache.insertions);
+        p.counter("slade_cache_evictions_total", "Result-cache evictions.", cache.evictions);
+        p.gauge("slade_cache_entries", "Result-cache resident entries.", cache.entries as f64);
+        p.histogram_us(
+            "slade_request_latency_seconds",
+            "End-to-end latency, submit to response.",
+            &self.latency.snapshot(),
+        );
+        p.histogram_us(
+            "slade_queue_wait_seconds",
+            "Time queued before admission.",
+            &self.queue_wait.snapshot(),
+        );
+        for s in StageHist::ALL {
+            p.histogram_us(stage_metric(s), stage_help(s), &o.stage(s).snapshot());
+        }
+        for c in KernelCtr::ALL {
+            p.counter(ctr_metric(c), ctr_help(c), o.counter(c));
+        }
+        p.info(
+            "slade_info",
+            "Serving configuration.",
+            &[("kernel_isa", self.kernel_isa), ("backend", self.backend)],
+        );
+        p.finish()
+    }
+}
+
+/// Static Prometheus family name per stage (names must outlive the
+/// builder, hence the match rather than `format!`).
+fn stage_metric(s: StageHist) -> &'static str {
+    match s {
+        StageHist::Encode => "slade_stage_encode_seconds",
+        StageHist::DecodeStep => "slade_stage_decode_step_seconds",
+        StageHist::Score => "slade_stage_score_seconds",
+        StageHist::Admit => "slade_stage_admit_seconds",
+        StageHist::Tokenize => "slade_stage_tokenize_seconds",
+        StageHist::TypeInf => "slade_stage_typeinf_seconds",
+        StageHist::Repair => "slade_stage_repair_seconds",
+        StageHist::Judge => "slade_stage_judge_seconds",
+    }
+}
+
+fn stage_help(s: StageHist) -> &'static str {
+    match s {
+        StageHist::Encode => "Batched encoder forward pass.",
+        StageHist::DecodeStep => "One batched decode step.",
+        StageHist::Score => "Beam scoring per step (top-k + survivors).",
+        StageHist::Admit => "Engine admission (encode + cross-KV).",
+        StageHist::Tokenize => "Tokenizing normalized assembly.",
+        StageHist::TypeInf => "Type-inference header synthesis.",
+        StageHist::Repair => "Candidate repair pass.",
+        StageHist::Judge => "IO judging (BTC verification).",
+    }
+}
+
+fn ctr_metric(c: KernelCtr) -> &'static str {
+    match c {
+        KernelCtr::ProjCalls => "slade_kernel_proj_calls_total",
+        KernelCtr::ProjRows => "slade_kernel_proj_rows_total",
+        KernelCtr::AttendCalls => "slade_kernel_attend_calls_total",
+        KernelCtr::TopkCalls => "slade_kernel_topk_calls_total",
+        KernelCtr::EncodeRows => "slade_kernel_encode_rows_total",
+        KernelCtr::DecodeLaneTokens => "slade_kernel_decode_lane_tokens_total",
+        KernelCtr::SlowRequests => "slade_slow_requests_total",
+    }
+}
+
+fn ctr_help(c: KernelCtr) -> &'static str {
+    match c {
+        KernelCtr::ProjCalls => "Projection (matmul) invocations.",
+        KernelCtr::ProjRows => "Rows produced by projections.",
+        KernelCtr::AttendCalls => "Attention context computations.",
+        KernelCtr::TopkCalls => "log-softmax top-k invocations.",
+        KernelCtr::EncodeRows => "Sequence rows through the encoder.",
+        KernelCtr::DecodeLaneTokens => "Lane-tokens advanced by decode steps.",
+        KernelCtr::SlowRequests => "Requests over the SLADE_SLOW_MS threshold.",
     }
 }
 
 /// Point-in-time view of the runtime (queue depth and lane gauges are
-/// instantaneous; counters and percentiles are cumulative / recent-window).
+/// instantaneous; counters and percentiles are cumulative).
 #[derive(Debug, Clone, Serialize)]
 pub struct MetricsSnapshot {
     /// Requests accepted (cache hits included).
@@ -132,13 +246,19 @@ pub struct MetricsSnapshot {
     /// Weight backend of the served model ("f32" / "int8").
     pub backend: &'static str,
     /// Median end-to-end latency (submit → response), milliseconds.
+    /// Histogram-derived: within one bucket width (6.25% relative) above
+    /// the true order statistic; likewise for every percentile below.
     pub p50_latency_ms: f64,
     /// 95th-percentile end-to-end latency, milliseconds.
     pub p95_latency_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_latency_ms: f64,
     /// Median time spent queued before admission, milliseconds.
     pub p50_queue_wait_ms: f64,
     /// 95th-percentile queue wait, milliseconds.
     pub p95_queue_wait_ms: f64,
+    /// 99th-percentile queue wait, milliseconds.
+    pub p99_queue_wait_ms: f64,
     /// Result-cache counters.
     pub cache: CacheStats,
 }
@@ -168,18 +288,50 @@ mod tests {
         m.shard_lanes[1].store(10, Ordering::Relaxed);
         let snap = m.snapshot(CacheStats::default());
         assert_eq!(snap.completed, 100);
-        assert!((snap.p50_latency_ms - 50.0).abs() <= 2.0, "{}", snap.p50_latency_ms);
-        assert!((snap.p95_latency_ms - 95.0).abs() <= 2.0, "{}", snap.p95_latency_ms);
+        // Histogram quantiles are bucket upper bounds: never below the
+        // true order statistic, within one bucket width (6.25%) above.
+        for (est, truth) in [
+            (snap.p50_latency_ms, 50.0),
+            (snap.p95_latency_ms, 95.0),
+            (snap.p99_latency_ms, 99.0),
+        ] {
+            assert!(est >= truth, "estimate {est} below true {truth}");
+            assert!(est <= truth * (1.0 + 1.0 / 16.0) + 0.01, "estimate {est} vs {truth}");
+        }
         assert!((snap.lane_occupancy() - 0.75).abs() < 1e-9);
     }
 
     #[test]
-    fn reservoir_bounds_memory() {
-        let mut r = Reservoir::default();
-        for i in 0..(RESERVOIR * 2) {
-            r.record(i as f64);
+    fn queue_depth_saturates_instead_of_underflowing() {
+        let m = MetricsInner::new(1, 4, "scalar", "f32");
+        m.queue_depth.store(2, Ordering::Relaxed);
+        m.queue_depth_sub(1);
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 1);
+        // A racing shed/cancel decrement past zero clamps (release
+        // behavior; debug builds additionally assert the race).
+        if cfg!(debug_assertions) {
+            let r =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.queue_depth_sub(5)));
+            assert!(r.is_err(), "debug build must assert on underflow");
+        } else {
+            m.queue_depth_sub(5);
+            assert_eq!(m.queue_depth.load(Ordering::Relaxed), 0);
         }
-        assert_eq!(r.samples.len(), RESERVOIR);
-        assert_eq!(r.written, (RESERVOIR * 2) as u64);
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let m = MetricsInner::new(2, 8, "scalar", "f32");
+        m.submitted.store(7, Ordering::Relaxed);
+        m.record_latency(Duration::from_millis(12));
+        m.record_queue_wait(Duration::from_micros(300));
+        m.decode_tokens.store(123, Ordering::Relaxed);
+        let text = m.prometheus(CacheStats::default());
+        let stats = slade_obs::export::validate_exposition(&text).expect("valid exposition");
+        assert!(stats.families >= 20, "families: {}", stats.families);
+        assert_eq!(stats.values["slade_requests_submitted_total"], 7.0);
+        assert_eq!(stats.values["slade_decode_tokens_total"], 123.0);
+        assert!(text.contains("slade_stage_decode_step_seconds_count"));
+        assert!(text.contains("slade_info{kernel_isa=\"scalar\",backend=\"f32\"} 1"));
     }
 }

@@ -8,12 +8,23 @@
 //! slade-cli decompile --model model.json --asm file.s [--context file.c] [--beam K]
 //! slade-cli eval      --model model.json [--items N] [--seed N] [--repair]
 //!                     [--threads N]
+//! slade-cli stats     [--model model.json] [--shards N] [--requests N]
+//!                     [--prometheus | --json]
+//! slade-cli trace     [--model model.json] [--asm file.s] [--request ID]
 //! ```
 //!
 //! `train` writes a self-contained JSON artifact (weights + tokenizer +
 //! target configuration); `decompile` prints beam candidates with inferred
 //! type headers; `eval` scores a model on freshly generated held-out items
-//! with the same IO harness as the paper's figures.
+//! with the same IO harness as the paper's figures; `stats` serves a
+//! workload and renders the live metrics snapshot (`--prometheus` for the
+//! text exposition, `--json` for the per-stage breakdown); `trace`
+//! decompiles one input and prints its span tree.
+//!
+//! Observability knobs (environment, read once at startup):
+//! `SLADE_SLOW_MS` — slow-request log threshold in ms (default 1000, `0`
+//! disables); `SLADE_TRACE_RING` — trace ring capacity in spans (default
+//! 8192); `SLADE_KERNEL_ISA` — kernel dispatch tier override.
 
 use slade::{Slade, SladeBuilder, TrainProfile};
 use slade_compiler::{compile_function, CompileOpts, Isa, OptLevel};
@@ -53,6 +64,8 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(&flags),
         "decompile" => cmd_decompile(&flags),
         "eval" => cmd_eval(&flags),
+        "stats" => cmd_stats(&flags),
+        "trace" => cmd_trace(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -74,7 +87,14 @@ const USAGE: &str = "usage:
   slade-cli compile   --src file.c --func name --isa x86|arm --opt O0|O3
   slade-cli decompile --model model.json --asm file.s [--context file.c] [--beam K]
   slade-cli eval      --model model.json [--items N] [--seed N] [--repair]
-                      [--threads N]";
+                      [--threads N]
+  slade-cli stats     [--model model.json] [--shards N] [--requests N]
+                      [--prometheus | --json]
+  slade-cli trace     [--model model.json] [--asm file.s] [--request ID]
+
+env: SLADE_SLOW_MS (slow-request log threshold ms, default 1000, 0=off),
+     SLADE_TRACE_RING (trace ring capacity in spans, default 8192),
+     SLADE_KERNEL_ISA (kernel dispatch tier override)";
 
 /// `--key value` and bare `--flag` arguments.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -217,6 +237,132 @@ fn cmd_decompile(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         put!("{hypothesis}\n");
     }
+    Ok(())
+}
+
+/// The decompiler for `stats`/`trace`: the `--model` artifact when given,
+/// else an untrained small-profile model (decode cost is representative;
+/// hypotheses are noise) so the observability surface works standalone.
+fn observed_slade(flags: &HashMap<String, String>) -> Result<std::sync::Arc<Slade>, String> {
+    if flags.contains_key("model") {
+        return Ok(std::sync::Arc::new(load_artifact(flags)?.slade));
+    }
+    let corpus: Vec<String> = (0..16).map(synthetic_asm).collect();
+    let tokenizer = slade_tokenizer::UnigramTokenizer::train(&corpus, 300);
+    let model =
+        slade_nn::Seq2Seq::new(slade_nn::TransformerConfig::small(tokenizer.vocab_size()), 7);
+    Ok(std::sync::Arc::new(Slade::from_parts(
+        model,
+        tokenizer,
+        Isa::X86_64,
+        OptLevel::O0,
+        3,
+        16,
+    )))
+}
+
+/// Distinct realistic-shaped assembly per index.
+fn synthetic_asm(i: usize) -> String {
+    format!(
+        "f{i}:\n\tpushq %rbp\n\tmovq %rsp, %rbp\n\tmovl %edi, -{off}(%rbp)\n\taddl ${k}, %eax\n\tpopq %rbp\n\tret\n",
+        off = 4 + 4 * (i % 6),
+        k = 3 + i
+    )
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    use slade_serve::{ServeConfig, ServeRuntime};
+    let slade = observed_slade(flags)?;
+    let shards = numeric(flags, "shards", 2)?.max(1) as usize;
+    let requests = numeric(flags, "requests", 6)?.max(1) as usize;
+    eprintln!("serving {requests} synthetic requests across {shards} shards ...");
+    let runtime = ServeRuntime::start(slade, ServeConfig::with_shards(shards));
+    let workload: Vec<String> = (0..requests).map(synthetic_asm).collect();
+    let refs: Vec<&str> = workload.iter().map(String::as_str).collect();
+    runtime.decompile_batch(&refs);
+    // One duplicate exercises the cache path in the snapshot.
+    runtime.decompile(&workload[0]);
+    if flags.contains_key("prometheus") {
+        put!("{}", runtime.metrics_text().trim_end());
+    } else if flags.contains_key("json") {
+        let breakdown = slade_obs::obs().stage_snapshot();
+        put!("{}", serde_json::to_string(&breakdown).map_err(|e| e.to_string())?);
+    } else {
+        let s = runtime.metrics();
+        put!(
+            "requests     submitted {} completed {}  queue depth {}",
+            s.submitted,
+            s.completed,
+            s.queue_depth
+        );
+        put!(
+            "lanes        {:?} / {} per shard ({:.0}% occupancy at snapshot)",
+            s.shard_lanes,
+            s.lane_capacity_per_shard,
+            100.0 * s.lane_occupancy()
+        );
+        put!("decode       {} tokens ({}, {})", s.decode_tokens, s.kernel_isa, s.backend);
+        put!(
+            "latency ms   p50 {:.2}  p95 {:.2}  p99 {:.2}",
+            s.p50_latency_ms,
+            s.p95_latency_ms,
+            s.p99_latency_ms
+        );
+        put!(
+            "queue ms     p50 {:.2}  p95 {:.2}  p99 {:.2}",
+            s.p50_queue_wait_ms,
+            s.p95_queue_wait_ms,
+            s.p99_queue_wait_ms
+        );
+        put!(
+            "cache        {} hits / {} misses ({:.0}% hit rate), {} entries",
+            s.cache.hits,
+            s.cache.misses,
+            100.0 * s.cache.hit_rate(),
+            s.cache.entries
+        );
+        put!("stages (count, mean µs, p95 µs):");
+        for st in slade_obs::obs().stage_snapshot().stages {
+            if st.count > 0 {
+                put!(
+                    "  {:<12} {:>8}  {:>10.0}  {:>10}",
+                    st.stage,
+                    st.count,
+                    st.mean_us,
+                    st.p95_us
+                );
+            }
+        }
+    }
+    runtime.shutdown();
+    Ok(())
+}
+
+fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    use slade_serve::{ServeConfig, ServeRuntime};
+    let slade = observed_slade(flags)?;
+    let runtime = ServeRuntime::start(slade, ServeConfig::with_shards(1));
+    let asm = match flags.get("asm") {
+        Some(p) => std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?,
+        None => synthetic_asm(0),
+    };
+    let handle = runtime.submit(&asm);
+    let trace_id = handle.trace_id();
+    handle.wait();
+    // `--request ID` inspects a different trace recorded earlier in this
+    // process (ids print in the slow-request log); default is the request
+    // just served.
+    let wanted = numeric(flags, "request", trace_id)?;
+    let spans = runtime.trace_spans(wanted);
+    if spans.is_empty() {
+        return Err(format!(
+            "no spans for request {wanted} (ring capacity {}; see SLADE_TRACE_RING)",
+            slade_obs::obs().ring().capacity()
+        ));
+    }
+    put!("trace {wanted} ({} spans):", spans.len());
+    put!("{}", slade_obs::render_tree(&spans).trim_end());
+    runtime.shutdown();
     Ok(())
 }
 
