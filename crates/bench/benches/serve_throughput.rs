@@ -1,7 +1,9 @@
 //! `serve_throughput`: requests/sec through the serving runtime on the
 //! acceptance workload (8 requests × beam 5), at 1 / 2 / 4 shards, warm
 //! vs cold cache, plus batch-of-1 latency through the runtime vs calling
-//! the engine path directly. Prints criterion-style lines and writes a
+//! the engine path directly, plus the admission-tier scenarios (shed
+//! under overload, duplicate coalescing, spill warm-start after a
+//! restart). Prints criterion-style lines and writes a
 //! `BENCH_serve.json` snapshot at the workspace root.
 //!
 //! Shard scaling is core-bound: the shards are real OS threads, so the
@@ -55,6 +57,36 @@ struct LatencyPercentiles {
 }
 
 #[derive(Serialize)]
+struct ShedScenario {
+    queue_cap: usize,
+    offered: u64,
+    accepted: u64,
+    shed: u64,
+    /// Rate at which the flood of fallible submissions was answered
+    /// (accept or shed) — sheds are cheap, so this is far above decode.
+    decisions_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct CoalesceScenario {
+    offered: u64,
+    decoded: u64,
+    coalesced: u64,
+}
+
+#[derive(Serialize)]
+struct WarmStartScenario {
+    cold_requests_per_sec: f64,
+    /// The same workload through a *fresh* runtime sharing the first
+    /// one's spill directory — the kill-and-restart case.
+    restart_requests_per_sec: f64,
+    /// Tokens the restarted runtime decoded; `0` = the spill tier
+    /// eliminated every cold-start decode.
+    restart_decode_tokens: u64,
+    restart_spill_hits: u64,
+}
+
+#[derive(Serialize)]
 struct Report {
     workload: String,
     host_parallelism: usize,
@@ -72,6 +104,12 @@ struct Report {
     latency: LatencyPercentiles,
     /// Decode tok/s with span tracing + stage timing on vs off.
     tracing_overhead: TracingOverhead,
+    /// Bounded admission under a deliberate flood (undersized cap).
+    shed_scenario: ShedScenario,
+    /// Duplicate-heavy traffic collapsing onto one decode.
+    coalesce_scenario: CoalesceScenario,
+    /// Disk-spill tier surviving a runtime restart.
+    warm_start: WarmStartScenario,
     /// Per-stage timing histograms and kernel counters accumulated across
     /// the whole bench run (from the process-wide observability registry).
     stage_breakdown: slade_obs::StageBreakdown,
@@ -238,6 +276,110 @@ fn main() {
         latency.p50_ms, latency.p95_ms, latency.p99_ms
     );
 
+    // --- Admission scenarios ---
+    use std::time::Duration;
+    // Shed: one slow shard (decode-delay hook), cap 4, a flood of 64
+    // fallible submissions while the worker sleeps — the burst is
+    // decided (accept or shed) at queue-push speed, not decode speed.
+    let flood = 64u64;
+    let shed_cap = 4usize;
+    let runtime = ServeRuntime::start(
+        Arc::clone(&slade),
+        ServeConfig {
+            shards: 1,
+            queue_cap: shed_cap,
+            test_decode_delay: Duration::from_millis(40),
+            ..ServeConfig::default().without_cache().without_coalescing()
+        },
+    );
+    let busy = runtime.submit(&spinup);
+    while runtime.metrics().queue_depth > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let t0 = Instant::now();
+    let mut accepted_handles = Vec::new();
+    for i in 0..flood {
+        if let Ok(h) = runtime.try_submit(&workload_asm(100 + i as usize)) {
+            accepted_handles.push(h);
+        }
+    }
+    let decisions_per_sec = flood as f64 / t0.elapsed().as_secs_f64();
+    busy.wait().expect("no timeout configured");
+    for h in accepted_handles {
+        h.wait().expect("accepted requests complete");
+    }
+    let snap = runtime.metrics();
+    let shed_scenario = ShedScenario {
+        queue_cap: shed_cap,
+        offered: flood,
+        accepted: flood - snap.shed,
+        shed: snap.shed,
+        decisions_per_sec,
+    };
+    runtime.shutdown();
+    println!(
+        "serve_shed_cap{shed_cap} {:>14.0} decisions/s ({} accepted / {} shed of {flood})",
+        shed_scenario.decisions_per_sec, shed_scenario.accepted, shed_scenario.shed
+    );
+
+    // Coalesce: 32 duplicates of one input submitted while its first
+    // decode is in flight — one engine pass answers all of them.
+    let runtime = ServeRuntime::start(
+        Arc::clone(&slade),
+        ServeConfig {
+            shards: 1,
+            test_decode_delay: Duration::from_millis(40),
+            ..ServeConfig::default().without_cache()
+        },
+    );
+    let busy = runtime.submit(&spinup);
+    let dupes: Vec<_> = (0..32).map(|_| runtime.submit(&workload[0])).collect();
+    busy.wait().expect("no timeout configured");
+    for h in dupes {
+        h.wait().expect("no timeout configured");
+    }
+    let snap = runtime.metrics();
+    let coalesce_scenario =
+        CoalesceScenario { offered: 32, decoded: snap.decoded, coalesced: snap.coalesced };
+    runtime.shutdown();
+    println!(
+        "serve_coalesce_32dup {:>14} decodes ({} coalesced)",
+        coalesce_scenario.decoded, coalesce_scenario.coalesced
+    );
+
+    // Warm-start: run the workload through a spill-backed runtime, kill
+    // it, start a fresh one on the same directory — the restart must
+    // answer from disk without decoding at all.
+    let spill_dir =
+        std::env::temp_dir().join(format!("slade-bench-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    let config = ServeConfig::with_shards(1).with_spill_dir(spill_dir.clone());
+    let first = ServeRuntime::start(Arc::clone(&slade), config.clone());
+    first.decompile(&spinup);
+    let t0 = Instant::now();
+    let out = first.decompile_batch(&refs);
+    let warm_cold_rps = REQUESTS as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(out.len(), REQUESTS);
+    first.shutdown();
+    let second = ServeRuntime::start(Arc::clone(&slade), config);
+    let t0 = Instant::now();
+    let out = second.decompile_batch(&refs);
+    let restart_rps = REQUESTS as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(out.len(), REQUESTS);
+    let snap = second.metrics();
+    let warm_start = WarmStartScenario {
+        cold_requests_per_sec: warm_cold_rps,
+        restart_requests_per_sec: restart_rps,
+        restart_decode_tokens: snap.decode_tokens,
+        restart_spill_hits: snap.cache.spill_hits,
+    };
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    println!(
+        "serve_warm_start_restart {restart_rps:>14.1} req/s (cold {warm_cold_rps:.1}; {} decode tokens after restart)",
+        warm_start.restart_decode_tokens
+    );
+
     let cold = |s: usize| {
         shard_results
             .iter()
@@ -264,6 +406,9 @@ fn main() {
             tokens_per_sec_tracing_off: off_rate,
             overhead_pct: tracing_overhead_pct,
         },
+        shed_scenario,
+        coalesce_scenario,
+        warm_start,
         stage_breakdown: slade_obs::obs().stage_snapshot(),
     };
     println!(

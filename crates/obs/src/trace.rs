@@ -50,6 +50,12 @@ pub enum Stage {
     Judge = 10,
     /// Per-example root span in the eval harness.
     Example = 11,
+    /// A duplicate in-flight submission attached to a running decode
+    /// (one span per attached waiter, attach → fan-out delivery;
+    /// `detail` carries the leader request's trace id).
+    Coalesce = 12,
+    /// A submission rejected by bounded admission (queue at capacity).
+    Shed = 13,
 }
 
 impl Stage {
@@ -68,6 +74,8 @@ impl Stage {
             Stage::Repair => "repair",
             Stage::Judge => "judge",
             Stage::Example => "example",
+            Stage::Coalesce => "coalesce",
+            Stage::Shed => "shed",
         }
     }
 
@@ -85,6 +93,8 @@ impl Stage {
             9 => Stage::Repair,
             10 => Stage::Judge,
             11 => Stage::Example,
+            12 => Stage::Coalesce,
+            13 => Stage::Shed,
             _ => return None,
         })
     }

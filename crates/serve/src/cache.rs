@@ -15,9 +15,11 @@
 //! answer. Eviction is least-recently-used at a fixed capacity, with
 //! hit / miss / insertion / eviction accounting.
 
+use crate::spill::{SpillProbe, SpillTier};
 use serde::Serialize;
 use slade_compiler::{Isa, OptLevel};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -93,6 +95,18 @@ pub struct CacheStats {
     pub entries: usize,
     /// Configured capacity (0 = disabled).
     pub capacity: usize,
+    /// Probes answered from the disk-spill tier (also counted in
+    /// `hits` — `hits` is the cache layer's total).
+    pub spill_hits: u64,
+    /// Entries persisted to the spill tier.
+    pub spill_writes: u64,
+    /// Spill files that failed integrity checks on load (truncated,
+    /// corrupt, or version-stamp mismatch); each loaded as a miss.
+    pub spill_load_errors: u64,
+    /// Spill entries evicted by capacity pressure (mtime-LRU).
+    pub spill_evictions: u64,
+    /// Spill entries resident on disk right now (0 when no spill tier).
+    pub spill_entries: usize,
 }
 
 impl CacheStats {
@@ -107,62 +121,107 @@ impl CacheStats {
     }
 }
 
-/// Thread-safe LRU result cache (see module docs).
+/// Thread-safe LRU result cache with an optional disk-spill tier (see
+/// module docs and [`crate::spill`]).
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
+    spill: Option<SpillTier>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    spill_hits: AtomicU64,
+    spill_writes: AtomicU64,
+    spill_load_errors: AtomicU64,
+    spill_evictions: AtomicU64,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` results; `0` disables it (every
-    /// probe misses, inserts are dropped).
+    /// A memory-only cache holding at most `capacity` results; `0`
+    /// disables it (every probe misses, inserts are dropped).
     pub fn new(capacity: usize) -> Self {
+        Self::build(capacity, None)
+    }
+
+    /// A cache backed by a disk-spill tier under `dir` holding at most
+    /// `spill_capacity` entries (`0` = unbounded). Works with
+    /// `capacity == 0` too: every probe then goes straight to disk.
+    pub fn with_spill(capacity: usize, dir: PathBuf, spill_capacity: usize) -> Self {
+        Self::build(capacity, Some(SpillTier::new(dir, spill_capacity)))
+    }
+
+    fn build(capacity: usize, spill: Option<SpillTier>) -> Self {
         ResultCache {
             capacity,
             inner: Mutex::new(CacheInner::default()),
+            spill,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            spill_hits: AtomicU64::new(0),
+            spill_writes: AtomicU64::new(0),
+            spill_load_errors: AtomicU64::new(0),
+            spill_evictions: AtomicU64::new(0),
         }
     }
 
-    /// True when the cache can hold anything.
+    /// True when the cache can answer anything (memory or disk tier).
     pub fn enabled(&self) -> bool {
-        self.capacity > 0
+        self.capacity > 0 || self.spill.is_some()
     }
 
-    /// Probes for `key`, verifying the stored normalized text against
-    /// `normalized_asm`; counts a hit or a miss either way.
+    /// Probes memory, then the spill tier; a spill hit is promoted into
+    /// the memory LRU. Verifies the stored normalized text against
+    /// `normalized_asm` at both tiers; counts a hit or a miss either way.
     pub fn get(&self, key: &CacheKey, normalized_asm: &str) -> Option<Vec<String>> {
-        if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner.clock += 1;
-        let clock = inner.clock;
-        match inner.map.get_mut(key) {
-            Some(entry) if entry.norm_asm == normalized_asm => {
-                entry.last_used = clock;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.outputs.clone())
-            }
-            _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+        if self.capacity > 0 {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.map.get_mut(key) {
+                if entry.norm_asm == normalized_asm {
+                    entry.last_used = clock;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(entry.outputs.clone());
+                }
             }
         }
+        if let Some(spill) = &self.spill {
+            match spill.probe(key, normalized_asm) {
+                SpillProbe::Hit(outputs) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.spill_hits.fetch_add(1, Ordering::Relaxed);
+                    self.insert_memory(*key, normalized_asm, outputs.clone());
+                    return Some(outputs);
+                }
+                SpillProbe::Corrupt => {
+                    self.spill_load_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                SpillProbe::Miss => {}
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
-    /// Stores a result, evicting the least-recently-used entry when at
-    /// capacity. No-op when disabled.
+    /// Stores a result in the memory LRU and the spill tier (when
+    /// configured). No-op when fully disabled.
     pub fn insert(&self, key: CacheKey, normalized_asm: &str, outputs: Vec<String>) {
+        if let Some(spill) = &self.spill {
+            if let Ok(evicted) = spill.store(&key, normalized_asm, &outputs) {
+                self.spill_writes.fetch_add(1, Ordering::Relaxed);
+                self.spill_evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+            }
+        }
+        self.insert_memory(key, normalized_asm, outputs);
+    }
+
+    /// Memory-tier insert with LRU eviction (spill promotion uses this
+    /// directly so a disk hit is not immediately re-written to disk).
+    fn insert_memory(&self, key: CacheKey, normalized_asm: &str, outputs: Vec<String>) {
         if self.capacity == 0 {
             return;
         }
@@ -193,6 +252,11 @@ impl ResultCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.inner.lock().expect("cache lock").map.len(),
             capacity: self.capacity,
+            spill_hits: self.spill_hits.load(Ordering::Relaxed),
+            spill_writes: self.spill_writes.load(Ordering::Relaxed),
+            spill_load_errors: self.spill_load_errors.load(Ordering::Relaxed),
+            spill_evictions: self.spill_evictions.load(Ordering::Relaxed),
+            spill_entries: self.spill.as_ref().map_or(0, SpillTier::entries),
         }
     }
 }

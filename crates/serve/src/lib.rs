@@ -13,6 +13,31 @@
 //! surface* exposes queue depth, per-shard lane occupancy, latency
 //! percentiles and cache hit rate as a plain struct snapshot.
 //!
+//! # Admission control
+//!
+//! Production traffic needs backpressure, not an unbounded queue. The
+//! runtime's admission tier gives every submission exactly one terminal
+//! state (the *counter-conservation invariant* the fault-injection suite
+//! enforces — `submitted == shed + expired + coalesced + decoded +
+//! cache hits`):
+//!
+//! * **shed** — [`ServeRuntime::try_submit`] rejects with
+//!   [`SubmitError::Overloaded`] when the queue is at
+//!   [`ServeConfig::queue_cap`] (cache hits and coalesced attaches cost
+//!   no decode and are never shed);
+//! * **expired** — with a configured [`ServeConfig::request_timeout`],
+//!   a request whose deadline passes before its result is ready resolves
+//!   to [`SubmitError::DeadlineExceeded`] *promptly* (the waiter wakes at
+//!   the deadline; it does not wait for decode), and a worker popping an
+//!   already-expired job cancels it instead of decoding stale work —
+//!   unless coalesced waiters are attached and still want the answer;
+//! * **coalesced** — a duplicate submission whose cache key is already
+//!   decoding attaches to the in-flight request's pending entry and gets
+//!   the same result fanned out, one decode for N waiters;
+//! * **decoded** — the request ran the engine itself;
+//! * **cache hit** — answered at submit from the result cache (memory
+//!   LRU, or the [`spill`] disk tier that survives restarts).
+//!
 //! # Determinism
 //!
 //! Runtime output is element-wise identical to sequential
@@ -22,7 +47,9 @@
 //! the beam policy runs per request — so batch composition, admission
 //! time, and shard assignment cannot change a request's hypotheses, and
 //! the cache stores exactly what decode would return (verified by the
-//! equivalence property test in `tests/equivalence.rs`).
+//! equivalence property test in `tests/equivalence.rs`). Coalesced
+//! waiters verify the full normalized text, not just the key hash, so a
+//! hash collision can never fan out another function's hypotheses.
 //!
 //! # Example
 //!
@@ -42,16 +69,20 @@
 pub mod cache;
 pub mod metrics;
 pub mod queue;
+pub mod spill;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use metrics::MetricsSnapshot;
 pub use queue::AdmissionQueue;
+pub use spill::{SpillProbe, SpillTier, SPILL_VERSION};
 
 use metrics::MetricsInner;
 use slade::{normalize_asm, Slade};
 use slade_nn::{DecodeRequest, InferenceEngine};
 use slade_obs::{SpanRecord, Stage};
 use slade_tokenizer::special;
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -67,11 +98,38 @@ pub struct ServeConfig {
     /// Concurrent-lane budget per shard; `0` derives it from the model's
     /// [`slade::Slade::max_batch_lanes`] split across the shards.
     pub lanes_per_shard: usize,
-    /// Result-cache capacity in entries; `0` disables caching.
+    /// Result-cache capacity in entries; `0` disables the memory tier.
     pub cache_capacity: usize,
     /// Admission patience: a request older than this is served strictly
     /// FIFO ahead of any fresher request (see [`queue::AdmissionQueue`]).
     pub max_wait: Duration,
+    /// Bounded-admission queue cap for [`ServeRuntime::try_submit`]:
+    /// when this many requests are already queued, further fallible
+    /// submissions shed with [`SubmitError::Overloaded`]. `0` =
+    /// unbounded (never sheds).
+    pub queue_cap: usize,
+    /// Per-request end-to-end deadline: a request not answered within
+    /// this resolves to [`SubmitError::DeadlineExceeded`], and queued
+    /// work past its deadline is cancelled instead of decoded.
+    /// [`Duration::ZERO`] disables timeouts.
+    pub request_timeout: Duration,
+    /// Collapse duplicate in-flight submissions (same cache key and
+    /// normalized text) onto one decode, fanning the result out to every
+    /// attached waiter.
+    pub coalesce: bool,
+    /// Directory for the disk-spill result-cache tier; `None` = memory
+    /// only. Entries persist across restarts and are shared between
+    /// runtimes pointed at the same directory (see [`spill`]).
+    pub spill_dir: Option<PathBuf>,
+    /// Spill-tier capacity in entries (`0` = unbounded); only meaningful
+    /// with `spill_dir` set.
+    pub spill_capacity: usize,
+    /// Test-only fault-injection hook: each worker sleeps this long
+    /// before decoding a popped batch, simulating a slow shard so
+    /// shedding, timeouts, and coalescing can be driven
+    /// deterministically. [`Duration::ZERO`] (the default) disables it.
+    #[doc(hidden)]
+    pub test_decode_delay: Duration,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +139,12 @@ impl Default for ServeConfig {
             lanes_per_shard: 0,
             cache_capacity: 1024,
             max_wait: Duration::from_millis(100),
+            queue_cap: 0,
+            request_timeout: Duration::ZERO,
+            coalesce: true,
+            spill_dir: None,
+            spill_capacity: 4096,
+            test_decode_delay: Duration::ZERO,
         }
     }
 }
@@ -91,12 +155,60 @@ impl ServeConfig {
         ServeConfig { shards: shards.max(1), ..ServeConfig::default() }
     }
 
-    /// Disables the result cache.
+    /// Disables the result cache (memory tier; the spill tier is
+    /// controlled by [`ServeConfig::spill_dir`]).
     pub fn without_cache(mut self) -> Self {
         self.cache_capacity = 0;
         self
     }
+
+    /// Disables in-flight coalescing (duplicates decode independently).
+    pub fn without_coalescing(mut self) -> Self {
+        self.coalesce = false;
+        self
+    }
+
+    /// Bounds the admission queue at `cap` (see
+    /// [`ServeConfig::queue_cap`]).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Sets the per-request end-to-end deadline.
+    pub fn with_request_timeout(mut self, timeout: Duration) -> Self {
+        self.request_timeout = timeout;
+        self
+    }
+
+    /// Enables the disk-spill result-cache tier under `dir`.
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        self.spill_dir = Some(dir);
+        self
+    }
 }
+
+/// Why a submission was rejected or cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Bounded admission shed the request: the queue was at
+    /// [`ServeConfig::queue_cap`] when [`ServeRuntime::try_submit`] ran.
+    Overloaded,
+    /// The request's [`ServeConfig::request_timeout`] elapsed before a
+    /// result was ready.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "overloaded: admission queue at capacity"),
+            SubmitError::DeadlineExceeded => write!(f, "deadline exceeded before a result"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// One queued decompilation job.
 struct Job {
@@ -104,6 +216,8 @@ struct Job {
     key: Option<CacheKey>,
     slot: Arc<ResponseSlot>,
     submitted: Instant,
+    /// End-to-end deadline; `None` when timeouts are disabled.
+    timeout_at: Option<Instant>,
     /// Trace id for the request's span tree.
     trace_id: u64,
     /// Submit time, µs since the observability epoch (span start times).
@@ -116,6 +230,9 @@ struct Job {
 mod span_id {
     pub const REQUEST: u32 = 1;
     pub const QUEUE: u32 = 2;
+    /// Coalesced/shed requests have a two-span tree: root + this marker
+    /// (same position as the queue span they never occupy).
+    pub const ATTACH: u32 = 2;
     pub const TOKENIZE: u32 = 3;
     pub const ENCODE: u32 = 4;
     pub const DECODE: u32 = 5;
@@ -123,28 +240,58 @@ mod span_id {
     pub const FIRST_STEP: u32 = 6;
 }
 
-/// Completion cell a caller blocks on.
+/// Root-span `detail` codes: how the request terminated.
+mod root_detail {
+    pub const DECODED: u64 = 0;
+    pub const CACHE_HIT: u64 = 1;
+    pub const COALESCED: u64 = 2;
+    pub const SHED: u64 = 3;
+    pub const EXPIRED: u64 = 4;
+}
+
+/// Completion cell a caller blocks on. `claimed` is the exactly-once
+/// terminal-state gate: whoever wins [`ResponseSlot::try_claim`] — the
+/// decode fan-out, a cache hit, or an expiring waiter/worker — is the
+/// only party that fulfills the slot and counts the terminal, so no
+/// request is ever counted or delivered twice.
 struct ResponseSlot {
-    result: Mutex<Option<Vec<String>>>,
+    result: Mutex<Option<Result<Vec<String>, SubmitError>>>,
     ready: Condvar,
+    claimed: AtomicBool,
 }
 
 impl ResponseSlot {
     fn new() -> Self {
-        ResponseSlot { result: Mutex::new(None), ready: Condvar::new() }
+        ResponseSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+            claimed: AtomicBool::new(false),
+        }
     }
 
-    fn fulfill(&self, outputs: Vec<String>) {
-        *self.result.lock().expect("slot lock") = Some(outputs);
+    /// True exactly once, for the first caller.
+    fn try_claim(&self) -> bool {
+        !self.claimed.swap(true, Ordering::AcqRel)
+    }
+
+    fn is_claimed(&self) -> bool {
+        self.claimed.load(Ordering::Acquire)
+    }
+
+    fn fulfill(&self, outcome: Result<Vec<String>, SubmitError>) {
+        *self.result.lock().expect("slot lock") = Some(outcome);
         self.ready.notify_all();
     }
 }
 
 /// Handle to one in-flight request; [`RequestHandle::wait`] blocks until
-/// its hypotheses are ready.
+/// its hypotheses are ready or its deadline passes.
 pub struct RequestHandle {
     slot: Arc<ResponseSlot>,
     trace_id: u64,
+    timeout_at: Option<Instant>,
+    submitted_us: u64,
+    shared: Arc<Shared>,
 }
 
 impl RequestHandle {
@@ -155,19 +302,61 @@ impl RequestHandle {
     }
 
     /// Blocks until the request completes; returns up to `beam`
-    /// hypotheses, best first.
-    pub fn wait(self) -> Vec<String> {
+    /// hypotheses, best first — or [`SubmitError::DeadlineExceeded`]
+    /// **at the deadline** when [`ServeConfig::request_timeout`] is
+    /// configured: an expired request still queued behind a slow decode
+    /// resolves promptly, it does not wait for the decode to finish.
+    pub fn wait(self) -> Result<Vec<String>, SubmitError> {
+        let mut deadline = self.timeout_at;
         let mut guard = self.slot.result.lock().expect("slot lock");
-        while guard.is_none() {
-            guard = self.slot.ready.wait(guard).expect("slot wait");
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            match deadline {
+                None => guard = self.slot.ready.wait(guard).expect("slot wait"),
+                Some(t) => {
+                    let now = Instant::now();
+                    if now >= t {
+                        if self.slot.try_claim() {
+                            drop(guard);
+                            self.shared.expire(self.trace_id, self.submitted_us);
+                            self.slot.fulfill(Err(SubmitError::DeadlineExceeded));
+                            return Err(SubmitError::DeadlineExceeded);
+                        }
+                        // Lost the claim: a fulfiller is delivering right
+                        // now — wait for the result without a deadline.
+                        deadline = None;
+                    } else {
+                        let (g, _) =
+                            self.slot.ready.wait_timeout(guard, t - now).expect("slot wait");
+                        guard = g;
+                    }
+                }
+            }
         }
-        guard.take().expect("checked above")
     }
 
-    /// Non-blocking poll; returns the result once, if ready.
-    pub fn try_take(&self) -> Option<Vec<String>> {
+    /// Non-blocking poll; returns the outcome once, if ready.
+    pub fn try_take(&self) -> Option<Result<Vec<String>, SubmitError>> {
         self.slot.result.lock().expect("slot lock").take()
     }
+}
+
+/// One waiter attached to an in-flight decode by the coalescing table.
+struct Waiter {
+    slot: Arc<ResponseSlot>,
+    trace_id: u64,
+    attached_us: u64,
+    submitted: Instant,
+}
+
+/// In-flight decode entry: presence in the pending table means "this key
+/// is queued or decoding"; the full normalized text guards against hash
+/// collisions coalescing two different functions.
+struct PendingEntry {
+    norm_asm: String,
+    waiters: Vec<Waiter>,
 }
 
 /// State shared between the front-end and the workers.
@@ -175,11 +364,36 @@ struct Shared {
     slade: Arc<Slade>,
     queue: Mutex<AdmissionQueue<Job>>,
     work: Condvar,
+    /// In-flight coalescing table (lock order: `queue` before `pending`
+    /// when both are held; never `pending` → `queue`).
+    pending: Mutex<HashMap<CacheKey, PendingEntry>>,
     cache: ResultCache,
     metrics: MetricsInner,
     shutdown: AtomicBool,
     lanes_per_shard: usize,
     max_wait: Duration,
+    queue_cap: usize,
+    request_timeout: Duration,
+    coalesce: bool,
+    test_decode_delay: Duration,
+}
+
+impl Shared {
+    /// Terminal accounting + span for one expired request (claim must
+    /// already be won by the caller).
+    fn expire(&self, trace_id: u64, submitted_us: u64) {
+        self.metrics.expired.fetch_add(1, Ordering::Relaxed);
+        let o = slade_obs::obs();
+        o.record_span(SpanRecord {
+            trace_id,
+            span_id: span_id::REQUEST,
+            parent: 0,
+            stage: Stage::Request,
+            start_us: submitted_us,
+            dur_us: o.now_us().saturating_sub(submitted_us),
+            detail: root_detail::EXPIRED,
+        });
+    }
 }
 
 /// The serving runtime: spawns the shard workers at
@@ -211,15 +425,28 @@ impl ServeRuntime {
         // reports what the workers will actually run with.
         let kernel_isa = slade_nn::kernels::active_tier().name();
         let backend = slade.model.cfg.backend.name();
+        let cache = match &config.spill_dir {
+            Some(dir) => ResultCache::with_spill(
+                config.cache_capacity,
+                dir.clone(),
+                config.spill_capacity,
+            ),
+            None => ResultCache::new(config.cache_capacity),
+        };
         let shared = Arc::new(Shared {
             slade,
             queue: Mutex::new(AdmissionQueue::new()),
             work: Condvar::new(),
-            cache: ResultCache::new(config.cache_capacity),
+            pending: Mutex::new(HashMap::new()),
+            cache,
             metrics: MetricsInner::new(shards, lanes_per_shard, kernel_isa, backend),
             shutdown: AtomicBool::new(false),
             lanes_per_shard,
             max_wait: config.max_wait,
+            queue_cap: config.queue_cap,
+            request_timeout: config.request_timeout,
+            coalesce: config.coalesce,
+            test_decode_delay: config.test_decode_delay,
         });
         let workers = (0..shards)
             .map(|shard| {
@@ -234,6 +461,9 @@ impl ServeRuntime {
     }
 
     /// Submits raw assembly text; returns immediately with a handle.
+    /// Infallible admission: never sheds, even past
+    /// [`ServeConfig::queue_cap`] (trusted in-process callers); the
+    /// configured request timeout still applies.
     pub fn submit(&self, asm_text: &str) -> RequestHandle {
         self.submit_normalized(normalize_asm(asm_text))
     }
@@ -243,13 +473,52 @@ impl ServeRuntime {
     /// are the same string). Raw text submitted here would be tokenized
     /// with its boilerplate intact.
     pub fn submit_normalized(&self, normalized_asm: String) -> RequestHandle {
+        match self.admit(normalized_asm, false) {
+            Ok(handle) => handle,
+            Err(_) => unreachable!("infallible submit never sheds"),
+        }
+    }
+
+    /// Fallible admission with shed-on-full backpressure: rejects with
+    /// [`SubmitError::Overloaded`] when [`ServeConfig::queue_cap`]
+    /// requests are already queued. Cache hits and coalesced attaches
+    /// cost no decode and are admitted regardless of queue depth.
+    pub fn try_submit(&self, asm_text: &str) -> Result<RequestHandle, SubmitError> {
+        self.try_submit_normalized(normalize_asm(asm_text))
+    }
+
+    /// [`ServeRuntime::try_submit`] over pre-normalized input.
+    pub fn try_submit_normalized(
+        &self,
+        normalized_asm: String,
+    ) -> Result<RequestHandle, SubmitError> {
+        self.admit(normalized_asm, true)
+    }
+
+    /// The single admission path: cache probe → coalesce attach → cap
+    /// check → enqueue (see module docs for the terminal states).
+    fn admit(
+        &self,
+        normalized_asm: String,
+        enforce_cap: bool,
+    ) -> Result<RequestHandle, SubmitError> {
         let sh = &*self.shared;
         let o = slade_obs::obs();
         sh.metrics.submitted.fetch_add(1, Ordering::Relaxed);
         let trace_id = o.next_trace_id();
         let submitted_us = o.now_us();
+        let submitted = Instant::now();
+        let timeout_at =
+            (sh.request_timeout > Duration::ZERO).then(|| submitted + sh.request_timeout);
         let slot = Arc::new(ResponseSlot::new());
-        let key = sh.cache.enabled().then(|| {
+        let handle = RequestHandle {
+            slot: Arc::clone(&slot),
+            trace_id,
+            timeout_at,
+            submitted_us,
+            shared: Arc::clone(&self.shared),
+        };
+        let key = (sh.cache.enabled() || sh.coalesce).then(|| {
             CacheKey::new(
                 &normalized_asm,
                 sh.slade.isa(),
@@ -259,61 +528,149 @@ impl ServeRuntime {
             )
         });
         if let Some(key) = &key {
-            if let Some(outputs) = sh.cache.get(key, &normalized_asm) {
-                let dur = o.now_us() - submitted_us;
-                o.record_span(SpanRecord {
-                    trace_id,
-                    span_id: span_id::QUEUE, // position 2 in the fixed tree
-                    parent: span_id::REQUEST,
-                    stage: Stage::Cache,
-                    start_us: submitted_us,
-                    dur_us: dur,
-                    detail: 1,
-                });
-                o.record_span(SpanRecord {
-                    trace_id,
-                    span_id: span_id::REQUEST,
-                    parent: 0,
-                    stage: Stage::Request,
-                    start_us: submitted_us,
-                    dur_us: dur,
-                    detail: 1, // cache hit
-                });
-                sh.metrics.record_latency(Duration::ZERO);
-                slot.fulfill(outputs);
-                return RequestHandle { slot, trace_id };
+            if sh.cache.enabled() {
+                if let Some(outputs) = sh.cache.get(key, &normalized_asm) {
+                    let dur = o.now_us() - submitted_us;
+                    o.record_span(SpanRecord {
+                        trace_id,
+                        span_id: span_id::QUEUE, // position 2 in the fixed tree
+                        parent: span_id::REQUEST,
+                        stage: Stage::Cache,
+                        start_us: submitted_us,
+                        dur_us: dur,
+                        detail: 1,
+                    });
+                    o.record_span(SpanRecord {
+                        trace_id,
+                        span_id: span_id::REQUEST,
+                        parent: 0,
+                        stage: Stage::Request,
+                        start_us: submitted_us,
+                        dur_us: dur,
+                        detail: root_detail::CACHE_HIT,
+                    });
+                    sh.metrics.record_latency(Duration::ZERO);
+                    slot.try_claim();
+                    slot.fulfill(Ok(outputs));
+                    return Ok(handle);
+                }
             }
         }
         let job = Job {
             norm_asm: normalized_asm,
             key,
-            slot: Arc::clone(&slot),
-            submitted: Instant::now(),
+            slot,
+            submitted,
+            timeout_at,
             trace_id,
             submitted_us,
         };
         {
+            // Cap check, coalesce attach, and enqueue are atomic under
+            // the queue lock (pending nests inside it — see the lock
+            // order note on `Shared::pending`), so a sequential
+            // submitter observes exact shed behavior.
             let mut q = self.shared.queue.lock().expect("queue lock");
+            if let Some(key) = &job.key {
+                if sh.coalesce {
+                    let mut pending = sh.pending.lock().expect("pending lock");
+                    if let Some(entry) = pending.get_mut(key) {
+                        if entry.norm_asm == job.norm_asm {
+                            // Duplicate of an in-flight decode: attach,
+                            // don't enqueue. Terminal state (coalesced or
+                            // expired) is decided at fan-out or deadline.
+                            entry.waiters.push(Waiter {
+                                slot: Arc::clone(&job.slot),
+                                trace_id,
+                                attached_us: submitted_us,
+                                submitted,
+                            });
+                            return Ok(handle);
+                        }
+                        // Same key, different text: a 64-bit collision.
+                        // Decode independently; the entry stays owned by
+                        // the other text's decode.
+                    } else {
+                        if enforce_cap && sh.queue_cap > 0 && q.len() >= sh.queue_cap {
+                            drop(pending);
+                            drop(q);
+                            return Err(self.shed(trace_id, submitted_us));
+                        }
+                        pending.insert(
+                            *key,
+                            PendingEntry {
+                                norm_asm: job.norm_asm.clone(),
+                                waiters: Vec::new(),
+                            },
+                        );
+                    }
+                }
+            }
+            if (job.key.is_none() || !sh.coalesce)
+                && enforce_cap
+                && sh.queue_cap > 0
+                && q.len() >= sh.queue_cap
+            {
+                drop(q);
+                return Err(self.shed(trace_id, submitted_us));
+            }
             let deadline = Instant::now() + sh.max_wait;
             q.push(job, deadline);
             sh.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
         }
         self.shared.work.notify_all();
-        RequestHandle { slot, trace_id }
+        Ok(handle)
+    }
+
+    /// Terminal accounting + spans for one shed submission.
+    fn shed(&self, trace_id: u64, submitted_us: u64) -> SubmitError {
+        let sh = &*self.shared;
+        sh.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        let o = slade_obs::obs();
+        let dur = o.now_us().saturating_sub(submitted_us);
+        o.record_span(SpanRecord {
+            trace_id,
+            span_id: span_id::ATTACH,
+            parent: span_id::REQUEST,
+            stage: Stage::Shed,
+            start_us: submitted_us,
+            dur_us: dur,
+            detail: sh.queue_cap as u64,
+        });
+        o.record_span(SpanRecord {
+            trace_id,
+            span_id: span_id::REQUEST,
+            parent: 0,
+            stage: Stage::Request,
+            start_us: submitted_us,
+            dur_us: dur,
+            detail: root_detail::SHED,
+        });
+        SubmitError::Overloaded
     }
 
     /// Decompiles one function, blocking until its hypotheses are ready.
+    ///
+    /// # Panics
+    ///
+    /// With a configured [`ServeConfig::request_timeout`], panics if the
+    /// deadline expires — use [`ServeRuntime::submit`] and handle the
+    /// error for deadline-aware callers.
     pub fn decompile(&self, asm_text: &str) -> Vec<String> {
-        self.submit(asm_text).wait()
+        self.submit(asm_text).wait().expect("request timed out (see request_timeout)")
     }
 
     /// Decompiles a batch, preserving input order in the output —
     /// element-wise identical to [`Slade::decompile_batch`] on the same
-    /// inputs, for any shard count and completion order.
+    /// inputs, for any shard count and completion order. Panics on
+    /// timeout like [`ServeRuntime::decompile`].
     pub fn decompile_batch(&self, asm_texts: &[&str]) -> Vec<Vec<String>> {
         let handles: Vec<RequestHandle> =
             asm_texts.iter().map(|asm| self.submit(asm)).collect();
-        handles.into_iter().map(RequestHandle::wait).collect()
+        handles
+            .into_iter()
+            .map(|h| h.wait().expect("request timed out (see request_timeout)"))
+            .collect()
     }
 
     /// [`ServeRuntime::decompile_batch`] over pre-normalized inputs.
@@ -322,7 +679,10 @@ impl ServeRuntime {
             .iter()
             .map(|asm| self.submit_normalized((*asm).to_string()))
             .collect();
-        handles.into_iter().map(RequestHandle::wait).collect()
+        handles
+            .into_iter()
+            .map(|h| h.wait().expect("request timed out (see request_timeout)"))
+            .collect()
     }
 
     /// Point-in-time metrics snapshot.
@@ -331,9 +691,10 @@ impl ServeRuntime {
     }
 
     /// Prometheus text exposition of the full metrics surface: queue,
-    /// lanes, cache, both latency histograms, per-stage histograms, and
-    /// kernel counters. Assembled from snapshots — scraping never takes a
-    /// lock a worker records through.
+    /// lanes, admission terminals (shed/expired/coalesced/decoded),
+    /// cache + spill tiers, both latency histograms, per-stage
+    /// histograms, and kernel counters. Assembled from snapshots —
+    /// scraping never takes a lock a worker records through.
     pub fn metrics_text(&self) -> String {
         self.shared.metrics.prometheus(self.shared.cache.stats())
     }
@@ -401,6 +762,40 @@ struct Inflight {
     steps: u64,
 }
 
+/// Decides what to do with one popped job whose deadline may have
+/// passed: `Decode` (live, or expired-but-wanted by coalesced waiters)
+/// or `Drop` (cancelled — never decoded).
+fn triage(shared: &Shared, job: &Job, now: Instant) -> bool {
+    let timed_out = job.timeout_at.is_some_and(|t| now >= t);
+    if !timed_out && !job.slot.is_claimed() {
+        return true;
+    }
+    // Expired (by its waiter, or right here). Count the terminal if the
+    // claim is still open — the waiter may be gone (handle dropped).
+    if job.slot.try_claim() {
+        shared.expire(job.trace_id, job.submitted_us);
+        job.slot.fulfill(Err(SubmitError::DeadlineExceeded));
+    }
+    // Cancel the decode unless coalesced waiters still want the answer.
+    if shared.coalesce {
+        if let Some(key) = &job.key {
+            let mut pending = shared.pending.lock().expect("pending lock");
+            if let Some(entry) = pending.get(key) {
+                if entry.norm_asm == job.norm_asm {
+                    if entry.waiters.is_empty() {
+                        pending.remove(key);
+                        return false;
+                    }
+                    // Waiters attached: decode for them; the expired
+                    // leader is skipped at fan-out by its lost claim.
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
 fn worker_loop(shared: &Shared, shard: usize) {
     let slade = &shared.slade;
     let o = slade_obs::obs();
@@ -412,21 +807,21 @@ fn worker_loop(shared: &Shared, shard: usize) {
     loop {
         // Admission: pop under the lock, in fairness order, while lanes
         // are free; block only when there is nothing to do at all.
-        let mut batch: Vec<Job> = Vec::new();
+        let mut popped: Vec<Job> = Vec::new();
         {
             let mut q = shared.queue.lock().expect("queue lock");
             loop {
-                let mut free = session.free_lanes().saturating_sub(batch.len() * beam);
+                let mut free = session.free_lanes().saturating_sub(popped.len() * beam);
                 while free >= beam {
                     match q.pop_next() {
                         Some((_seq, job)) => {
                             free -= beam;
-                            batch.push(job);
+                            popped.push(job);
                         }
                         None => break,
                     }
                 }
-                if !batch.is_empty() || !session.is_idle() {
+                if !popped.is_empty() || !session.is_idle() {
                     break;
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -435,8 +830,18 @@ fn worker_loop(shared: &Shared, shard: usize) {
                 q = shared.work.wait(q).expect("queue wait");
             }
         }
+        if !popped.is_empty() {
+            shared.metrics.queue_depth_sub(popped.len());
+        }
+        // Cancel expired queued work (unless coalesced waiters want it).
+        let now = Instant::now();
+        let batch: Vec<Job> =
+            popped.into_iter().filter(|job| triage(shared, job, now)).collect();
         if !batch.is_empty() {
-            shared.metrics.queue_depth_sub(batch.len());
+            // Fault-injection hook: simulate a slow shard.
+            if shared.test_decode_delay > Duration::ZERO {
+                std::thread::sleep(shared.test_decode_delay);
+            }
             let tracing = o.enabled();
             let popped_us = o.now_us();
             if tracing {
@@ -528,12 +933,27 @@ fn worker_loop(shared: &Shared, shard: usize) {
             let Inflight { job, decode_start_us, steps, .. } = inflight.swap_remove(at);
             let outputs: Vec<String> =
                 beams.iter().map(|ids| slade.tokenizer.decode(ids)).collect();
+            // Detach the coalesced waiters first (removing the pending
+            // entry, so late duplicates become fresh leaders), then feed
+            // the cache, then fan out.
+            let waiters: Vec<Waiter> = match (&job.key, shared.coalesce) {
+                (Some(key), true) => {
+                    let mut pending = shared.pending.lock().expect("pending lock");
+                    match pending.get(key) {
+                        Some(entry) if entry.norm_asm == job.norm_asm => {
+                            pending.remove(key).map(|entry| entry.waiters).unwrap_or_default()
+                        }
+                        _ => Vec::new(),
+                    }
+                }
+                _ => Vec::new(),
+            };
             if let Some(key) = job.key {
                 shared.cache.insert(key, &job.norm_asm, outputs.clone());
             }
             let elapsed = job.submitted.elapsed();
+            let done_us = o.now_us();
             if tracing {
-                let done_us = o.now_us();
                 o.record_span(SpanRecord {
                     trace_id: job.trace_id,
                     span_id: span_id::DECODE,
@@ -543,29 +963,63 @@ fn worker_loop(shared: &Shared, shard: usize) {
                     dur_us: done_us.saturating_sub(decode_start_us),
                     detail: steps,
                 });
-                o.record_span(SpanRecord {
-                    trace_id: job.trace_id,
-                    span_id: span_id::REQUEST,
-                    parent: 0,
-                    stage: Stage::Request,
-                    start_us: job.submitted_us,
-                    dur_us: done_us.saturating_sub(job.submitted_us),
-                    detail: 0,
-                });
             }
-            let slow = o.slow_threshold_us();
-            if slow > 0 && elapsed.as_micros() as u64 >= slow {
-                o.count(slade_obs::KernelCtr::SlowRequests, 1);
-                eprintln!(
-                    "slade-serve: slow request trace_id={} shard={shard} {}ms (threshold {}ms, {steps} steps); inspect with `slade-cli trace {}`",
-                    job.trace_id,
-                    elapsed.as_millis(),
-                    slow / 1000,
-                    job.trace_id,
-                );
+            if job.slot.try_claim() {
+                shared.metrics.decoded.fetch_add(1, Ordering::Relaxed);
+                if tracing {
+                    o.record_span(SpanRecord {
+                        trace_id: job.trace_id,
+                        span_id: span_id::REQUEST,
+                        parent: 0,
+                        stage: Stage::Request,
+                        start_us: job.submitted_us,
+                        dur_us: done_us.saturating_sub(job.submitted_us),
+                        detail: root_detail::DECODED,
+                    });
+                }
+                let slow = o.slow_threshold_us();
+                if slow > 0 && elapsed.as_micros() as u64 >= slow {
+                    o.count(slade_obs::KernelCtr::SlowRequests, 1);
+                    eprintln!(
+                        "slade-serve: slow request trace_id={} shard={shard} {}ms (threshold {}ms, {steps} steps); inspect with `slade-cli trace {}`",
+                        job.trace_id,
+                        elapsed.as_millis(),
+                        slow / 1000,
+                        job.trace_id,
+                    );
+                }
+                shared.metrics.record_latency(elapsed);
+                job.slot.fulfill(Ok(outputs.clone()));
             }
-            shared.metrics.record_latency(elapsed);
-            job.slot.fulfill(outputs);
+            // Fan the result out to every coalesced waiter that has not
+            // expired (exactly-once per waiter via its claim).
+            for w in waiters {
+                if w.slot.try_claim() {
+                    shared.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.record_latency(w.submitted.elapsed());
+                    if tracing {
+                        o.record_span(SpanRecord {
+                            trace_id: w.trace_id,
+                            span_id: span_id::ATTACH,
+                            parent: span_id::REQUEST,
+                            stage: Stage::Coalesce,
+                            start_us: w.attached_us,
+                            dur_us: done_us.saturating_sub(w.attached_us),
+                            detail: job.trace_id,
+                        });
+                        o.record_span(SpanRecord {
+                            trace_id: w.trace_id,
+                            span_id: span_id::REQUEST,
+                            parent: 0,
+                            stage: Stage::Request,
+                            start_us: w.attached_us,
+                            dur_us: done_us.saturating_sub(w.attached_us),
+                            detail: root_detail::COALESCED,
+                        });
+                    }
+                    w.slot.fulfill(Ok(outputs.clone()));
+                }
+            }
         }
         shared.metrics.shard_lanes[shard].store(session.live_lanes(), Ordering::Relaxed);
         let decoded = session.decoded_tokens();

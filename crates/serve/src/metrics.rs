@@ -21,6 +21,14 @@ use std::time::Duration;
 pub(crate) struct MetricsInner {
     pub submitted: AtomicU64,
     pub completed: AtomicU64,
+    /// Submissions rejected by bounded admission (queue at cap).
+    pub shed: AtomicU64,
+    /// Requests whose deadline expired before a result was ready.
+    pub expired: AtomicU64,
+    /// Duplicate submissions attached to an in-flight decode.
+    pub coalesced: AtomicU64,
+    /// Requests that ran the engine themselves.
+    pub decoded: AtomicU64,
     pub queue_depth: AtomicUsize,
     /// Live beam lanes per shard (gauge, updated by each worker).
     pub shard_lanes: Vec<AtomicUsize>,
@@ -47,6 +55,10 @@ impl MetricsInner {
         MetricsInner {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            decoded: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             shard_lanes: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
             lane_capacity,
@@ -87,6 +99,10 @@ impl MetricsInner {
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            decoded: self.decoded.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             shard_lanes: self.shard_lanes.iter().map(|l| l.load(Ordering::Relaxed)).collect(),
             lane_capacity_per_shard: self.lane_capacity,
@@ -119,6 +135,26 @@ impl MetricsInner {
             "Requests answered (cache hits included).",
             self.completed.load(Ordering::Relaxed),
         );
+        p.counter(
+            "slade_shed_total",
+            "Submissions rejected by bounded admission (queue at cap).",
+            self.shed.load(Ordering::Relaxed),
+        );
+        p.counter(
+            "slade_expired_total",
+            "Requests whose deadline expired before a result.",
+            self.expired.load(Ordering::Relaxed),
+        );
+        p.counter(
+            "slade_coalesced_total",
+            "Duplicate submissions attached to an in-flight decode.",
+            self.coalesced.load(Ordering::Relaxed),
+        );
+        p.counter(
+            "slade_decoded_total",
+            "Requests that ran the engine themselves.",
+            self.decoded.load(Ordering::Relaxed),
+        );
         p.gauge(
             "slade_queue_depth",
             "Requests waiting for admission right now.",
@@ -146,6 +182,27 @@ impl MetricsInner {
         p.counter("slade_cache_insertions_total", "Result-cache insertions.", cache.insertions);
         p.counter("slade_cache_evictions_total", "Result-cache evictions.", cache.evictions);
         p.gauge("slade_cache_entries", "Result-cache resident entries.", cache.entries as f64);
+        p.counter("slade_spill_hits_total", "Disk-spill tier hits.", cache.spill_hits);
+        p.counter(
+            "slade_spill_writes_total",
+            "Entries written to the spill tier.",
+            cache.spill_writes,
+        );
+        p.counter(
+            "slade_spill_load_errors_total",
+            "Spill entries that failed integrity checks on load.",
+            cache.spill_load_errors,
+        );
+        p.counter(
+            "slade_spill_evictions_total",
+            "Spill entries evicted by capacity.",
+            cache.spill_evictions,
+        );
+        p.gauge(
+            "slade_spill_entries",
+            "Spill-tier resident entries.",
+            cache.spill_entries as f64,
+        );
         p.histogram_us(
             "slade_request_latency_seconds",
             "End-to-end latency, submit to response.",
@@ -231,6 +288,18 @@ pub struct MetricsSnapshot {
     pub submitted: u64,
     /// Requests answered (cache hits included).
     pub completed: u64,
+    /// Submissions rejected by bounded admission
+    /// ([`crate::SubmitError::Overloaded`]).
+    pub shed: u64,
+    /// Requests whose deadline expired before a result was ready
+    /// ([`crate::SubmitError::DeadlineExceeded`]).
+    pub expired: u64,
+    /// Duplicate submissions answered by attaching to an in-flight
+    /// decode. With `shed`, `expired`, `decoded`, and `cache.hits`,
+    /// partitions `submitted` exactly (counter conservation).
+    pub coalesced: u64,
+    /// Requests that ran the engine themselves.
+    pub decoded: u64,
     /// Requests waiting for admission right now.
     pub queue_depth: usize,
     /// Live beam lanes per shard right now.

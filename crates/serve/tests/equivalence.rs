@@ -1,7 +1,9 @@
 //! The serving runtime's load-bearing contract: for **any** shard count,
-//! arrival order, and cache setting, its output is element-wise identical
-//! to sequential [`Slade::decompile_batch`] — plus fairness (admission
-//! follows arrival under sustained load) and metrics sanity.
+//! arrival order, duplicate ratio, and cache/coalesce/spill setting, its
+//! output is element-wise identical to sequential
+//! [`Slade::decompile_batch`] — plus fairness (admission follows arrival
+//! under sustained load), warm-start (a restarted runtime answers from
+//! the spill tier without decoding), and metrics sanity.
 
 use proptest::prelude::*;
 use slade::{Slade, SladeBuilder, TrainProfile};
@@ -50,14 +52,19 @@ fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// The headline property: threads × arrival order × cache ⇒ the
-    /// runtime returns exactly what sequential `decompile_batch` returns,
-    /// per element.
+    /// The headline property: threads × arrival order × duplicate ratio
+    /// × cache × coalescing × spill ⇒ every request gets exactly what
+    /// sequential `decompile_batch` returns, per element — whether it
+    /// was decoded, cache-hit, coalesced onto another decode, or loaded
+    /// from disk.
     #[test]
     fn runtime_output_is_identical_to_sequential(
         shards in 1usize..=4,
         perm_seed in 0u64..1_000_000,
         cache_on in 0u8..2,
+        coalesce_on in 0u8..2,
+        spill_on in 0u8..2,
+        duplicates in 0usize..=8,
     ) {
         let (slade, asms) = fixture();
         let expected = slade.decompile_batch(
@@ -67,26 +74,93 @@ proptest! {
         if cache_on == 0 {
             config = config.without_cache();
         }
+        if coalesce_on == 0 {
+            config = config.without_coalescing();
+        }
+        let spill_dir = (spill_on == 1).then(|| tempdir("equiv-spill"));
+        if let Some(dir) = &spill_dir {
+            config = config.with_spill_dir(dir.path.clone());
+        }
         // Small per-shard budgets force multi-round admission (requests
         // genuinely join running batches as lanes free up).
         config.lanes_per_shard = slade.beam() * 2;
         let runtime = ServeRuntime::start(Arc::clone(slade), config);
-        // Submit in a random arrival order; duplicates exercise the cache.
-        let order = permutation(asms.len() + 2, perm_seed);
+        // Submit in a random arrival order; duplicates exercise the
+        // cache and (duplicate-heavy cases) the coalescing table.
+        let total = asms.len() + duplicates;
+        let order = permutation(total, perm_seed);
         let handles: Vec<(usize, slade_serve::RequestHandle)> = order
             .iter()
             .map(|&i| {
-                let idx = i % asms.len(); // two duplicates per round
+                let idx = i % asms.len();
                 (idx, runtime.submit(&asms[idx]))
             })
             .collect();
         for (idx, handle) in handles {
-            prop_assert_eq!(&handle.wait(), &expected[idx], "request {} diverged", idx);
+            let got = handle.wait().expect("infallible submit never errors");
+            prop_assert_eq!(&got, &expected[idx], "request {} diverged", idx);
         }
         let snap = runtime.metrics();
-        prop_assert_eq!(snap.completed, (asms.len() + 2) as u64);
+        prop_assert_eq!(snap.completed, total as u64);
+        prop_assert_eq!(snap.shed, 0u64);
+        prop_assert_eq!(snap.expired, 0u64);
+        // Counter conservation: every submission has exactly one terminal.
+        prop_assert_eq!(
+            snap.shed + snap.expired + snap.coalesced + snap.decoded + snap.cache.hits,
+            snap.submitted,
+        );
         runtime.shutdown();
     }
+}
+
+/// Self-cleaning unique temp directory (no tempfile dep in-tree).
+struct TempDir {
+    path: std::path::PathBuf,
+}
+
+fn tempdir(tag: &str) -> TempDir {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "slade-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    std::fs::create_dir_all(&path).expect("create tempdir");
+    TempDir { path }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// The kill-and-restart warm-start case: a second runtime pointed at the
+/// first one's spill directory answers the same workload from disk —
+/// zero decoded tokens, byte-identical hypotheses.
+#[test]
+fn restarted_runtime_starts_warm_from_spill() {
+    let (slade, asms) = fixture();
+    let dir = tempdir("warm-start");
+    let refs: Vec<&str> = asms.iter().map(String::as_str).collect();
+    let config = ServeConfig::with_shards(2).with_spill_dir(dir.path.clone());
+    let first = ServeRuntime::start(Arc::clone(slade), config.clone());
+    let cold = first.decompile_batch(&refs);
+    let snap = first.metrics();
+    assert_eq!(snap.cache.spill_writes, asms.len() as u64, "every decode spilled");
+    assert!(snap.decode_tokens > 0);
+    first.shutdown(); // the "kill": drop the process state, keep the disk
+
+    let second = ServeRuntime::start(Arc::clone(slade), config);
+    let warm = second.decompile_batch(&refs);
+    assert_eq!(warm, cold, "spill tier must return exactly what decode returned");
+    let snap = second.metrics();
+    assert_eq!(snap.decode_tokens, 0, "warm start must not decode at all");
+    assert_eq!(snap.cache.hits, asms.len() as u64);
+    assert_eq!(snap.cache.spill_hits, asms.len() as u64, "all hits came from disk");
+    assert_eq!(snap.decoded, 0);
+    second.shutdown();
 }
 
 #[test]
@@ -99,13 +173,17 @@ fn sustained_load_admits_in_arrival_order_without_starvation() {
         lanes_per_shard: slade.beam(),
         cache_capacity: 0,
         max_wait: Duration::from_millis(1),
+        // Coalescing off: duplicates must each occupy a queue slot for
+        // the admission-order assertion to see all 24 arrivals.
+        coalesce: false,
+        ..ServeConfig::default()
     };
     let runtime = ServeRuntime::start(Arc::clone(slade), config);
     let total = 24usize;
     let handles: Vec<slade_serve::RequestHandle> =
         (0..total).map(|i| runtime.submit(&asms[i % asms.len()])).collect();
     for handle in handles {
-        assert!(!handle.wait().is_empty() || slade.beam() == 0);
+        assert!(!handle.wait().expect("no timeout configured").is_empty() || slade.beam() == 0);
     }
     let order = runtime.admission_order();
     assert_eq!(order.len(), total, "every request admitted exactly once");
@@ -124,12 +202,14 @@ fn admission_order_is_globally_fifo_across_shards() {
             lanes_per_shard: slade.beam(),
             cache_capacity: 0,
             max_wait: Duration::from_millis(1),
+            coalesce: false,
+            ..ServeConfig::default()
         },
     );
     let handles: Vec<slade_serve::RequestHandle> =
         (0..18).map(|i| runtime.submit(&asms[i % asms.len()])).collect();
     for handle in handles {
-        handle.wait();
+        handle.wait().expect("no timeout configured");
     }
     let order = runtime.admission_order();
     assert_eq!(order.len(), 18);

@@ -34,7 +34,7 @@ fn scrape_and_trace_smoke() {
     let handles: Vec<_> = workload.iter().map(|a| runtime.submit(a)).collect();
     let trace_ids: Vec<u64> = handles.iter().map(|h| h.trace_id()).collect();
     for h in handles {
-        assert!(!h.wait().is_empty());
+        assert!(!h.wait().expect("no timeout configured").is_empty());
     }
 
     // --- Scrape: exposition parses, decode actually happened. ---
@@ -44,6 +44,12 @@ fn scrape_and_trace_smoke() {
     assert!(stats.families >= 20, "expected a full surface, got {}", stats.families);
     assert!(stats.values["slade_decode_tokens_total"] > 0.0, "no decode tokens counted");
     assert_eq!(stats.values["slade_requests_completed_total"], 4.0);
+    // Admission-tier families are always exposed, even at zero.
+    assert_eq!(stats.values["slade_shed_total"], 0.0);
+    assert_eq!(stats.values["slade_expired_total"], 0.0);
+    assert_eq!(stats.values["slade_coalesced_total"], 0.0);
+    assert_eq!(stats.values["slade_decoded_total"], 4.0);
+    assert_eq!(stats.values["slade_spill_hits_total"], 0.0);
     // All requests drained: the saturating-decrement gauge is back to 0.
     let snap = runtime.metrics();
     assert_eq!(snap.queue_depth, 0, "queue_depth must return to zero");
@@ -95,7 +101,7 @@ fn scrape_and_trace_smoke() {
     // --- Cache hit: root span flags it, no decode spans. ---
     let h = runtime.submit(&workload[0]);
     let hit_tid = h.trace_id();
-    assert!(!h.wait().is_empty());
+    assert!(!h.wait().expect("no timeout configured").is_empty());
     let hit_spans = runtime.trace_spans(hit_tid);
     let hit_root =
         hit_spans.iter().find(|s| s.stage == Stage::Request).expect("cache-hit root span");

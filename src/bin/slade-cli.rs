@@ -9,6 +9,7 @@
 //! slade-cli eval      --model model.json [--items N] [--seed N] [--repair]
 //!                     [--threads N]
 //! slade-cli stats     [--model model.json] [--shards N] [--requests N]
+//!                     [--queue-cap N] [--timeout-ms N] [--spill-dir DIR]
 //!                     [--prometheus | --json]
 //! slade-cli trace     [--model model.json] [--asm file.s] [--request ID]
 //! ```
@@ -89,6 +90,7 @@ const USAGE: &str = "usage:
   slade-cli eval      --model model.json [--items N] [--seed N] [--repair]
                       [--threads N]
   slade-cli stats     [--model model.json] [--shards N] [--requests N]
+                      [--queue-cap N] [--timeout-ms N] [--spill-dir DIR]
                       [--prometheus | --json]
   slade-cli trace     [--model model.json] [--asm file.s] [--request ID]
 
@@ -275,13 +277,27 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     let slade = observed_slade(flags)?;
     let shards = numeric(flags, "shards", 2)?.max(1) as usize;
     let requests = numeric(flags, "requests", 6)?.max(1) as usize;
+    let queue_cap = numeric(flags, "queue-cap", 0)? as usize;
+    let timeout_ms = numeric(flags, "timeout-ms", 0)?;
     eprintln!("serving {requests} synthetic requests across {shards} shards ...");
-    let runtime = ServeRuntime::start(slade, ServeConfig::with_shards(shards));
+    let mut config = ServeConfig::with_shards(shards)
+        .with_queue_cap(queue_cap)
+        .with_request_timeout(std::time::Duration::from_millis(timeout_ms));
+    if let Some(dir) = flags.get("spill-dir") {
+        config = config.with_spill_dir(std::path::PathBuf::from(dir));
+    }
+    let runtime = ServeRuntime::start(slade, config);
     let workload: Vec<String> = (0..requests).map(synthetic_asm).collect();
-    let refs: Vec<&str> = workload.iter().map(String::as_str).collect();
-    runtime.decompile_batch(&refs);
+    // Fallible admission so an undersized --queue-cap sheds visibly in
+    // the snapshot instead of queueing without bound.
+    let handles: Vec<_> = workload.iter().filter_map(|a| runtime.try_submit(a).ok()).collect();
+    for h in handles {
+        let _ = h.wait(); // shed/expired requests show up in the counters
+    }
     // One duplicate exercises the cache path in the snapshot.
-    runtime.decompile(&workload[0]);
+    if let Ok(h) = runtime.try_submit(&workload[0]) {
+        let _ = h.wait();
+    }
     if flags.contains_key("prometheus") {
         put!("{}", runtime.metrics_text().trim_end());
     } else if flags.contains_key("json") {
@@ -294,6 +310,13 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
             s.submitted,
             s.completed,
             s.queue_depth
+        );
+        put!(
+            "admission    decoded {}  coalesced {}  shed {}  expired {}",
+            s.decoded,
+            s.coalesced,
+            s.shed,
+            s.expired
         );
         put!(
             "lanes        {:?} / {} per shard ({:.0}% occupancy at snapshot)",
@@ -321,6 +344,16 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
             100.0 * s.cache.hit_rate(),
             s.cache.entries
         );
+        if flags.contains_key("spill-dir") {
+            put!(
+                "spill        {} hits  {} writes  {} entries  {} evictions  {} load errors",
+                s.cache.spill_hits,
+                s.cache.spill_writes,
+                s.cache.spill_entries,
+                s.cache.spill_evictions,
+                s.cache.spill_load_errors
+            );
+        }
         put!("stages (count, mean µs, p95 µs):");
         for st in slade_obs::obs().stage_snapshot().stages {
             if st.count > 0 {
@@ -348,7 +381,7 @@ fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let handle = runtime.submit(&asm);
     let trace_id = handle.trace_id();
-    handle.wait();
+    handle.wait().expect("no timeout configured");
     // `--request ID` inspects a different trace recorded earlier in this
     // process (ids print in the slow-request log); default is the request
     // just served.
