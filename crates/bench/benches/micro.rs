@@ -333,6 +333,103 @@ fn bench_kernels() {
             vocab,
         );
     });
+    // Per-call activation quantization (every int8 projection pays this
+    // once per input row).
+    let mut qrow = vec![0i8; lanes * d];
+    run(format!("quantize_row_{lanes}x{d}"), 500, &mut || {
+        for i in 0..lanes {
+            criterion::black_box(kernels::quantize_row_i8(
+                &a[i * d..(i + 1) * d],
+                &mut qrow[i * d..(i + 1) * d],
+            ));
+        }
+    });
+    // Single-query attention core at the small-profile head shape (4
+    // heads x dh 16 over a 24-token cache): QK^T scores, softmax, and
+    // the weighted-V accumulation, per head — the per-lane work of one
+    // decode step's self-attention.
+    let (heads, dh, nctx) = (4usize, 16usize, 24usize);
+    let qv = vec![0.21f32; heads * dh];
+    let keys = vec![0.13f32; nctx * heads * dh];
+    let vals = vec![0.09f32; nctx * heads * dh];
+    let mut scores = vec![0.0f32; nctx];
+    let mut actx = vec![0.0f32; heads * dh];
+    let ascale = 1.0 / (dh as f32).sqrt();
+    run(format!("attend_{heads}h{dh}_n{nctx}"), 2_000, &mut || {
+        actx.iter_mut().for_each(|c| *c = 0.0);
+        for head in 0..heads {
+            let off = head * dh;
+            kernels::attn_scores_into(
+                &qv[off..off + dh],
+                &keys[off..],
+                heads * dh,
+                ascale,
+                &mut scores,
+            );
+            kernels::softmax_into(&mut scores);
+            kernels::attn_weighted_sum_into(
+                &scores,
+                &vals[off..],
+                heads * dh,
+                &mut actx[off..off + dh],
+            );
+        }
+    });
+    run(format!("layer_norm_{lanes}x{d}"), 1_000, &mut || {
+        kernels::layer_norm_into(
+            &a,
+            &w_dd[..d],
+            &w_dd[d..2 * d],
+            lanes,
+            d,
+            &mut out[..lanes * d],
+        );
+    });
+    // VNNI vs plain-AVX2 int8 matmul: same exact integer arithmetic,
+    // VPDPBUSD encoding vs the unpack/madd chain. Baseline column holds
+    // the AVX2 time (not scalar).
+    #[cfg(target_arch = "x86_64")]
+    if detected == IsaTier::Vnni {
+        let mut f = || {
+            kernels::avx2::qmatmul_transb_into(
+                &xq,
+                &xs,
+                &wq,
+                &ws,
+                None,
+                &mut out[..lanes * vocab],
+                lanes,
+                d,
+                vocab,
+            );
+        };
+        let avx2_ns = time_ns(50, &mut f);
+        let mut f = || {
+            kernels::vnni::qmatmul_transb_into(
+                &xq,
+                &xs,
+                &wq,
+                &ws,
+                None,
+                &mut out[..lanes * vocab],
+                lanes,
+                d,
+                vocab,
+            );
+        };
+        let vnni_ns = time_ns(50, &mut f);
+        println!(
+            "kernel_{:<34} avx2   {avx2_ns:>11.0} ns, vnni {vnni_ns:>11.0} ns ({:.2}x)",
+            format!("qmatmul_vnni_{lanes}x{d}x{vocab}"),
+            avx2_ns / vnni_ns
+        );
+        rows.push(KernelRow {
+            name: format!("qmatmul_vnni_{lanes}x{d}x{vocab}"),
+            scalar_ns: avx2_ns,
+            simd_ns: vnni_ns,
+            speedup: avx2_ns / vnni_ns,
+        });
+    }
 
     // End-to-end decode throughput per tier x backend.
     let f32_model = Seq2Seq::new(TransformerConfig::small(512), 7);
@@ -341,8 +438,17 @@ fn bench_kernels() {
     let mut int8_model = f32_model.clone();
     int8_model.cfg = int8_cfg;
     let mut decode = Vec::new();
+    // Tier matrix: scalar, then (when the host detects VNNI) plain AVX2
+    // so the VPDPBUSD contribution is separable, then the detected tier.
+    let mut tiers = vec![IsaTier::Scalar];
+    if detected == IsaTier::Vnni {
+        tiers.push(IsaTier::Avx2);
+    }
+    if detected != IsaTier::Scalar {
+        tiers.push(detected);
+    }
     for (backend, model) in [("f32", &f32_model), ("int8", &int8_model)] {
-        for tier in [IsaTier::Scalar, detected] {
+        for &tier in &tiers {
             kernels::set_tier(tier);
             let tps = decode_tokens_per_sec(model);
             println!(
@@ -350,9 +456,6 @@ fn bench_kernels() {
                 tier.name()
             );
             decode.push(DecodeRow { backend, isa: tier.name(), tokens_per_sec_per_core: tps });
-            if detected == IsaTier::Scalar {
-                break; // scalar == detected: one row per backend
-            }
         }
     }
     kernels::set_tier(detected);

@@ -2,13 +2,20 @@
 //!
 //! Every hot kernel in this crate (`matmul_transb_into`,
 //! `matmul_xposed_into`, `matmul_transb_batched`, the fused
-//! log-softmax+top-k max and exp-sum passes, and the int8
-//! `qmatmul_transb_into`) routes through this module. An ISA tier is selected once at startup —
-//! AVX2 on x86-64 hosts that support it, NEON on aarch64, scalar
+//! log-softmax+top-k max and exp-sum passes, the attention core
+//! (`attn_scores_into` / `softmax_into` / `attn_weighted_sum_into`),
+//! `layer_norm_into`, activation quantization (`quantize_row_i8`), and
+//! the int8 `qmatmul_transb_into`) routes through this module. An ISA
+//! tier is selected once at startup — VNNI on x86-64 hosts with
+//! AVX-VNNI or AVX512-VNNI+VL, else AVX2, NEON on aarch64, scalar
 //! otherwise — and can be overridden with the `SLADE_KERNEL_ISA`
-//! environment variable (`auto` | `scalar` | `avx2` | `neon`; unsupported
-//! requests fall back to scalar) or in-process via [`set_tier`] (used by
-//! benches and property tests to compare tiers).
+//! environment variable (`auto` | `scalar` | `avx2` | `neon` | `vnni`;
+//! an unsupported known tier degrades with a one-line warning — `vnni`
+//! to AVX2 when available, otherwise scalar — and an unrecognized value
+//! warns and uses the detected tier) or in-process via [`set_tier`]
+//! (used by benches and property tests to compare tiers). The request
+//! outcome is queryable via [`tier_resolution`] for stats/metrics
+//! reporting.
 //!
 //! # Bit-identity contract
 //!
@@ -36,11 +43,20 @@
 //!
 //! The int8 kernels accumulate in exact i32 arithmetic (products are
 //! bounded by 127², far from overflow for any model dimension here), so
-//! they are trivially bit-identical across tiers; activations are
-//! quantized by a single scalar routine on every tier for the same
-//! reason.
+//! they are trivially bit-identical across tiers — including the VNNI
+//! tier, whose `VPDPBUSD` u8×i8 dot is made exact for signed i8×i8 by
+//! the abs/sign trick (see [`vnni`]). Activation quantization
+//! (`quantize_row_i8`) is dispatched too; its vector tiers reproduce
+//! the scalar routine bit-for-bit because every step is either exact
+//! (abs/max/clamp/low-byte cast) or an identically-rounded IEEE op —
+//! in particular, rounding is round-to-nearest-even on every tier,
+//! since that is the only mode `VROUNDPS`/`FRINTN` and the scalar
+//! `round_ties_even` all share. Rows containing NaN are out of
+//! contract (max-propagation differs between lane orders); all-finite
+//! rows, including ±inf, denormals and ±0, agree bitwise.
 
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 /// Instruction-set tier a kernel call executes under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +70,9 @@ pub enum IsaTier {
     /// Explicit 128-bit NEON intrinsics, paired to emulate 8 lanes
     /// (aarch64).
     Neon = 2,
+    /// AVX2 plus `VPDPBUSD` (AVX-VNNI or AVX512-VNNI+VL) for the int8
+    /// matmul; all f32 kernels run the AVX2 implementations (x86-64).
+    Vnni = 3,
 }
 
 impl IsaTier {
@@ -63,6 +82,7 @@ impl IsaTier {
             IsaTier::Scalar => "scalar",
             IsaTier::Avx2 => "avx2",
             IsaTier::Neon => "neon",
+            IsaTier::Vnni => "vnni",
         }
     }
 
@@ -70,6 +90,7 @@ impl IsaTier {
         match v {
             1 => IsaTier::Avx2,
             2 => IsaTier::Neon,
+            3 => IsaTier::Vnni,
             _ => IsaTier::Scalar,
         }
     }
@@ -85,6 +106,9 @@ static ACTIVE: AtomicU8 = AtomicU8::new(TIER_UNSET);
 pub fn detected_tier() -> IsaTier {
     #[cfg(target_arch = "x86_64")]
     {
+        if tier_supported(IsaTier::Vnni) {
+            return IsaTier::Vnni;
+        }
         if std::arch::is_x86_feature_detected!("avx2") {
             return IsaTier::Avx2;
         }
@@ -98,8 +122,9 @@ pub fn detected_tier() -> IsaTier {
     IsaTier::Scalar
 }
 
-/// Whether this host can actually execute `tier`.
-fn tier_supported(tier: IsaTier) -> bool {
+/// Whether this host can actually execute `tier`. Public so benches and
+/// tests can gate tier-vs-tier comparisons on what the host offers.
+pub fn tier_supported(tier: IsaTier) -> bool {
     match tier {
         IsaTier::Scalar => true,
         IsaTier::Avx2 => {
@@ -113,20 +138,136 @@ fn tier_supported(tier: IsaTier) -> bool {
             }
         }
         IsaTier::Neon => cfg!(target_arch = "aarch64"),
+        IsaTier::Vnni => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && (std::arch::is_x86_feature_detected!("avxvnni")
+                        || (std::arch::is_x86_feature_detected!("avx512vnni")
+                            && std::arch::is_x86_feature_detected!("avx512vl")))
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                false
+            }
+        }
     }
 }
 
+/// How startup tier resolution handled the `SLADE_KERNEL_ISA` request,
+/// for effective-vs-requested reporting in `slade-cli stats` and the
+/// serve metrics snapshot.
+#[derive(Debug, Clone)]
+pub struct TierResolution {
+    /// Trimmed, lowercased request, if the variable was set non-empty.
+    pub requested: Option<String>,
+    /// The request named a known tier (or `auto`).
+    pub recognized: bool,
+    /// The effective tier is the one asked for (vacuously true when
+    /// unset or `auto`).
+    pub satisfied: bool,
+}
+
+impl TierResolution {
+    fn default_auto() -> TierResolution {
+        TierResolution { requested: None, recognized: true, satisfied: true }
+    }
+}
+
+static RESOLUTION: OnceLock<TierResolution> = OnceLock::new();
+
+const VALID_TIERS: &str = "auto, scalar, avx2, neon, vnni";
+
 /// Resolve the startup tier: `SLADE_KERNEL_ISA` override first, then
-/// feature detection. Unsupported or unrecognized requests degrade to
-/// the detected tier (`auto`) or scalar.
+/// feature detection. An unsupported known tier degrades (vnni → avx2
+/// when available, else scalar; avx2/neon → scalar) and an unrecognized
+/// value uses the detected tier; both print a one-line warning naming
+/// the valid tiers instead of falling back silently.
 fn resolve_tier() -> IsaTier {
-    let requested = std::env::var("SLADE_KERNEL_ISA").unwrap_or_default();
-    match requested.trim().to_ascii_lowercase().as_str() {
-        "scalar" => IsaTier::Scalar,
-        "avx2" if tier_supported(IsaTier::Avx2) => IsaTier::Avx2,
-        "neon" if tier_supported(IsaTier::Neon) => IsaTier::Neon,
-        "avx2" | "neon" => IsaTier::Scalar,
-        _ => detected_tier(),
+    let raw = std::env::var("SLADE_KERNEL_ISA").unwrap_or_default();
+    let req = raw.trim().to_ascii_lowercase();
+    let (tier, resolution) = match req.as_str() {
+        "" | "auto" => (detected_tier(), TierResolution::default_auto()),
+        "scalar" => (
+            IsaTier::Scalar,
+            TierResolution { requested: Some(req.clone()), recognized: true, satisfied: true },
+        ),
+        "avx2" | "neon" | "vnni" => {
+            let want = match req.as_str() {
+                "avx2" => IsaTier::Avx2,
+                "neon" => IsaTier::Neon,
+                _ => IsaTier::Vnni,
+            };
+            if tier_supported(want) {
+                (
+                    want,
+                    TierResolution {
+                        requested: Some(req.clone()),
+                        recognized: true,
+                        satisfied: true,
+                    },
+                )
+            } else {
+                let fallback = if want == IsaTier::Vnni && tier_supported(IsaTier::Avx2) {
+                    IsaTier::Avx2
+                } else {
+                    IsaTier::Scalar
+                };
+                eprintln!(
+                    "slade: SLADE_KERNEL_ISA={req} requested but this host cannot execute \
+                     it; using {} (valid tiers: {VALID_TIERS})",
+                    fallback.name()
+                );
+                (
+                    fallback,
+                    TierResolution {
+                        requested: Some(req.clone()),
+                        recognized: true,
+                        satisfied: false,
+                    },
+                )
+            }
+        }
+        _ => {
+            let detected = detected_tier();
+            eprintln!(
+                "slade: unknown SLADE_KERNEL_ISA value '{req}' (valid tiers: {VALID_TIERS}); \
+                 using detected tier {}",
+                detected.name()
+            );
+            (
+                detected,
+                TierResolution {
+                    requested: Some(req.clone()),
+                    recognized: false,
+                    satisfied: false,
+                },
+            )
+        }
+    };
+    let _ = RESOLUTION.set(resolution);
+    tier
+}
+
+/// The outcome of `SLADE_KERNEL_ISA` resolution (forcing resolution if
+/// it has not happened yet). [`set_tier`] does not alter this — it
+/// reports the startup request, while [`active_tier`] reports what
+/// dispatch currently uses.
+pub fn tier_resolution() -> TierResolution {
+    let _ = active_tier();
+    RESOLUTION.get().cloned().unwrap_or_else(TierResolution::default_auto)
+}
+
+/// Human-readable effective-vs-requested tier, e.g. `avx2`,
+/// `avx2 (requested vnni: unsupported)`, or
+/// `vnni (requested avx512: unknown)`.
+pub fn tier_status() -> String {
+    let res = tier_resolution();
+    let effective = active_tier().name();
+    match res.requested {
+        Some(req) if !res.recognized => format!("{effective} (requested {req}: unknown)"),
+        Some(req) if !res.satisfied => format!("{effective} (requested {req}: unsupported)"),
+        _ => effective.to_string(),
     }
 }
 
@@ -158,6 +299,54 @@ pub const LANES: usize = 8;
 #[inline(always)]
 fn reduce8(l: &[f32; 8]) -> f32 {
     ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]))
+}
+
+/// 4-way horizontal reduce of four i32 matmul accumulators: two
+/// VPHADDD levels and a 128-bit fold yield `[Σa0, Σa1, Σa2, Σa3]`.
+/// Shared by the AVX2 and VNNI int8 kernels; the arithmetic is exact
+/// integer, so reduction order cannot affect the result.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum4_epi32(
+    a0: std::arch::x86_64::__m256i,
+    a1: std::arch::x86_64::__m256i,
+    a2: std::arch::x86_64::__m256i,
+    a3: std::arch::x86_64::__m256i,
+) -> std::arch::x86_64::__m128i {
+    use std::arch::x86_64::*;
+    let t01 = _mm256_hadd_epi32(a0, a1);
+    let t23 = _mm256_hadd_epi32(a2, a3);
+    let t = _mm256_hadd_epi32(t01, t23);
+    _mm_add_epi32(_mm256_castsi256_si128(t), _mm256_extracti128_si256(t, 1))
+}
+
+/// Dequantizes four adjacent int8 dot products at once: per lane,
+/// `cvt(sum) * (x_scale * ws[j]) + bias[j]` — the identical operation
+/// sequence the scalar tier applies per element (`i32 → f32` conversion
+/// is exact, the two multiplies and the add are each one rounded IEEE
+/// op), so the 4-wide form is bit-identical to four scalar dequants.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn dequant4(
+    sums: std::arch::x86_64::__m128i,
+    x_scale: f32,
+    ws: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    i: usize,
+    j: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    let sf = _mm_cvtepi32_ps(sums);
+    let sc = _mm_mul_ps(_mm_set1_ps(x_scale), _mm_loadu_ps(ws.as_ptr().add(j)));
+    let deq = _mm_mul_ps(sf, sc);
+    let res = match bias {
+        Some(b) => _mm_add_ps(deq, _mm_loadu_ps(b.as_ptr().add(j))),
+        None => deq,
+    };
+    _mm_storeu_ps(out.as_mut_ptr().add(i * n + j), res);
 }
 
 /// Pairwise max with VMAXPS semantics: `if a > b { a } else { b }`
@@ -442,6 +631,124 @@ pub mod scalar {
                 };
             }
         }
+    }
+
+    /// Per-row symmetric int8 quantization — scalar tier (the reference
+    /// the vector tiers reproduce bit-for-bit; see
+    /// [`super::quantize_row_i8`]). Rounding is round-to-nearest-even —
+    /// the one mode `VROUNDPS`, `FRINTN`, and `round_ties_even` share.
+    pub fn quantize_row_i8(src: &[f32], dst: &mut [i8]) -> f32 {
+        debug_assert_eq!(src.len(), dst.len());
+        let mut absmax = 0.0f32;
+        for &v in src {
+            let a = v.abs();
+            if a > absmax {
+                absmax = a;
+            }
+        }
+        if absmax == 0.0 || !absmax.is_finite() {
+            dst.fill(0);
+            return 0.0;
+        }
+        // For a denormal absmax this overflows to +inf; the clamp and
+        // the NaN→0 cast below keep the outputs defined, and the vector
+        // tiers mirror both (constant-first min/max propagate NaN, the
+        // low-byte extraction of the NaN convert pattern is 0).
+        let inv = 127.0 / absmax;
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+        }
+        absmax / 127.0
+    }
+
+    /// QK^T score row — scalar tier: `scores[si] = dot8(q, key_si) *
+    /// scale` where key row `si` starts at `keys[si * stride]` and runs
+    /// `q.len()` elements. The dot is the shared lane-split-by-8
+    /// reduction; the scale multiply is a single rounded op applied
+    /// after the tree reduce on every tier.
+    pub fn attn_scores_into(
+        q: &[f32],
+        keys: &[f32],
+        stride: usize,
+        scale: f32,
+        scores: &mut [f32],
+    ) {
+        let dh = q.len();
+        for (si, sv) in scores.iter_mut().enumerate() {
+            *sv = dot8(q, &keys[si * stride..si * stride + dh]) * scale;
+        }
+    }
+
+    /// In-place softmax over one row — scalar tier: VMAXPS-semantics
+    /// max, the shared polynomial [`super::exp_lane`] per element, a
+    /// lane-split-by-8 sum, and a `1 / sum.max(1e-12)` normalize.
+    /// `-inf` entries (masked attention slots) exp to exactly `+0.0`.
+    pub fn softmax_into(row: &mut [f32]) {
+        let max = row_max(row);
+        let mut lanes = [0.0f32; 8];
+        for (p, v) in row.iter_mut().enumerate() {
+            let e = super::exp_lane(*v - max);
+            *v = e;
+            lanes[p & 7] += e;
+        }
+        let sum = reduce8(&lanes);
+        let inv = 1.0 / sum.max(1e-12);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    /// Softmax-weighted V accumulation — scalar tier:
+    /// `ctx[j] += Σ_si probs[si] * values[si * stride + j]` with `si`
+    /// ascending. Zero weights skip the whole row on every tier (a
+    /// `+0.0 * v` add could flip a `-0.0` partial). Purely elementwise
+    /// over `j`, so vector tiers are bit-identical by construction.
+    pub fn attn_weighted_sum_into(
+        probs: &[f32],
+        values: &[f32],
+        stride: usize,
+        ctx: &mut [f32],
+    ) {
+        let dh = ctx.len();
+        for (si, &w) in probs.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let vrow = &values[si * stride..si * stride + dh];
+            for (c, &v) in ctx.iter_mut().zip(vrow) {
+                *c += w * v;
+            }
+        }
+    }
+
+    /// One layer-norm row — scalar tier: lane-split-by-8 sums for mean
+    /// and variance, `rstd = 1 / sqrt(var + 1e-5)` (every op
+    /// exactly-rounded IEEE, so tiers agree), then the elementwise
+    /// `gamma * (x - mean) * rstd + beta` in exactly that association.
+    /// Returns `(mean, rstd)` for the training path's caches.
+    pub fn layer_norm_row_into(
+        row: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut [f32],
+    ) -> (f32, f32) {
+        let d = row.len();
+        let mut lanes = [0.0f32; 8];
+        for (p, &v) in row.iter().enumerate() {
+            lanes[p & 7] += v;
+        }
+        let mean = reduce8(&lanes) / d as f32;
+        let mut vlanes = [0.0f32; 8];
+        for (p, &v) in row.iter().enumerate() {
+            let dv = v - mean;
+            vlanes[p & 7] += dv * dv;
+        }
+        let var = reduce8(&vlanes) / d as f32;
+        let rstd = 1.0 / (var + 1e-5).sqrt();
+        for (j, (o, &v)) in out.iter_mut().zip(row).enumerate() {
+            *o = gamma[j] * (v - mean) * rstd + beta[j];
+        }
+        (mean, rstd)
     }
 }
 
@@ -1030,9 +1337,129 @@ pub mod avx2 {
     ) {
         let chunks = k / 32;
         let base = chunks * 32;
+        // Widened activation chunks are hoisted out of the column loop
+        // (one widen per row instead of one per 4-column block) for rows
+        // up to MAXCH chunks; longer rows widen inline past the buffer.
+        const MAXCH: usize = 16;
+        let mut xlobuf = [_mm256_setzero_si256(); MAXCH];
+        let mut xhibuf = [_mm256_setzero_si256(); MAXCH];
+        let cached = chunks.min(MAXCH);
         for i in 0..m {
             let xr = xq.as_ptr().add(i * k);
-            for j in 0..n {
+            for ch in 0..cached {
+                let xv = _mm256_loadu_si256(xr.add(ch * 32) as *const __m256i);
+                xlobuf[ch] = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv));
+                xhibuf[ch] = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1));
+            }
+            // Four weight rows share each activation widen, and the
+            // 4-way horizontal reduce collapses to two VPHADDD trees
+            // instead of four 8-lane scalar sums. The i32 arithmetic is
+            // exact, so any reduction order is bit-identical.
+            let mut j = 0usize;
+            while j + 4 <= n {
+                let w0 = wq.as_ptr().add(j * k);
+                let w1 = wq.as_ptr().add((j + 1) * k);
+                let w2 = wq.as_ptr().add((j + 2) * k);
+                let w3 = wq.as_ptr().add((j + 3) * k);
+                let mut acc0 = _mm256_setzero_si256();
+                let mut acc1 = _mm256_setzero_si256();
+                let mut acc2 = _mm256_setzero_si256();
+                let mut acc3 = _mm256_setzero_si256();
+                for ch in 0..chunks {
+                    let (xlo, xhi) = if ch < cached {
+                        (xlobuf[ch], xhibuf[ch])
+                    } else {
+                        let xv = _mm256_loadu_si256(xr.add(ch * 32) as *const __m256i);
+                        (
+                            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv)),
+                            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1)),
+                        )
+                    };
+                    let wv = _mm256_loadu_si256(w0.add(ch * 32) as *const __m256i);
+                    acc0 = _mm256_add_epi32(
+                        acc0,
+                        _mm256_madd_epi16(
+                            xlo,
+                            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wv)),
+                        ),
+                    );
+                    acc0 = _mm256_add_epi32(
+                        acc0,
+                        _mm256_madd_epi16(
+                            xhi,
+                            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wv, 1)),
+                        ),
+                    );
+                    let wv = _mm256_loadu_si256(w1.add(ch * 32) as *const __m256i);
+                    acc1 = _mm256_add_epi32(
+                        acc1,
+                        _mm256_madd_epi16(
+                            xlo,
+                            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wv)),
+                        ),
+                    );
+                    acc1 = _mm256_add_epi32(
+                        acc1,
+                        _mm256_madd_epi16(
+                            xhi,
+                            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wv, 1)),
+                        ),
+                    );
+                    let wv = _mm256_loadu_si256(w2.add(ch * 32) as *const __m256i);
+                    acc2 = _mm256_add_epi32(
+                        acc2,
+                        _mm256_madd_epi16(
+                            xlo,
+                            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wv)),
+                        ),
+                    );
+                    acc2 = _mm256_add_epi32(
+                        acc2,
+                        _mm256_madd_epi16(
+                            xhi,
+                            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wv, 1)),
+                        ),
+                    );
+                    let wv = _mm256_loadu_si256(w3.add(ch * 32) as *const __m256i);
+                    acc3 = _mm256_add_epi32(
+                        acc3,
+                        _mm256_madd_epi16(
+                            xlo,
+                            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wv)),
+                        ),
+                    );
+                    acc3 = _mm256_add_epi32(
+                        acc3,
+                        _mm256_madd_epi16(
+                            xhi,
+                            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wv, 1)),
+                        ),
+                    );
+                }
+                let sums = super::hsum4_epi32(acc0, acc1, acc2, acc3);
+                if base == k {
+                    super::dequant4(sums, xs[i], ws, bias, out, i, j, n);
+                } else {
+                    let mut tails = [0i32; 4];
+                    _mm_storeu_si128(tails.as_mut_ptr() as *mut __m128i, sums);
+                    for (col, &sv) in tails.iter().enumerate() {
+                        let jj = j + col;
+                        let wr = wq.as_ptr().add(jj * k);
+                        let sum = sv
+                            + qdot(
+                                std::slice::from_raw_parts(xr.add(base), k - base),
+                                std::slice::from_raw_parts(wr.add(base), k - base),
+                            );
+                        let deq = sum as f32 * (xs[i] * ws[jj]);
+                        out[i * n + jj] = match bias {
+                            Some(b) => deq + b[jj],
+                            None => deq,
+                        };
+                    }
+                }
+                j += 4;
+            }
+            while j < n {
                 let wr = wq.as_ptr().add(j * k);
                 let mut acc = _mm256_setzero_si256();
                 for ch in 0..chunks {
@@ -1057,8 +1484,296 @@ pub mod avx2 {
                     Some(b) => deq + b[j],
                     None => deq,
                 };
+                j += 1;
             }
         }
+    }
+
+    /// Per-row symmetric int8 quantization — AVX2 tier, bit-identical
+    /// to [`scalar::quantize_row_i8`]: VANDNPS+VMAXPS absmax (same
+    /// value as the scalar fold for finite rows), then per element an
+    /// identically-rounded multiply, VROUNDPS round-to-nearest-even, a
+    /// constant-first VMAXPS/VMINPS clamp (NaN from a denormal-absmax
+    /// `0 * inf` stays NaN, as Rust's `clamp` keeps it), and VCVTPS2DQ
+    /// whose low byte equals the scalar `as i8` cast for every
+    /// post-clamp value (NaN converts to `0x8000_0000`, low byte 0).
+    pub fn quantize_row_i8(src: &[f32], dst: &mut [i8]) -> f32 {
+        debug_assert_eq!(src.len(), dst.len());
+        assert_avx2();
+        unsafe { quantize_avx2(src, dst) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn quantize_avx2(src: &[f32], dst: &mut [i8]) -> f32 {
+        let len = src.len();
+        let chunks = len / 8;
+        let base = chunks * 8;
+        let sp = src.as_ptr();
+        let signbit = _mm256_set1_ps(-0.0);
+        let mut maxv = _mm256_setzero_ps();
+        for ch in 0..chunks {
+            let v = _mm256_loadu_ps(sp.add(ch * 8));
+            maxv = _mm256_max_ps(maxv, _mm256_andnot_ps(signbit, v));
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), maxv);
+        for (l, &v) in lanes.iter_mut().zip(&src[base..]) {
+            *l = super::vmax(*l, v.abs());
+        }
+        let absmax = super::vmax(
+            super::vmax(super::vmax(lanes[0], lanes[4]), super::vmax(lanes[2], lanes[6])),
+            super::vmax(super::vmax(lanes[1], lanes[5]), super::vmax(lanes[3], lanes[7])),
+        );
+        if absmax == 0.0 || !absmax.is_finite() {
+            dst.fill(0);
+            return 0.0;
+        }
+        let inv = 127.0 / absmax;
+        let invv = _mm256_set1_ps(inv);
+        let lo = _mm256_set1_ps(-127.0);
+        let hi = _mm256_set1_ps(127.0);
+        // Low byte of each 32-bit lane, gathered into the first 4 bytes
+        // of each 128-bit half.
+        let shuf = _mm256_setr_epi8(
+            0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 4, 8, 12, -1, -1,
+            -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+        );
+        let dp = dst.as_mut_ptr();
+        for ch in 0..chunks {
+            let t = _mm256_mul_ps(_mm256_loadu_ps(sp.add(ch * 8)), invv);
+            let t = _mm256_round_ps(t, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+            let t = _mm256_min_ps(hi, _mm256_max_ps(lo, t));
+            let ix = _mm256_cvtps_epi32(t);
+            let packed = _mm256_shuffle_epi8(ix, shuf);
+            let b_lo = _mm_cvtsi128_si32(_mm256_castsi256_si128(packed));
+            let b_hi = _mm_cvtsi128_si32(_mm256_extracti128_si256(packed, 1));
+            std::ptr::write_unaligned(dp.add(ch * 8) as *mut i32, b_lo);
+            std::ptr::write_unaligned(dp.add(ch * 8 + 4) as *mut i32, b_hi);
+        }
+        for (d, &v) in dst[base..].iter_mut().zip(&src[base..]) {
+            *d = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+        }
+        absmax / 127.0
+    }
+
+    /// QK^T score row — AVX2 tier (see [`scalar::attn_scores_into`]).
+    pub fn attn_scores_into(
+        q: &[f32],
+        keys: &[f32],
+        stride: usize,
+        scale: f32,
+        scores: &mut [f32],
+    ) {
+        let dh = q.len();
+        let n = scores.len();
+        assert!(n == 0 || keys.len() >= (n - 1) * stride + dh);
+        assert_avx2();
+        unsafe { attn_scores_avx2(q, keys, stride, scale, scores) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn attn_scores_avx2(
+        q: &[f32],
+        keys: &[f32],
+        stride: usize,
+        scale: f32,
+        scores: &mut [f32],
+    ) {
+        let dh = q.len();
+        let chunks = dh / 8;
+        let tail = dh % 8;
+        let base = chunks * 8;
+        let qp = q.as_ptr();
+        let n = scores.len();
+        // Four key rows at a time: the query chunk is loaded once and
+        // each row keeps its own lane accumulator (per-element
+        // accumulation unchanged; independent add chains hide latency).
+        let mut si = 0usize;
+        while si + 4 <= n {
+            let k0 = keys.as_ptr().add(si * stride);
+            let k1 = keys.as_ptr().add((si + 1) * stride);
+            let k2 = keys.as_ptr().add((si + 2) * stride);
+            let k3 = keys.as_ptr().add((si + 3) * stride);
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            for ch in 0..chunks {
+                let qv = _mm256_loadu_ps(qp.add(ch * 8));
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(qv, _mm256_loadu_ps(k0.add(ch * 8))));
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(qv, _mm256_loadu_ps(k1.add(ch * 8))));
+                acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(qv, _mm256_loadu_ps(k2.add(ch * 8))));
+                acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(qv, _mm256_loadu_ps(k3.add(ch * 8))));
+            }
+            for (col, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                let mut lanes = [0.0f32; 8];
+                _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+                let kr = keys.as_ptr().add((si + col) * stride);
+                for (l, lane) in lanes.iter_mut().enumerate().take(tail) {
+                    *lane += *qp.add(base + l) * *kr.add(base + l);
+                }
+                scores[si + col] = reduce8(&lanes) * scale;
+            }
+            si += 4;
+        }
+        while si < n {
+            let kr = keys.as_ptr().add(si * stride);
+            let mut acc = _mm256_setzero_ps();
+            for ch in 0..chunks {
+                let qv = _mm256_loadu_ps(qp.add(ch * 8));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(qv, _mm256_loadu_ps(kr.add(ch * 8))));
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+            for (l, lane) in lanes.iter_mut().enumerate().take(tail) {
+                *lane += *qp.add(base + l) * *kr.add(base + l);
+            }
+            scores[si] = reduce8(&lanes) * scale;
+            si += 1;
+        }
+    }
+
+    /// In-place softmax over one row — AVX2 tier, bit-identical to
+    /// [`scalar::softmax_into`]: the same VMAXPS max pass, `exp8` (the
+    /// exact vector mirror of `exp_lane`), the same lane-split sum, and
+    /// the same scalar `1 / sum.max(1e-12)` broadcast multiply.
+    pub fn softmax_into(row: &mut [f32]) {
+        assert_avx2();
+        unsafe { softmax_avx2(row) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn softmax_avx2(row: &mut [f32]) {
+        let max = row_max_avx2(row);
+        let chunks = row.len() / 8;
+        let base = chunks * 8;
+        let maxv = _mm256_set1_ps(max);
+        let mut acc = _mm256_setzero_ps();
+        for ch in 0..chunks {
+            let p = row.as_mut_ptr().add(ch * 8);
+            let e = exp8(_mm256_sub_ps(_mm256_loadu_ps(p), maxv));
+            _mm256_storeu_ps(p, e);
+            acc = _mm256_add_ps(acc, e);
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for (l, v) in lanes.iter_mut().zip(&mut row[base..]) {
+            let e = super::exp_lane(*v - max);
+            *v = e;
+            *l += e;
+        }
+        let sum = reduce8(&lanes);
+        let inv = 1.0 / sum.max(1e-12);
+        let invv = _mm256_set1_ps(inv);
+        for ch in 0..chunks {
+            let p = row.as_mut_ptr().add(ch * 8);
+            _mm256_storeu_ps(p, _mm256_mul_ps(_mm256_loadu_ps(p), invv));
+        }
+        for v in &mut row[base..] {
+            *v *= inv;
+        }
+    }
+
+    /// Softmax-weighted V accumulation — AVX2 tier (see
+    /// [`scalar::attn_weighted_sum_into`]; elementwise over `j` with
+    /// `si` ascending, so bit-identical by construction).
+    pub fn attn_weighted_sum_into(
+        probs: &[f32],
+        values: &[f32],
+        stride: usize,
+        ctx: &mut [f32],
+    ) {
+        let dh = ctx.len();
+        assert!(probs.is_empty() || values.len() >= (probs.len() - 1) * stride + dh);
+        assert_avx2();
+        unsafe { weighted_sum_avx2(probs, values, stride, ctx) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn weighted_sum_avx2(probs: &[f32], values: &[f32], stride: usize, ctx: &mut [f32]) {
+        let dh = ctx.len();
+        let chunks = dh / 8;
+        let base = chunks * 8;
+        let cp = ctx.as_mut_ptr();
+        for (si, &w) in probs.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let wv = _mm256_set1_ps(w);
+            let vr = values.as_ptr().add(si * stride);
+            for ch in 0..chunks {
+                let c = _mm256_loadu_ps(cp.add(ch * 8));
+                let v = _mm256_loadu_ps(vr.add(ch * 8));
+                _mm256_storeu_ps(cp.add(ch * 8), _mm256_add_ps(c, _mm256_mul_ps(wv, v)));
+            }
+            for (j, c) in ctx[base..].iter_mut().enumerate() {
+                *c += w * *vr.add(base + j);
+            }
+        }
+    }
+
+    /// One layer-norm row — AVX2 tier, bit-identical to
+    /// [`scalar::layer_norm_row_into`] (lane-split sums, the same
+    /// scalar mean/var/rstd steps, and the same normalize association).
+    pub fn layer_norm_row_into(
+        row: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut [f32],
+    ) -> (f32, f32) {
+        let d = row.len();
+        assert!(gamma.len() >= d && beta.len() >= d && out.len() >= d);
+        assert_avx2();
+        unsafe { ln_row_avx2(row, gamma, beta, out) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn ln_row_avx2(
+        row: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut [f32],
+    ) -> (f32, f32) {
+        let d = row.len();
+        let chunks = d / 8;
+        let base = chunks * 8;
+        let rp = row.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        for ch in 0..chunks {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(rp.add(ch * 8)));
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for (l, &v) in lanes.iter_mut().zip(&row[base..]) {
+            *l += v;
+        }
+        let mean = reduce8(&lanes) / d as f32;
+        let meanv = _mm256_set1_ps(mean);
+        let mut vacc = _mm256_setzero_ps();
+        for ch in 0..chunks {
+            let dv = _mm256_sub_ps(_mm256_loadu_ps(rp.add(ch * 8)), meanv);
+            vacc = _mm256_add_ps(vacc, _mm256_mul_ps(dv, dv));
+        }
+        let mut vlanes = [0.0f32; 8];
+        _mm256_storeu_ps(vlanes.as_mut_ptr(), vacc);
+        for (l, &v) in vlanes.iter_mut().zip(&row[base..]) {
+            let dv = v - mean;
+            *l += dv * dv;
+        }
+        let var = reduce8(&vlanes) / d as f32;
+        let rstd = 1.0 / (var + 1e-5).sqrt();
+        let rstdv = _mm256_set1_ps(rstd);
+        for ch in 0..chunks {
+            let x = _mm256_sub_ps(_mm256_loadu_ps(rp.add(ch * 8)), meanv);
+            let g = _mm256_loadu_ps(gamma.as_ptr().add(ch * 8));
+            let b = _mm256_loadu_ps(beta.as_ptr().add(ch * 8));
+            let y = _mm256_add_ps(_mm256_mul_ps(_mm256_mul_ps(g, x), rstdv), b);
+            _mm256_storeu_ps(out.as_mut_ptr().add(ch * 8), y);
+        }
+        for j in base..d {
+            out[j] = gamma[j] * (row[j] - mean) * rstd + beta[j];
+        }
+        (mean, rstd)
     }
 }
 
@@ -1264,13 +1979,402 @@ pub mod neon {
         let _ = qdot; // shared helper referenced so tiers stay symmetric
         super::scalar::qmatmul_transb_into(xq, xs, wq, ws, bias, out, m, k, n);
     }
+
+    /// Per-row symmetric int8 quantization — NEON tier, bit-identical
+    /// to [`scalar::quantize_row_i8`]: VABS+FMAX absmax, FRINTN
+    /// (round-to-nearest-even) per element, FMIN/FMAX clamp (NEON
+    /// min/max propagate NaN from either operand, matching Rust's
+    /// `clamp`), FCVTZS (NaN converts to 0, like the scalar cast), and
+    /// truncating XTN narrows to the low byte.
+    pub fn quantize_row_i8(src: &[f32], dst: &mut [i8]) -> f32 {
+        debug_assert_eq!(src.len(), dst.len());
+        unsafe { quantize_neon(src, dst) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn quantize_neon(src: &[f32], dst: &mut [i8]) -> f32 {
+        let len = src.len();
+        let chunks = len / 8;
+        let base = chunks * 8;
+        let sp = src.as_ptr();
+        let mut max_lo = vdupq_n_f32(0.0);
+        let mut max_hi = vdupq_n_f32(0.0);
+        for ch in 0..chunks {
+            max_lo = vmaxq_f32(max_lo, vabsq_f32(vld1q_f32(sp.add(ch * 8))));
+            max_hi = vmaxq_f32(max_hi, vabsq_f32(vld1q_f32(sp.add(ch * 8 + 4))));
+        }
+        let mut lanes = [0.0f32; 8];
+        vst1q_f32(lanes.as_mut_ptr(), max_lo);
+        vst1q_f32(lanes.as_mut_ptr().add(4), max_hi);
+        for (l, &v) in lanes.iter_mut().zip(&src[base..]) {
+            *l = super::vmax(*l, v.abs());
+        }
+        let absmax = super::vmax(
+            super::vmax(super::vmax(lanes[0], lanes[4]), super::vmax(lanes[2], lanes[6])),
+            super::vmax(super::vmax(lanes[1], lanes[5]), super::vmax(lanes[3], lanes[7])),
+        );
+        if absmax == 0.0 || !absmax.is_finite() {
+            dst.fill(0);
+            return 0.0;
+        }
+        let inv = 127.0 / absmax;
+        let invv = vdupq_n_f32(inv);
+        let lo = vdupq_n_f32(-127.0);
+        let hi = vdupq_n_f32(127.0);
+        for ch in 0..chunks {
+            let t0 = vrndnq_f32(vmulq_f32(vld1q_f32(sp.add(ch * 8)), invv));
+            let t1 = vrndnq_f32(vmulq_f32(vld1q_f32(sp.add(ch * 8 + 4)), invv));
+            let t0 = vminq_f32(hi, vmaxq_f32(lo, t0));
+            let t1 = vminq_f32(hi, vmaxq_f32(lo, t1));
+            let s16 = vcombine_s16(vmovn_s32(vcvtq_s32_f32(t0)), vmovn_s32(vcvtq_s32_f32(t1)));
+            vst1_s8(dst.as_mut_ptr().add(ch * 8), vmovn_s16(s16));
+        }
+        for (d, &v) in dst[base..].iter_mut().zip(&src[base..]) {
+            *d = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+        }
+        absmax / 127.0
+    }
+
+    /// QK^T score row — NEON tier (see [`scalar::attn_scores_into`]).
+    pub fn attn_scores_into(
+        q: &[f32],
+        keys: &[f32],
+        stride: usize,
+        scale: f32,
+        scores: &mut [f32],
+    ) {
+        let dh = q.len();
+        let n = scores.len();
+        assert!(n == 0 || keys.len() >= (n - 1) * stride + dh);
+        unsafe { attn_scores_neon(q, keys, stride, scale, scores) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn attn_scores_neon(
+        q: &[f32],
+        keys: &[f32],
+        stride: usize,
+        scale: f32,
+        scores: &mut [f32],
+    ) {
+        let dh = q.len();
+        let chunks = dh / 8;
+        let tail = dh % 8;
+        let base = chunks * 8;
+        let qp = q.as_ptr();
+        for (si, sv) in scores.iter_mut().enumerate() {
+            let kr = keys.as_ptr().add(si * stride);
+            let mut acc_lo = vdupq_n_f32(0.0);
+            let mut acc_hi = vdupq_n_f32(0.0);
+            for ch in 0..chunks {
+                acc_lo = vaddq_f32(
+                    acc_lo,
+                    vmulq_f32(vld1q_f32(qp.add(ch * 8)), vld1q_f32(kr.add(ch * 8))),
+                );
+                acc_hi = vaddq_f32(
+                    acc_hi,
+                    vmulq_f32(vld1q_f32(qp.add(ch * 8 + 4)), vld1q_f32(kr.add(ch * 8 + 4))),
+                );
+            }
+            let mut lanes = [0.0f32; 8];
+            vst1q_f32(lanes.as_mut_ptr(), acc_lo);
+            vst1q_f32(lanes.as_mut_ptr().add(4), acc_hi);
+            for l in 0..tail {
+                lanes[l] += *qp.add(base + l) * *kr.add(base + l);
+            }
+            *sv = reduce8(&lanes) * scale;
+        }
+    }
+
+    /// Softmax-weighted V accumulation — NEON tier (see
+    /// [`scalar::attn_weighted_sum_into`]).
+    pub fn attn_weighted_sum_into(
+        probs: &[f32],
+        values: &[f32],
+        stride: usize,
+        ctx: &mut [f32],
+    ) {
+        let dh = ctx.len();
+        assert!(probs.is_empty() || values.len() >= (probs.len() - 1) * stride + dh);
+        unsafe { weighted_sum_neon(probs, values, stride, ctx) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn weighted_sum_neon(probs: &[f32], values: &[f32], stride: usize, ctx: &mut [f32]) {
+        let dh = ctx.len();
+        let chunks = dh / 8;
+        let base = chunks * 8;
+        let cp = ctx.as_mut_ptr();
+        for (si, &w) in probs.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let wv = vdupq_n_f32(w);
+            let vr = values.as_ptr().add(si * stride);
+            for ch in 0..chunks {
+                let c0 = vld1q_f32(cp.add(ch * 8));
+                let c1 = vld1q_f32(cp.add(ch * 8 + 4));
+                vst1q_f32(
+                    cp.add(ch * 8),
+                    vaddq_f32(c0, vmulq_f32(wv, vld1q_f32(vr.add(ch * 8)))),
+                );
+                vst1q_f32(
+                    cp.add(ch * 8 + 4),
+                    vaddq_f32(c1, vmulq_f32(wv, vld1q_f32(vr.add(ch * 8 + 4)))),
+                );
+            }
+            for (j, c) in ctx[base..].iter_mut().enumerate() {
+                *c += w * *vr.add(base + j);
+            }
+        }
+    }
+
+    /// One layer-norm row — NEON tier (see
+    /// [`scalar::layer_norm_row_into`]). The softmax kernel is not
+    /// NEON-vectorized (matching `sum_exp`, whose dispatch also falls
+    /// back to the scalar polynomial-exp path on this tier).
+    pub fn layer_norm_row_into(
+        row: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut [f32],
+    ) -> (f32, f32) {
+        let d = row.len();
+        assert!(gamma.len() >= d && beta.len() >= d && out.len() >= d);
+        unsafe { ln_row_neon(row, gamma, beta, out) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn ln_row_neon(
+        row: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut [f32],
+    ) -> (f32, f32) {
+        let d = row.len();
+        let chunks = d / 8;
+        let base = chunks * 8;
+        let rp = row.as_ptr();
+        let mut acc_lo = vdupq_n_f32(0.0);
+        let mut acc_hi = vdupq_n_f32(0.0);
+        for ch in 0..chunks {
+            acc_lo = vaddq_f32(acc_lo, vld1q_f32(rp.add(ch * 8)));
+            acc_hi = vaddq_f32(acc_hi, vld1q_f32(rp.add(ch * 8 + 4)));
+        }
+        let mut lanes = [0.0f32; 8];
+        vst1q_f32(lanes.as_mut_ptr(), acc_lo);
+        vst1q_f32(lanes.as_mut_ptr().add(4), acc_hi);
+        for (l, &v) in lanes.iter_mut().zip(&row[base..]) {
+            *l += v;
+        }
+        let mean = reduce8(&lanes) / d as f32;
+        let meanv = vdupq_n_f32(mean);
+        let mut vacc_lo = vdupq_n_f32(0.0);
+        let mut vacc_hi = vdupq_n_f32(0.0);
+        for ch in 0..chunks {
+            let d0 = vsubq_f32(vld1q_f32(rp.add(ch * 8)), meanv);
+            let d1 = vsubq_f32(vld1q_f32(rp.add(ch * 8 + 4)), meanv);
+            vacc_lo = vaddq_f32(vacc_lo, vmulq_f32(d0, d0));
+            vacc_hi = vaddq_f32(vacc_hi, vmulq_f32(d1, d1));
+        }
+        let mut vlanes = [0.0f32; 8];
+        vst1q_f32(vlanes.as_mut_ptr(), vacc_lo);
+        vst1q_f32(vlanes.as_mut_ptr().add(4), vacc_hi);
+        for (l, &v) in vlanes.iter_mut().zip(&row[base..]) {
+            let dv = v - mean;
+            *l += dv * dv;
+        }
+        let var = reduce8(&vlanes) / d as f32;
+        let rstd = 1.0 / (var + 1e-5).sqrt();
+        let rstdv = vdupq_n_f32(rstd);
+        for ch in 0..chunks {
+            let x0 = vsubq_f32(vld1q_f32(rp.add(ch * 8)), meanv);
+            let x1 = vsubq_f32(vld1q_f32(rp.add(ch * 8 + 4)), meanv);
+            let g0 = vld1q_f32(gamma.as_ptr().add(ch * 8));
+            let g1 = vld1q_f32(gamma.as_ptr().add(ch * 8 + 4));
+            let b0 = vld1q_f32(beta.as_ptr().add(ch * 8));
+            let b1 = vld1q_f32(beta.as_ptr().add(ch * 8 + 4));
+            vst1q_f32(
+                out.as_mut_ptr().add(ch * 8),
+                vaddq_f32(vmulq_f32(vmulq_f32(g0, x0), rstdv), b0),
+            );
+            vst1q_f32(
+                out.as_mut_ptr().add(ch * 8 + 4),
+                vaddq_f32(vmulq_f32(vmulq_f32(g1, x1), rstdv), b1),
+            );
+        }
+        for j in base..d {
+            out[j] = gamma[j] * (row[j] - mean) * rstd + beta[j];
+        }
+        (mean, rstd)
+    }
+}
+
+/// VNNI tier (x86-64): the AVX2 tier plus `VPDPBUSD` for the int8
+/// matmul — every f32 kernel dispatches to the [`avx2`]
+/// implementations, so only the int8 path differs. `VPDPBUSD` computes
+/// a u8×i8 dot; the signed i8×i8 dot the backend needs is recovered
+/// exactly by the abs/sign trick: `|x| ≤ 127` always fits u8 (the
+/// quantizer clamps to ±127), `VPSIGNB` moves x's sign onto w (also
+/// ±127, so no negation overflow), and `Σ |x|·sign(w, x) = Σ x·w` with
+/// each 4-product group bounded by `4·127² = 64516` — far from both
+/// the intermediate and i32 accumulator limits. Exact integer
+/// arithmetic makes the tier bit-identical to scalar/AVX2/NEON by
+/// construction. Both `VPDPBUSD` encodings are supported: the VEX one
+/// on AVX-VNNI hosts (Alder Lake+), the EVEX one on
+/// AVX512-VNNI+VL hosts (Ice Lake / Zen 4).
+#[cfg(target_arch = "x86_64")]
+pub mod vnni {
+    use super::scalar::qdot;
+    use std::arch::x86_64::*;
+
+    fn assert_vnni() {
+        assert!(
+            super::tier_supported(super::IsaTier::Vnni),
+            "VNNI kernels called on a host without AVX-VNNI or AVX512-VNNI+VL"
+        );
+    }
+
+    macro_rules! vnni_qmatmul {
+        ($name:ident, $feat:literal, $dpbusd:ident) => {
+            #[allow(clippy::too_many_arguments)]
+            #[target_feature(enable = $feat)]
+            unsafe fn $name(
+                xq: &[i8],
+                xs: &[f32],
+                wq: &[i8],
+                ws: &[f32],
+                bias: Option<&[f32]>,
+                out: &mut [f32],
+                m: usize,
+                k: usize,
+                n: usize,
+            ) {
+                let chunks = k / 32;
+                let base = chunks * 32;
+                // Activation chunks and their absolute values are
+                // hoisted out of the column loop (the VPDPBUSD operand
+                // transform depends only on x); rows longer than MAXCH
+                // chunks recompute inline past the buffer.
+                const MAXCH: usize = 16;
+                let mut xvbuf = [_mm256_setzero_si256(); MAXCH];
+                let mut axbuf = [_mm256_setzero_si256(); MAXCH];
+                let cached = chunks.min(MAXCH);
+                for i in 0..m {
+                    let xr = xq.as_ptr().add(i * k);
+                    for ch in 0..cached {
+                        let xv = _mm256_loadu_si256(xr.add(ch * 32) as *const __m256i);
+                        xvbuf[ch] = xv;
+                        axbuf[ch] = _mm256_abs_epi8(xv);
+                    }
+                    let mut j = 0usize;
+                    while j + 4 <= n {
+                        let w0 = wq.as_ptr().add(j * k);
+                        let w1 = wq.as_ptr().add((j + 1) * k);
+                        let w2 = wq.as_ptr().add((j + 2) * k);
+                        let w3 = wq.as_ptr().add((j + 3) * k);
+                        let mut acc0 = _mm256_setzero_si256();
+                        let mut acc1 = _mm256_setzero_si256();
+                        let mut acc2 = _mm256_setzero_si256();
+                        let mut acc3 = _mm256_setzero_si256();
+                        for ch in 0..chunks {
+                            let (xv, ax) = if ch < cached {
+                                (xvbuf[ch], axbuf[ch])
+                            } else {
+                                let xv = _mm256_loadu_si256(xr.add(ch * 32) as *const __m256i);
+                                (xv, _mm256_abs_epi8(xv))
+                            };
+                            let wv = _mm256_loadu_si256(w0.add(ch * 32) as *const __m256i);
+                            acc0 = $dpbusd(acc0, ax, _mm256_sign_epi8(wv, xv));
+                            let wv = _mm256_loadu_si256(w1.add(ch * 32) as *const __m256i);
+                            acc1 = $dpbusd(acc1, ax, _mm256_sign_epi8(wv, xv));
+                            let wv = _mm256_loadu_si256(w2.add(ch * 32) as *const __m256i);
+                            acc2 = $dpbusd(acc2, ax, _mm256_sign_epi8(wv, xv));
+                            let wv = _mm256_loadu_si256(w3.add(ch * 32) as *const __m256i);
+                            acc3 = $dpbusd(acc3, ax, _mm256_sign_epi8(wv, xv));
+                        }
+                        let sums = super::hsum4_epi32(acc0, acc1, acc2, acc3);
+                        if base == k {
+                            super::dequant4(sums, xs[i], ws, bias, out, i, j, n);
+                        } else {
+                            let mut tails = [0i32; 4];
+                            _mm_storeu_si128(tails.as_mut_ptr() as *mut __m128i, sums);
+                            for (col, &sv) in tails.iter().enumerate() {
+                                let jj = j + col;
+                                let wr = wq.as_ptr().add(jj * k);
+                                let sum = sv
+                                    + qdot(
+                                        std::slice::from_raw_parts(xr.add(base), k - base),
+                                        std::slice::from_raw_parts(wr.add(base), k - base),
+                                    );
+                                let deq = sum as f32 * (xs[i] * ws[jj]);
+                                out[i * n + jj] = match bias {
+                                    Some(b) => deq + b[jj],
+                                    None => deq,
+                                };
+                            }
+                        }
+                        j += 4;
+                    }
+                    while j < n {
+                        let wr = wq.as_ptr().add(j * k);
+                        let mut acc = _mm256_setzero_si256();
+                        for ch in 0..chunks {
+                            let xv = _mm256_loadu_si256(xr.add(ch * 32) as *const __m256i);
+                            let wv = _mm256_loadu_si256(wr.add(ch * 32) as *const __m256i);
+                            acc = $dpbusd(acc, _mm256_abs_epi8(xv), _mm256_sign_epi8(wv, xv));
+                        }
+                        let mut lanes = [0i32; 8];
+                        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+                        let mut sum: i32 = lanes.iter().sum();
+                        sum += qdot(
+                            std::slice::from_raw_parts(xr.add(base), k - base),
+                            std::slice::from_raw_parts(wr.add(base), k - base),
+                        );
+                        let deq = sum as f32 * (xs[i] * ws[j]);
+                        out[i * n + j] = match bias {
+                            Some(b) => deq + b[j],
+                            None => deq,
+                        };
+                        j += 1;
+                    }
+                }
+            }
+        };
+    }
+
+    vnni_qmatmul!(qmatmul_avxvnni, "avx2,avxvnni", _mm256_dpbusd_avx_epi32);
+    vnni_qmatmul!(qmatmul_avx512vnni, "avx2,avx512vnni,avx512vl", _mm256_dpbusd_epi32);
+
+    /// Int8 matmul — VNNI tier (see [`scalar::qmatmul_transb_into`];
+    /// exact i32 accumulation, bit-identical to every other tier).
+    #[allow(clippy::too_many_arguments)]
+    pub fn qmatmul_transb_into(
+        xq: &[i8],
+        xs: &[f32],
+        wq: &[i8],
+        ws: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        assert!(xq.len() >= m * k && wq.len() >= n * k && out.len() >= m * n);
+        assert_vnni();
+        if std::arch::is_x86_feature_detected!("avxvnni") {
+            unsafe { qmatmul_avxvnni(xq, xs, wq, ws, bias, out, m, k, n) }
+        } else {
+            unsafe { qmatmul_avx512vnni(xq, xs, wq, ws, bias, out, m, k, n) }
+        }
+    }
 }
 
 /// Dispatched `C = A * B^T` (`a`: `m x k`, `b`: `n x k`, `c`: `m x n`).
 pub fn matmul_transb_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     match active_tier() {
         #[cfg(target_arch = "x86_64")]
-        IsaTier::Avx2 => avx2::matmul_transb_into(a, b, c, m, k, n),
+        IsaTier::Avx2 | IsaTier::Vnni => avx2::matmul_transb_into(a, b, c, m, k, n),
         #[cfg(target_arch = "aarch64")]
         IsaTier::Neon => neon::matmul_transb_into(a, b, c, m, k, n),
         _ => scalar::matmul_transb_into(a, b, c, m, k, n),
@@ -1281,7 +2385,7 @@ pub fn matmul_transb_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usiz
 pub fn matmul_xposed_into(a: &[f32], bt: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     match active_tier() {
         #[cfg(target_arch = "x86_64")]
-        IsaTier::Avx2 => avx2::matmul_xposed_into(a, bt, c, m, k, n),
+        IsaTier::Avx2 | IsaTier::Vnni => avx2::matmul_xposed_into(a, bt, c, m, k, n),
         #[cfg(target_arch = "aarch64")]
         IsaTier::Neon => neon::matmul_xposed_into(a, bt, c, m, k, n),
         _ => scalar::matmul_xposed_into(a, bt, c, m, k, n),
@@ -1322,7 +2426,7 @@ pub fn pack_xposed_blocks(bt: &[f32], k: usize, n: usize) -> Vec<f32> {
 pub fn matmul_xpacked_into(a: &[f32], bp: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     match active_tier() {
         #[cfg(target_arch = "x86_64")]
-        IsaTier::Avx2 => avx2::matmul_xpacked_into(a, bp, c, m, k, n),
+        IsaTier::Avx2 | IsaTier::Vnni => avx2::matmul_xpacked_into(a, bp, c, m, k, n),
         #[cfg(target_arch = "aarch64")]
         IsaTier::Neon => neon::matmul_xpacked_into(a, bp, c, m, k, n),
         _ => scalar::matmul_xpacked_into(a, bp, c, m, k, n),
@@ -1352,7 +2456,7 @@ pub fn matmul_transb_batched(
         let cv = &mut c[bi * c_stride..];
         match tier {
             #[cfg(target_arch = "x86_64")]
-            IsaTier::Avx2 => avx2::matmul_transb_into(av, bv, cv, m, k, n),
+            IsaTier::Avx2 | IsaTier::Vnni => avx2::matmul_transb_into(av, bv, cv, m, k, n),
             #[cfg(target_arch = "aarch64")]
             IsaTier::Neon => neon::matmul_transb_into(av, bv, cv, m, k, n),
             _ => scalar::matmul_transb_into(av, bv, cv, m, k, n),
@@ -1369,7 +2473,7 @@ pub fn row_max(row: &[f32]) -> f32 {
     }
     match active_tier() {
         #[cfg(target_arch = "x86_64")]
-        IsaTier::Avx2 => avx2::row_max(row),
+        IsaTier::Avx2 | IsaTier::Vnni => avx2::row_max(row),
         #[cfg(target_arch = "aarch64")]
         IsaTier::Neon => neon::row_max(row),
         _ => scalar::row_max(row),
@@ -1384,7 +2488,7 @@ pub fn row_max(row: &[f32]) -> f32 {
 pub fn sum_exp(row: &[f32], max: f32) -> f32 {
     match active_tier() {
         #[cfg(target_arch = "x86_64")]
-        IsaTier::Avx2 => avx2::sum_exp(row, max),
+        IsaTier::Avx2 | IsaTier::Vnni => avx2::sum_exp(row, max),
         _ => scalar::sum_exp(row, max),
     }
 }
@@ -1396,33 +2500,135 @@ pub fn sum_exp(row: &[f32], max: f32) -> f32 {
 pub fn gelu_into(buf: &mut [f32]) {
     match active_tier() {
         #[cfg(target_arch = "x86_64")]
-        IsaTier::Avx2 => avx2::gelu_into(buf),
+        IsaTier::Avx2 | IsaTier::Vnni => avx2::gelu_into(buf),
         _ => scalar::gelu_into(buf),
     }
 }
 
-/// Per-row symmetric int8 quantization: `scale = absmax / 127`, values
-/// round-to-nearest clamped to `[-127, 127]`. Returns the scale (0.0
-/// for an all-zero or non-finite row, with `dst` zeroed). Always
-/// scalar, on every tier: rounding must not depend on dispatch.
+/// Dispatched per-row symmetric int8 quantization: `scale = absmax /
+/// 127`, values round-to-nearest-even clamped to `[-127, 127]`.
+/// Returns the scale (0.0 for an all-zero or non-finite row, with
+/// `dst` zeroed). Every tier produces bit-identical output for finite
+/// rows (see the module docs), so the int8 path's inputs — and
+/// therefore its exact-integer outputs — do not depend on dispatch.
 pub fn quantize_row_i8(src: &[f32], dst: &mut [i8]) -> f32 {
-    debug_assert_eq!(src.len(), dst.len());
-    let mut absmax = 0.0f32;
-    for &v in src {
-        let a = v.abs();
-        if a > absmax {
-            absmax = a;
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 | IsaTier::Vnni => avx2::quantize_row_i8(src, dst),
+        #[cfg(target_arch = "aarch64")]
+        IsaTier::Neon => neon::quantize_row_i8(src, dst),
+        _ => scalar::quantize_row_i8(src, dst),
+    }
+}
+
+/// Dispatched QK^T score row: `scores[si] = (q · keys[si*stride..]) *
+/// scale` over `q.len()` elements per key row. The dot uses the shared
+/// lane-split-by-8 / mul-then-add / tree-reduce semantics, so tiers
+/// agree bit-for-bit; the `scale` multiply is one rounded op applied
+/// after the reduce on every tier.
+pub fn attn_scores_into(
+    q: &[f32],
+    keys: &[f32],
+    stride: usize,
+    scale: f32,
+    scores: &mut [f32],
+) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 | IsaTier::Vnni => avx2::attn_scores_into(q, keys, stride, scale, scores),
+        #[cfg(target_arch = "aarch64")]
+        IsaTier::Neon => neon::attn_scores_into(q, keys, stride, scale, scores),
+        _ => scalar::attn_scores_into(q, keys, stride, scale, scores),
+    }
+}
+
+/// Dispatched in-place softmax over one row: VMAXPS-semantics max, the
+/// shared polynomial exp ([`exp_lane`] / its AVX2 mirror — no libm),
+/// a lane-split-by-8 sum, and a `1 / sum.max(1e-12)` normalize. `-inf`
+/// entries (masked attention slots) come out exactly `+0.0`, which the
+/// weighted-sum kernel then skips. NEON falls back to the scalar path
+/// (like `sum_exp`) — bit-identical by definition.
+pub fn softmax_into(row: &mut [f32]) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 | IsaTier::Vnni => avx2::softmax_into(row),
+        _ => scalar::softmax_into(row),
+    }
+}
+
+/// Dispatched softmax-weighted V accumulation: `ctx[j] += Σ_si
+/// probs[si] * values[si*stride + j]`, `si` ascending, zero weights
+/// skipped on every tier. Elementwise over `j`, so tiers are
+/// bit-identical by construction. `ctx` is accumulated into (callers
+/// zero or seed it).
+pub fn attn_weighted_sum_into(probs: &[f32], values: &[f32], stride: usize, ctx: &mut [f32]) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 | IsaTier::Vnni => {
+            avx2::attn_weighted_sum_into(probs, values, stride, ctx)
         }
+        #[cfg(target_arch = "aarch64")]
+        IsaTier::Neon => neon::attn_weighted_sum_into(probs, values, stride, ctx),
+        _ => scalar::attn_weighted_sum_into(probs, values, stride, ctx),
     }
-    if absmax == 0.0 || !absmax.is_finite() {
-        dst.fill(0);
-        return 0.0;
+}
+
+/// Per-row layer-norm function pointer for the active tier (resolved
+/// once per matrix, not per row).
+type LnRowFn = fn(&[f32], &[f32], &[f32], &mut [f32]) -> (f32, f32);
+
+fn ln_row_fn() -> LnRowFn {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Avx2 | IsaTier::Vnni => avx2::layer_norm_row_into,
+        #[cfg(target_arch = "aarch64")]
+        IsaTier::Neon => neon::layer_norm_row_into,
+        _ => scalar::layer_norm_row_into,
     }
-    let inv = 127.0 / absmax;
-    for (d, &v) in dst.iter_mut().zip(src) {
-        *d = (v * inv).round().clamp(-127.0, 127.0) as i8;
+}
+
+/// Dispatched layer norm over `t` rows of width `d`: per row,
+/// lane-split-by-8 mean and variance sums, `rstd = 1 / sqrt(var +
+/// 1e-5)`, then `out = gamma ⊙ (x - mean) * rstd + beta`. Bit-identical
+/// across tiers (every non-lane-split step is an exactly-rounded
+/// scalar IEEE op shared by all tiers).
+pub fn layer_norm_into(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    t: usize,
+    d: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(x.len() >= t * d && out.len() >= t * d);
+    let f = ln_row_fn();
+    for r in 0..t {
+        f(&x[r * d..(r + 1) * d], gamma, beta, &mut out[r * d..(r + 1) * d]);
     }
-    absmax / 127.0
+}
+
+/// [`layer_norm_into`] that also records each row's `(mean, rstd)` for
+/// the training path's backward caches. Same per-row kernel — the
+/// inference wrapper and this one cannot diverge.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_norm_stats_into(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    t: usize,
+    d: usize,
+    out: &mut [f32],
+    means: &mut [f32],
+    rstds: &mut [f32],
+) {
+    debug_assert!(x.len() >= t * d && out.len() >= t * d);
+    debug_assert!(means.len() >= t && rstds.len() >= t);
+    let f = ln_row_fn();
+    for r in 0..t {
+        let (mean, rstd) = f(&x[r * d..(r + 1) * d], gamma, beta, &mut out[r * d..(r + 1) * d]);
+        means[r] = mean;
+        rstds[r] = rstd;
+    }
 }
 
 /// Dispatched int8 `C = Xq * Wq^T` with f32 dequant-on-accumulate.
@@ -1441,6 +2647,8 @@ pub fn qmatmul_transb_into(
     n: usize,
 ) {
     match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        IsaTier::Vnni => vnni::qmatmul_transb_into(xq, xs, wq, ws, bias, out, m, k, n),
         #[cfg(target_arch = "x86_64")]
         IsaTier::Avx2 => avx2::qmatmul_transb_into(xq, xs, wq, ws, bias, out, m, k, n),
         #[cfg(target_arch = "aarch64")]

@@ -79,6 +79,11 @@ pub fn matmul_transa(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<
 }
 
 /// In-place row-wise softmax over an `[rows, cols]` matrix.
+///
+/// Uses libm `exp` — this is the training/logits softmax. Inference
+/// attention goes through [`crate::kernels::softmax_into`] instead,
+/// which uses the shared polynomial `exp` so all ISA tiers agree
+/// bit-for-bit.
 pub fn softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
     for r in 0..rows {
         let row = &mut x[r * cols..(r + 1) * cols];

@@ -328,17 +328,9 @@ impl Seq2Seq {
         let mut y = vec![0.0f32; x.len()];
         let mut means = vec![0.0f32; t];
         let mut rstds = vec![0.0f32; t];
-        for r in 0..t {
-            let row = &x[r * d..(r + 1) * d];
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let rstd = 1.0 / (var + 1e-5).sqrt();
-            means[r] = mean;
-            rstds[r] = rstd;
-            for j in 0..d {
-                y[r * d + j] = gamma[j] * (row[j] - mean) * rstd + beta[j];
-            }
-        }
+        crate::kernels::layer_norm_stats_into(
+            x, gamma, beta, t, d, &mut y, &mut means, &mut rstds,
+        );
         (y, means, rstds)
     }
 
@@ -365,26 +357,31 @@ impl Seq2Seq {
             let off = head * dh;
             let p = &mut probs[head * t * s..(head + 1) * t * s];
             for ti in 0..t {
-                for si in 0..s {
-                    let mut acc = 0.0f32;
-                    for j in 0..dh {
-                        acc += q[ti * d + off + j] * k[si * d + off + j];
-                    }
-                    p[ti * s + si] =
-                        if causal && si > ti { f32::NEG_INFINITY } else { acc * scale };
+                // Causal rows softmax the prefix only; the masked tail
+                // stays exactly 0.0 in the cached probs (same values the
+                // old `-inf`-then-softmax pass produced, since
+                // `exp(-inf) = +0.0` neither moves the row max nor the
+                // non-negative lane sums).
+                let limit = if causal { (ti + 1).min(s) } else { s };
+                let prow = &mut p[ti * s..(ti + 1) * s];
+                if limit == 0 {
+                    continue;
                 }
-            }
-            softmax_rows(p, t, s);
-            for ti in 0..t {
-                for si in 0..s {
-                    let w = p[ti * s + si];
-                    if w == 0.0 {
-                        continue;
-                    }
-                    for j in 0..dh {
-                        ctx[ti * d + off + j] += w * v[si * d + off + j];
-                    }
-                }
+                crate::kernels::attn_scores_into(
+                    &q[ti * d + off..ti * d + off + dh],
+                    &k[off..],
+                    d,
+                    scale,
+                    &mut prow[..limit],
+                );
+                crate::kernels::softmax_into(&mut prow[..limit]);
+                prow[limit..].fill(0.0);
+                crate::kernels::attn_weighted_sum_into(
+                    &prow[..limit],
+                    &v[off..],
+                    d,
+                    &mut ctx[ti * d + off..ti * d + off + dh],
+                );
             }
         }
         let out = self.linear(a.wo, a.bo, &ctx, t, d, d);
@@ -954,15 +951,7 @@ impl Seq2Seq {
         let d = self.cfg.d_model;
         let gamma = self.store.data(ln.gamma);
         let beta = self.store.data(ln.beta);
-        for r in 0..t {
-            let row = &x[r * d..(r + 1) * d];
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let rstd = 1.0 / (var + 1e-5).sqrt();
-            for j in 0..d {
-                out[r * d + j] = gamma[j] * (row[j] - mean) * rstd + beta[j];
-            }
-        }
+        crate::kernels::layer_norm_into(&x[..t * d], gamma, beta, t, d, &mut out[..t * d]);
     }
 
     /// Batched encoder forward: packs all sequences into one row matrix so
@@ -1042,25 +1031,21 @@ impl Seq2Seq {
                     let ho = head * dh;
                     let p = &mut probs[..t * t];
                     for ti in 0..t {
-                        for si2 in 0..t {
-                            let mut acc = 0.0f32;
-                            for j in 0..dh {
-                                acc += qs[ti * d + ho + j] * ks[si2 * d + ho + j];
-                            }
-                            p[ti * t + si2] = acc * scale;
-                        }
-                    }
-                    softmax_rows(p, t, t);
-                    for ti in 0..t {
-                        for si2 in 0..t {
-                            let w = p[ti * t + si2];
-                            if w == 0.0 {
-                                continue;
-                            }
-                            for j in 0..dh {
-                                cs[ti * d + ho + j] += w * vs[si2 * d + ho + j];
-                            }
-                        }
+                        let prow = &mut p[ti * t..(ti + 1) * t];
+                        crate::kernels::attn_scores_into(
+                            &qs[ti * d + ho..ti * d + ho + dh],
+                            &ks[ho..],
+                            d,
+                            scale,
+                            prow,
+                        );
+                        crate::kernels::softmax_into(prow);
+                        crate::kernels::attn_weighted_sum_into(
+                            prow,
+                            &vs[ho..],
+                            d,
+                            &mut cs[ti * d + ho..ti * d + ho + dh],
+                        );
                     }
                 }
             }
@@ -1854,29 +1839,27 @@ fn attend_into(
     let d = h * dh;
     let scale = 1.0 / (dh as f32).sqrt();
     ctx.iter_mut().for_each(|c| *c = 0.0);
+    if n == 0 {
+        // Degenerate empty memory: nothing to attend over, context is 0.
+        return;
+    }
     let scores = &mut scores[..n];
     for head in 0..h {
         let off = head * dh;
-        for (si, sc) in scores.iter_mut().enumerate() {
-            let mut acc = 0.0f32;
-            for j in 0..dh {
-                acc += q[off + j] * keys[si * d + off + j];
-            }
-            *sc = acc * scale;
-        }
-        softmax_rows(scores, 1, n);
-        for (si, &w) in scores.iter().enumerate() {
-            if w == 0.0 {
-                continue;
-            }
-            for j in 0..dh {
-                ctx[off + j] += w * values[si * d + off + j];
-            }
-        }
+        crate::kernels::attn_scores_into(&q[off..off + dh], &keys[off..], d, scale, scores);
+        crate::kernels::softmax_into(scores);
+        crate::kernels::attn_weighted_sum_into(
+            scores,
+            &values[off..],
+            d,
+            &mut ctx[off..off + dh],
+        );
     }
 }
 
-/// Single-query attention over `n` cached key/value rows.
+/// Single-query attention over `n` cached key/value rows — allocating
+/// wrapper over [`attend_into`], so the scalar and batched decode paths
+/// share one arithmetic implementation by construction.
 fn attend_single(
     q: &[f32],
     keys: &[f32],
@@ -1886,28 +1869,9 @@ fn attend_single(
     dh: usize,
 ) -> Vec<f32> {
     let d = h * dh;
-    let scale = 1.0 / (dh as f32).sqrt();
     let mut ctx = vec![0.0f32; d];
     let mut scores = vec![0.0f32; n];
-    for head in 0..h {
-        let off = head * dh;
-        for (si, sc) in scores.iter_mut().enumerate() {
-            let mut acc = 0.0f32;
-            for j in 0..dh {
-                acc += q[off + j] * keys[si * d + off + j];
-            }
-            *sc = acc * scale;
-        }
-        softmax_rows(&mut scores, 1, n);
-        for (si, &w) in scores.iter().enumerate() {
-            if w == 0.0 {
-                continue;
-            }
-            for j in 0..dh {
-                ctx[off + j] += w * values[si * d + off + j];
-            }
-        }
-    }
+    attend_into(q, keys, values, n, h, dh, &mut scores, &mut ctx);
     ctx
 }
 

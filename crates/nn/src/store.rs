@@ -201,7 +201,9 @@ pub struct QuantizedTensor {
 
 impl QuantizedTensor {
     /// Quantizes an f32 `[rows, cols]` matrix row-by-row (symmetric,
-    /// round-to-nearest, clamped to `[-127, 127]`).
+    /// round-to-nearest-even, clamped to `[-127, 127]`) via the
+    /// dispatched [`crate::kernels::quantize_row_i8`], so weight
+    /// quantization is bit-identical across ISA tiers.
     ///
     /// # Panics
     ///

@@ -381,3 +381,202 @@ proptest! {
         }
     }
 }
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avx2_quantize_is_bit_identical_to_scalar(row in mat(57), scale_exp in -3i32..4) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        let scale = 2.0f32.powi(scale_exp);
+        for len in [1usize, 7, 8, 9, 31, 57] {
+            let src: Vec<f32> = row[..len].iter().map(|v| v * scale).collect();
+            let mut qs = vec![0i8; len];
+            let mut qv = vec![0i8; len];
+            let ss = scalar::quantize_row_i8(&src, &mut qs);
+            let sv = kernels::avx2::quantize_row_i8(&src, &mut qv);
+            prop_assert_eq!(ss.to_bits(), sv.to_bits(), "scale, len {}", len);
+            prop_assert_eq!(&qs, &qv, "codes, len {}", len);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx2_quantize_edge_rows_match_scalar() {
+    if !has_avx2() {
+        return;
+    }
+    // Zero rows, denormal-absmax rows (inv = 127/absmax overflows to
+    // +inf), mixed ±0.0, and an all-inf row: the vector tier must take
+    // the same early-outs and produce the same codes as scalar.
+    let denorm = f32::from_bits(1); // smallest positive subnormal
+    let cases: Vec<Vec<f32>> = vec![
+        vec![0.0; 13],
+        vec![-0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0],
+        vec![denorm; 9],
+        vec![-denorm, denorm, 0.0, denorm, -denorm, 0.0, denorm, -denorm, denorm, 0.0],
+        vec![f32::INFINITY, 1.0, -2.0, 0.5, -0.25, 3.0, -1.5, 0.75, 2.5],
+        vec![f32::NEG_INFINITY; 8],
+        vec![1e-38, -2e-38, 3e-38, -4e-38, 5e-38, -6e-38, 7e-38],
+    ];
+    for (i, src) in cases.iter().enumerate() {
+        let mut qs = vec![0i8; src.len()];
+        let mut qv = vec![0i8; src.len()];
+        let ss = scalar::quantize_row_i8(src, &mut qs);
+        let sv = kernels::avx2::quantize_row_i8(src, &mut qv);
+        assert_eq!(ss.to_bits(), sv.to_bits(), "case {i} scale");
+        assert_eq!(qs, qv, "case {i} codes");
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avx2_attn_scores_is_bit_identical_to_scalar(
+        dh in 1usize..33,
+        n in 1usize..12,
+        seed in 0u64..1_000,
+    ) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        // `stride > dh` mirrors the model's head-offset slicing (keys
+        // rows are d-strided, the query spans one head). `n = 1` is the
+        // single-token decode shape, larger `n` the batched-prefill one.
+        let stride = dh + 3;
+        let q = seeded(seed, dh);
+        let keys = seeded(seed ^ 0x21, n * stride);
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut ss = vec![0.0f32; n];
+        let mut sv = vec![0.0f32; n];
+        scalar::attn_scores_into(&q, &keys, stride, scale, &mut ss);
+        kernels::avx2::attn_scores_into(&q, &keys, stride, scale, &mut sv);
+        for (s, v) in ss.iter().zip(&sv) {
+            prop_assert_eq!(s.to_bits(), v.to_bits(), "dh {} n {}", dh, n);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avx2_softmax_is_bit_identical_to_scalar(row in mat(57), widen in 0usize..2) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        for len in [1usize, 7, 8, 9, 31, 57] {
+            // Widened rows reach the exp flush-to-zero branch.
+            let f = if widen == 1 { 40.0 } else { 1.0 };
+            let mut a: Vec<f32> = row[..len].iter().map(|v| v * f).collect();
+            let mut b = a.clone();
+            scalar::softmax_into(&mut a);
+            kernels::avx2::softmax_into(&mut b);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "len {}", len);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avx2_weighted_sum_is_bit_identical_to_scalar(
+        dh in 1usize..33,
+        n in 1usize..12,
+        zero_every in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        let stride = dh + 5;
+        let values = seeded(seed, n * stride);
+        // Exact zeros (masked/flushed attention slots) must be skipped
+        // identically on both tiers — a skipped row is not the same as
+        // adding 0.0 when the accumulator holds -0.0.
+        let probs: Vec<f32> = seeded(seed ^ 0x22, n)
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if i % zero_every == 0 { 0.0 } else { p })
+            .collect();
+        let mut cs = vec![0.0f32; dh];
+        let mut cv = vec![0.0f32; dh];
+        scalar::attn_weighted_sum_into(&probs, &values, stride, &mut cs);
+        kernels::avx2::attn_weighted_sum_into(&probs, &values, stride, &mut cv);
+        for (s, v) in cs.iter().zip(&cv) {
+            prop_assert_eq!(s.to_bits(), v.to_bits(), "dh {} n {}", dh, n);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avx2_layer_norm_row_is_bit_identical_to_scalar(row in mat(57), seed in 0u64..1_000) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        for len in [1usize, 7, 8, 9, 31, 57] {
+            let src = &row[..len];
+            let gamma = seeded(seed ^ 0x23, len);
+            let beta = seeded(seed ^ 0x24, len);
+            let mut os = vec![0.0f32; len];
+            let mut ov = vec![0.0f32; len];
+            let (ms, rs) = scalar::layer_norm_row_into(src, &gamma, &beta, &mut os);
+            let (mv, rv) = kernels::avx2::layer_norm_row_into(src, &gamma, &beta, &mut ov);
+            prop_assert_eq!(ms.to_bits(), mv.to_bits(), "mean, len {}", len);
+            prop_assert_eq!(rs.to_bits(), rv.to_bits(), "rstd, len {}", len);
+            for (x, y) in os.iter().zip(&ov) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "out, len {}", len);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vnni_qmatmul_is_exactly_avx2_and_scalar(
+        m in 1usize..5,
+        k in 1usize..72,
+        n in 1usize..20,
+        seed in 0u64..1_000,
+    ) {
+        if !kernels::tier_supported(kernels::IsaTier::Vnni) {
+            return Ok(());
+        }
+        // The int8 end-to-end contract: VPDPBUSD's u8×i8 accumulation
+        // (via the abs/sign transform) is the same exact i32 arithmetic
+        // as the AVX2 madd path and the scalar loop — all three agree to
+        // the bit, dequant and bias included. `k` spans the 32-lane VNNI
+        // tail (k % 32 ≠ 0).
+        let (xq, xs) = quantized(seed, m, k);
+        let (wq, ws) = quantized(seed ^ 0x25, n, k);
+        let bias = seeded(seed ^ 0x26, n);
+        let mut os = vec![0.0f32; m * n];
+        let mut oa = vec![0.0f32; m * n];
+        let mut ov = vec![0.0f32; m * n];
+        scalar::qmatmul_transb_into(&xq, &xs, &wq, &ws, Some(&bias), &mut os, m, k, n);
+        kernels::avx2::qmatmul_transb_into(&xq, &xs, &wq, &ws, Some(&bias), &mut oa, m, k, n);
+        kernels::vnni::qmatmul_transb_into(&xq, &xs, &wq, &ws, Some(&bias), &mut ov, m, k, n);
+        for ((s, a), v) in os.iter().zip(&oa).zip(&ov) {
+            prop_assert_eq!(s.to_bits(), a.to_bits(), "avx2 shape ({},{},{})", m, k, n);
+            prop_assert_eq!(s.to_bits(), v.to_bits(), "vnni shape ({},{},{})", m, k, n);
+        }
+    }
+}

@@ -422,8 +422,11 @@ impl ServeRuntime {
             (slade.max_batch_lanes() / shards).max(beam)
         };
         // Resolve the kernel dispatch once up front so the metrics surface
-        // reports what the workers will actually run with.
+        // reports what the workers will actually run with — both the
+        // effective tier and whether a `SLADE_KERNEL_ISA` request was
+        // honored or degraded.
         let kernel_isa = slade_nn::kernels::active_tier().name();
+        let kernel_isa_status = slade_nn::kernels::tier_status();
         let backend = slade.model.cfg.backend.name();
         let cache = match &config.spill_dir {
             Some(dir) => ResultCache::with_spill(
@@ -439,7 +442,13 @@ impl ServeRuntime {
             work: Condvar::new(),
             pending: Mutex::new(HashMap::new()),
             cache,
-            metrics: MetricsInner::new(shards, lanes_per_shard, kernel_isa, backend),
+            metrics: MetricsInner::new(
+                shards,
+                lanes_per_shard,
+                kernel_isa,
+                kernel_isa_status,
+                backend,
+            ),
             shutdown: AtomicBool::new(false),
             lanes_per_shard,
             max_wait: config.max_wait,

@@ -37,6 +37,10 @@ pub(crate) struct MetricsInner {
     pub decode_tokens: AtomicU64,
     /// Kernel ISA tier the workers decode with (resolved once at start).
     pub kernel_isa: &'static str,
+    /// Effective-vs-requested tier, e.g. `avx2 (requested vnni:
+    /// unsupported)` when `SLADE_KERNEL_ISA` asked for something the host
+    /// cannot run; equals `kernel_isa` when the request was satisfied.
+    pub kernel_isa_status: String,
     /// Weight backend name of the served model ("f32" / "int8").
     pub backend: &'static str,
     /// End-to-end latency in µs (submit → response).
@@ -50,6 +54,7 @@ impl MetricsInner {
         shards: usize,
         lane_capacity: usize,
         kernel_isa: &'static str,
+        kernel_isa_status: String,
         backend: &'static str,
     ) -> Self {
         MetricsInner {
@@ -64,6 +69,7 @@ impl MetricsInner {
             lane_capacity,
             decode_tokens: AtomicU64::new(0),
             kernel_isa,
+            kernel_isa_status,
             backend,
             latency: Histogram::new(),
             queue_wait: Histogram::new(),
@@ -108,6 +114,7 @@ impl MetricsInner {
             lane_capacity_per_shard: self.lane_capacity,
             decode_tokens: self.decode_tokens.load(Ordering::Relaxed),
             kernel_isa: self.kernel_isa,
+            kernel_isa_status: self.kernel_isa_status.clone(),
             backend: self.backend,
             p50_latency_ms: us(latency.quantile(0.50)),
             p95_latency_ms: us(latency.quantile(0.95)),
@@ -222,7 +229,11 @@ impl MetricsInner {
         p.info(
             "slade_info",
             "Serving configuration.",
-            &[("kernel_isa", self.kernel_isa), ("backend", self.backend)],
+            &[
+                ("kernel_isa", self.kernel_isa),
+                ("kernel_isa_status", self.kernel_isa_status.as_str()),
+                ("backend", self.backend),
+            ],
         );
         p.finish()
     }
@@ -310,8 +321,12 @@ pub struct MetricsSnapshot {
     /// engine step; cache hits decode nothing and add nothing).
     pub decode_tokens: u64,
     /// Kernel ISA tier the workers decode with ("scalar" / "avx2" /
-    /// "neon"), resolved once at runtime start.
+    /// "neon" / "vnni"), resolved once at runtime start.
     pub kernel_isa: &'static str,
+    /// Effective-vs-requested tier: equals `kernel_isa` when the
+    /// `SLADE_KERNEL_ISA` request (if any) was honored, otherwise e.g.
+    /// `avx2 (requested vnni: unsupported)`.
+    pub kernel_isa_status: String,
     /// Weight backend of the served model ("f32" / "int8").
     pub backend: &'static str,
     /// Median end-to-end latency (submit → response), milliseconds.
@@ -349,7 +364,7 @@ mod tests {
 
     #[test]
     fn percentiles_and_occupancy() {
-        let m = MetricsInner::new(2, 10, "scalar", "f32");
+        let m = MetricsInner::new(2, 10, "scalar", "scalar".to_string(), "f32");
         for ms in 1..=100u64 {
             m.record_latency(Duration::from_millis(ms));
         }
@@ -372,7 +387,7 @@ mod tests {
 
     #[test]
     fn queue_depth_saturates_instead_of_underflowing() {
-        let m = MetricsInner::new(1, 4, "scalar", "f32");
+        let m = MetricsInner::new(1, 4, "scalar", "scalar".to_string(), "f32");
         m.queue_depth.store(2, Ordering::Relaxed);
         m.queue_depth_sub(1);
         assert_eq!(m.queue_depth.load(Ordering::Relaxed), 1);
@@ -390,7 +405,7 @@ mod tests {
 
     #[test]
     fn prometheus_text_is_well_formed() {
-        let m = MetricsInner::new(2, 8, "scalar", "f32");
+        let m = MetricsInner::new(2, 8, "scalar", "scalar".to_string(), "f32");
         m.submitted.store(7, Ordering::Relaxed);
         m.record_latency(Duration::from_millis(12));
         m.record_queue_wait(Duration::from_micros(300));
@@ -401,6 +416,8 @@ mod tests {
         assert_eq!(stats.values["slade_requests_submitted_total"], 7.0);
         assert_eq!(stats.values["slade_decode_tokens_total"], 123.0);
         assert!(text.contains("slade_stage_decode_step_seconds_count"));
-        assert!(text.contains("slade_info{kernel_isa=\"scalar\",backend=\"f32\"} 1"));
+        assert!(text.contains(
+            "slade_info{kernel_isa=\"scalar\",kernel_isa_status=\"scalar\",backend=\"f32\"} 1"
+        ));
     }
 }

@@ -263,7 +263,7 @@ fn int8_backend_serves_identically_to_sequential_decode() {
     let snap = runtime.metrics();
     assert_eq!(snap.backend, "int8");
     assert!(
-        snap.kernel_isa == "scalar" || snap.kernel_isa == "avx2" || snap.kernel_isa == "neon",
+        ["scalar", "avx2", "neon", "vnni"].contains(&snap.kernel_isa),
         "unexpected tier {}",
         snap.kernel_isa
     );

@@ -324,7 +324,12 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
             s.lane_capacity_per_shard,
             100.0 * s.lane_occupancy()
         );
-        put!("decode       {} tokens ({}, {})", s.decode_tokens, s.kernel_isa, s.backend);
+        put!(
+            "decode       {} tokens ({}, {})",
+            s.decode_tokens,
+            s.kernel_isa_status,
+            s.backend
+        );
         put!(
             "latency ms   p50 {:.2}  p95 {:.2}  p99 {:.2}",
             s.p50_latency_ms,
