@@ -87,6 +87,31 @@ struct WarmStartScenario {
 }
 
 #[derive(Serialize)]
+struct GatewayLoadRow {
+    scenario: &'static str,
+    clients: usize,
+    requests: u64,
+    ok: u64,
+    shed_429: u64,
+    /// Client-side throughput over the whole burst (includes connection
+    /// setup per request — the loadgen uses one fresh socket per call).
+    client_requests_per_sec: f64,
+    /// Fraction of the burst answered `429` (quota or admission shed).
+    shed_rate: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct GatewayLoadgen {
+    rows: Vec<GatewayLoadRow>,
+    /// Admission queue-wait percentiles observed by the runtime behind
+    /// the gateway during the cold + warm bursts.
+    queue_wait: LatencyPercentiles,
+}
+
+#[derive(Serialize)]
 struct Report {
     workload: String,
     host_parallelism: usize,
@@ -110,6 +135,9 @@ struct Report {
     coalesce_scenario: CoalesceScenario,
     /// Disk-spill tier surviving a runtime restart.
     warm_start: WarmStartScenario,
+    /// Concurrent socket clients through the HTTP gateway: cold and warm
+    /// decode bursts, overload shed, and per-client quota shed.
+    gateway: GatewayLoadgen,
     /// Per-stage timing histograms and kernel counters accumulated across
     /// the whole bench run (from the process-wide observability registry).
     stage_breakdown: slade_obs::StageBreakdown,
@@ -132,6 +160,86 @@ fn workload_asm(i: usize) -> String {
         off = 4 + 4 * (i % 6),
         k = 3 + i
     )
+}
+
+/// Nearest-rank percentile over an unsorted sample of latencies.
+fn percentile_ms(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+/// Fires `clients` threads at the gateway, `per_client` POSTs each (one
+/// fresh socket per request), and folds the burst into a bench row.
+/// `body(client, request)` supplies each JSON payload; the quota key is
+/// `client-{index}`.
+fn gateway_burst(
+    scenario: &'static str,
+    addr: &str,
+    clients: usize,
+    per_client: usize,
+    body: impl Fn(usize, usize) -> String + Sync,
+) -> GatewayLoadRow {
+    let ok = std::sync::atomic::AtomicU64::new(0);
+    let shed = std::sync::atomic::AtomicU64::new(0);
+    let lat = std::sync::Mutex::new(Vec::<f64>::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (body, ok, shed, lat) = (&body, &ok, &shed, &lat);
+            scope.spawn(move || {
+                let client_id = format!("client-{c}");
+                let mut mine = Vec::with_capacity(per_client);
+                for r in 0..per_client {
+                    let payload = body(c, r);
+                    let t = Instant::now();
+                    let resp = slade_gateway::http::request(
+                        addr,
+                        "POST",
+                        "/v1/decompile",
+                        &[("content-type", "application/json"), ("x-slade-client", &client_id)],
+                        payload.as_bytes(),
+                        std::time::Duration::from_secs(30),
+                    )
+                    .expect("loadgen request");
+                    mine.push(t.elapsed().as_secs_f64() * 1e3);
+                    match resp.status {
+                        200 => ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                        429 => shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                        other => panic!("{scenario}: unexpected status {other}"),
+                    };
+                }
+                lat.lock().unwrap().extend(mine);
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let requests = (clients * per_client) as u64;
+    let (ok, shed_429) = (ok.into_inner(), shed.into_inner());
+    assert_eq!(ok + shed_429, requests, "{scenario}: every request must be answered");
+    let mut lat = lat.into_inner().unwrap();
+    GatewayLoadRow {
+        scenario,
+        clients,
+        requests,
+        ok,
+        shed_429,
+        client_requests_per_sec: requests as f64 / secs,
+        shed_rate: shed_429 as f64 / requests as f64,
+        p50_ms: percentile_ms(&mut lat, 0.50),
+        p95_ms: percentile_ms(&mut lat, 0.95),
+        p99_ms: percentile_ms(&mut lat, 0.99),
+    }
+}
+
+/// `{"asm": ...}` with JSON escaping.
+fn decompile_payload(asm: &str) -> String {
+    let mut obj = serde_json::Map::new();
+    obj.insert("asm".to_string(), serde_json::Value::Str(asm.to_string()));
+    serde_json::Value::Object(obj).render()
 }
 
 fn main() {
@@ -380,6 +488,107 @@ fn main() {
         warm_start.restart_decode_tokens
     );
 
+    // --- Gateway loadgen: concurrent socket clients over the HTTP
+    // front-end. Cold burst (distinct inputs, every request decodes),
+    // warm burst (same inputs, served from cache), overload shed
+    // (undersized queue + slow decode → 429s), and per-client quota
+    // shed (exhausted token bucket → 429s). ---
+    use slade_gateway::{quota::QuotaConfig, Gateway, GatewayConfig};
+    let mut gateway_rows = Vec::new();
+
+    // Cold + warm share one gateway; the runtime keeps its cache.
+    let runtime = Arc::new(ServeRuntime::start(
+        Arc::clone(&slade),
+        ServeConfig::with_shards(2).with_queue_cap(256),
+    ));
+    let gateway = Gateway::start(Arc::clone(&runtime), GatewayConfig::default())
+        .expect("bind loadgen gateway");
+    let addr = gateway.local_addr().to_string();
+    let clients = 4usize;
+    let per_client = 4usize;
+    let cold_row = gateway_burst("gateway_cold", &addr, clients, per_client, |c, r| {
+        decompile_payload(&workload_asm(300 + c * per_client + r))
+    });
+    let warm_row = gateway_burst("gateway_warm", &addr, clients, per_client, |c, r| {
+        decompile_payload(&workload_asm(300 + c * per_client + r))
+    });
+    assert_eq!(cold_row.ok, cold_row.requests, "cold burst must not shed");
+    assert_eq!(warm_row.ok, warm_row.requests, "warm burst must not shed");
+    let snap = runtime.metrics();
+    let gateway_queue_wait = LatencyPercentiles {
+        p50_ms: snap.p50_queue_wait_ms,
+        p95_ms: snap.p95_queue_wait_ms,
+        p99_ms: snap.p99_queue_wait_ms,
+    };
+    assert!(snap.cache.hits >= warm_row.requests, "warm burst must hit the cache");
+    gateway.shutdown();
+    Arc::try_unwrap(runtime).ok().expect("gateway released its handle").shutdown();
+    for row in [&cold_row, &warm_row] {
+        println!(
+            "{}_{clients}x{per_client} {:>14.1} req/s (p50 {:.1} p95 {:.1} p99 {:.1} ms)",
+            row.scenario, row.client_requests_per_sec, row.p50_ms, row.p95_ms, row.p99_ms
+        );
+    }
+    gateway_rows.push(cold_row);
+    gateway_rows.push(warm_row);
+
+    // Overload shed through the socket: tiny queue, slow decode, a burst
+    // far over capacity — excess answers 429 at parse speed.
+    let runtime = Arc::new(ServeRuntime::start(
+        Arc::clone(&slade),
+        ServeConfig {
+            shards: 1,
+            queue_cap: 2,
+            test_decode_delay: Duration::from_millis(40),
+            ..ServeConfig::default().without_cache().without_coalescing()
+        },
+    ));
+    let gateway = Gateway::start(Arc::clone(&runtime), GatewayConfig::default())
+        .expect("bind shed gateway");
+    let addr = gateway.local_addr().to_string();
+    let shed_row = gateway_burst("gateway_shed", &addr, 6, 4, |c, r| {
+        decompile_payload(&workload_asm(400 + c * 4 + r))
+    });
+    assert!(shed_row.shed_429 > 0, "overload burst must shed");
+    assert!(shed_row.ok > 0, "overload burst must also serve");
+    gateway.shutdown();
+    Arc::try_unwrap(runtime).ok().expect("gateway released its handle").shutdown();
+    println!(
+        "gateway_shed_6x4 {:>14.1} req/s ({} ok / {} shed, rate {:.2})",
+        shed_row.client_requests_per_sec, shed_row.ok, shed_row.shed_429, shed_row.shed_rate
+    );
+    gateway_rows.push(shed_row);
+
+    // Per-client quota: each client's bucket holds 2 tokens with no
+    // meaningful refill, so exactly half of a 4-request run sheds.
+    let runtime = Arc::new(ServeRuntime::start(
+        Arc::clone(&slade),
+        ServeConfig::with_shards(1).with_queue_cap(256),
+    ));
+    let gateway = Gateway::start(
+        Arc::clone(&runtime),
+        GatewayConfig {
+            quota: QuotaConfig { rps: 0.001, burst: 2.0 },
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("bind quota gateway");
+    let addr = gateway.local_addr().to_string();
+    let quota_row = gateway_burst("gateway_quota", &addr, 2, 4, |c, r| {
+        decompile_payload(&workload_asm(500 + c * 4 + r))
+    });
+    assert_eq!(quota_row.ok, 4, "2 clients x 2-token buckets admit 4");
+    assert_eq!(quota_row.shed_429, 4, "the rest shed on quota");
+    let gw_snap = gateway.metrics();
+    assert_eq!(gw_snap.quota_shed, 4);
+    gateway.shutdown();
+    Arc::try_unwrap(runtime).ok().expect("gateway released its handle").shutdown();
+    println!(
+        "gateway_quota_2x4 {:>14.1} req/s ({} ok / {} quota-shed)",
+        quota_row.client_requests_per_sec, quota_row.ok, quota_row.shed_429
+    );
+    gateway_rows.push(quota_row);
+
     let cold = |s: usize| {
         shard_results
             .iter()
@@ -409,6 +618,7 @@ fn main() {
         shed_scenario,
         coalesce_scenario,
         warm_start,
+        gateway: GatewayLoadgen { rows: gateway_rows, queue_wait: gateway_queue_wait },
         stage_breakdown: slade_obs::obs().stage_snapshot(),
     };
     println!(

@@ -1,0 +1,483 @@
+//! Hand-rolled, hardened HTTP/1.1 support on `std::net` — the workspace
+//! is offline/vendored, so there is no hyper/tokio to lean on.
+//!
+//! The request reader is written for a hostile network edge: every limit
+//! is explicit ([`Limits`]), a stalled peer hits the socket read timeout
+//! and gets `408` (slowloris guard), malformed framing gets a specific
+//! `4xx`/`5xx` and a closed connection, and no input — truncated,
+//! oversized, non-UTF-8, pipelined garbage — may panic or hang
+//! (`tests/parser_fuzz.rs` drives this with proptest). Bytes read past
+//! one request's body stay in the connection's carry buffer so pipelined
+//! requests are parsed in order, never dropped.
+//!
+//! The module also carries the response writers (fixed-length and
+//! chunked transfer-encoding, used for streaming beam candidates) and a
+//! tiny blocking client ([`request`] / [`get_url`]) that the CLI's
+//! `stats --url` scrape mode, the benches, and the end-to-end tests
+//! reuse instead of shelling out to curl.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Parser hardening limits; every bound maps to a specific reject
+/// status rather than unbounded buffering.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Request line + headers byte cap (`431` past it).
+    pub max_header_bytes: usize,
+    /// `content-length` cap (`413` past it).
+    pub max_body_bytes: usize,
+    /// Header count cap (`431` past it).
+    pub max_headers: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_header_bytes: 8 * 1024, max_body_bytes: 1 << 20, max_headers: 64 }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token.
+    pub method: String,
+    /// Request target (origin form, starts with `/`).
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (`content-length` framed).
+    pub body: Vec<u8>,
+    /// Whether the connection should persist after the response
+    /// (HTTP/1.1 default, `connection` header honored both ways).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a header by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// What one read attempt produced.
+#[derive(Debug)]
+pub enum Outcome {
+    /// A complete, well-formed request.
+    Request(Request),
+    /// Peer closed (or I/O failed) at a request boundary — hang up
+    /// silently; there is nothing to answer.
+    Closed,
+    /// Protocol violation: answer `status` and close the connection.
+    Reject {
+        /// HTTP status to answer with (4xx/5xx).
+        status: u16,
+        /// Human-readable violation, returned in the JSON error body.
+        reason: String,
+    },
+}
+
+fn reject(status: u16, reason: impl Into<String>) -> Outcome {
+    Outcome::Reject { status, reason: reason.into() }
+}
+
+/// Index just past the `\r\n\r\n` (or lenient `\n\n`) head terminator.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if i + 1 < buf.len() && buf[i + 1] == b'\n' {
+                return Some(i + 2);
+            }
+            if i + 2 < buf.len() && buf[i + 1] == b'\r' && buf[i + 2] == b'\n' {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Reads one request from `stream`, carrying unconsumed bytes (pipelined
+/// follow-ups) across calls in `carry`. Socket read timeouts must be
+/// configured by the caller; a timeout mid-request maps to `408`.
+/// Generic over [`Read`] so the fuzz suite can drive it with raw byte
+/// slices (where EOF stands in for a closed socket).
+pub fn read_request<R: Read>(stream: &mut R, carry: &mut Vec<u8>, limits: &Limits) -> Outcome {
+    // Accumulate until the head terminator, bounded by max_header_bytes.
+    let head_end = loop {
+        if let Some(end) = find_head_end(carry) {
+            // The bound applies even when the oversized head arrived
+            // complete in one read — not only while still buffering.
+            if end > limits.max_header_bytes {
+                return reject(431, "request head exceeds limit");
+            }
+            break end;
+        }
+        if carry.len() > limits.max_header_bytes {
+            return reject(431, "request head exceeds limit");
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if carry.iter().all(|b| b.is_ascii_whitespace()) {
+                    Outcome::Closed // clean close between requests
+                } else {
+                    reject(400, "connection closed mid request head")
+                };
+            }
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return if carry.iter().all(|b| b.is_ascii_whitespace()) {
+                    Outcome::Closed // idle keep-alive, not a slow request
+                } else {
+                    reject(408, "request head read timed out")
+                };
+            }
+            Err(_) => return Outcome::Closed,
+        }
+    };
+    let head = match std::str::from_utf8(&carry[..head_end]) {
+        Ok(s) => s.to_string(),
+        Err(_) => return reject(400, "request head is not UTF-8"),
+    };
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    // Tolerate leading blank lines between pipelined requests (RFC 9112
+    // allows a CRLF before the request line).
+    let request_line = loop {
+        match lines.next() {
+            Some("") => continue,
+            Some(line) => break line,
+            None => return reject(400, "empty request head"),
+        }
+    };
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return reject(400, "malformed request line"),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return reject(400, "malformed method token");
+    }
+    if !path.starts_with('/') {
+        return reject(400, "request target must be origin-form");
+    }
+    let default_keep_alive = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return reject(505, "unsupported HTTP version"),
+        _ => return reject(400, "malformed HTTP version"),
+    };
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut content_length: Option<u64> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminator's blank line
+        }
+        if headers.len() >= limits.max_headers {
+            return reject(431, "too many headers");
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return reject(400, "malformed header line");
+        };
+        if name.is_empty()
+            || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return reject(400, "malformed header name");
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            let parsed: Option<u64> =
+                value.bytes().all(|b| b.is_ascii_digit()).then(|| value.parse().ok()).flatten();
+            let Some(n) = parsed else {
+                return reject(400, "malformed content-length");
+            };
+            if content_length.is_some_and(|prev| prev != n) {
+                return reject(400, "conflicting content-length headers");
+            }
+            content_length = Some(n);
+        }
+        if name == "transfer-encoding" {
+            return reject(501, "chunked request bodies are not supported");
+        }
+        headers.push((name, value));
+    }
+    let body_len = match content_length {
+        Some(n) => n,
+        None if method == "POST" || method == "PUT" || method == "PATCH" => {
+            return reject(411, "content-length required");
+        }
+        None => 0,
+    };
+    if body_len > limits.max_body_bytes as u64 {
+        return reject(413, "body exceeds limit");
+    }
+    let body_len = body_len as usize;
+    // Body: take what the head read over-fetched, then read the rest.
+    let mut body: Vec<u8> = Vec::with_capacity(body_len);
+    let buffered = (carry.len() - head_end).min(body_len);
+    body.extend_from_slice(&carry[head_end..head_end + buffered]);
+    carry.drain(..head_end + buffered);
+    while body.len() < body_len {
+        let mut chunk = [0u8; 4096];
+        let want = (body_len - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => return reject(400, "connection closed mid body"),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return reject(408, "body read timed out");
+            }
+            Err(_) => return Outcome::Closed,
+        }
+    }
+    let keep_alive = match headers.iter().find(|(n, _)| n == "connection") {
+        Some((_, v)) if v.eq_ignore_ascii_case("close") => false,
+        Some((_, v)) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => default_keep_alive,
+    };
+    Outcome::Request(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Canonical reason phrase for the statuses the gateway emits.
+pub fn status_reason(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a fixed-length response.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        status_reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Starts a chunked transfer-encoding response (follow with
+/// [`write_chunk`] then [`finish_chunked`]).
+pub fn write_chunked_head<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n\r\n",
+        status_reason(status),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())
+}
+
+/// One chunk of a chunked response (empty data is skipped — a zero-size
+/// chunk would terminate the stream).
+pub fn write_chunk<W: Write>(stream: &mut W, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    stream.write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response.
+pub fn finish_chunked<W: Write>(stream: &mut W) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// A response read by the tiny blocking client.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes, chunked transfer-encoding already decoded.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First value of a header by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_exact_from(buf: &mut Vec<u8>, stream: &mut TcpStream, n: usize) -> Result<(), String> {
+    while buf.len() < n {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid response".into()),
+            Ok(got) => buf.extend_from_slice(&chunk[..got]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+    Ok(())
+}
+
+/// Issues one blocking HTTP/1.1 request over a fresh connection and
+/// reads the full response (fixed-length or chunked).
+///
+/// # Errors
+///
+/// Connection, timeout, and malformed-response errors as text.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> Result<ClientResponse, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    let _ = stream.set_nodelay(true);
+    let mut req = format!("{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n");
+    for (name, value) in headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    stream.write_all(req.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    stream.write_all(body).map_err(|e| format!("write: {e}"))?;
+    read_response(&mut stream)
+}
+
+/// Reads one full response from an already-written stream.
+///
+/// # Errors
+///
+/// Timeout and malformed-response errors as text.
+pub fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, String> {
+    let mut buf: Vec<u8> = Vec::new();
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err("response head exceeds 64 KiB".into());
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid response head".into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| "response head is not UTF-8".to_string())?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if let Some((n, v)) = line.split_once(':') {
+            headers.push((n.to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    buf.drain(..head_end);
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        let mut body = Vec::new();
+        loop {
+            // Chunk size line.
+            let line_end = loop {
+                if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    break pos + 1;
+                }
+                let need = buf.len() + 1;
+                read_exact_from(&mut buf, stream, need)?;
+            };
+            let size_line = String::from_utf8_lossy(&buf[..line_end]).trim().to_string();
+            buf.drain(..line_end);
+            let size = usize::from_str_radix(&size_line, 16)
+                .map_err(|_| format!("malformed chunk size `{size_line}`"))?;
+            if size == 0 {
+                break;
+            }
+            read_exact_from(&mut buf, stream, size + 2)?; // data + CRLF
+            body.extend_from_slice(&buf[..size]);
+            buf.drain(..size + 2);
+        }
+        body
+    } else if let Some(n) = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        read_exact_from(&mut buf, stream, n)?;
+        buf.truncate(n);
+        buf
+    } else {
+        // Read to EOF (connection: close framing).
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+        buf.extend_from_slice(&rest);
+        buf
+    };
+    Ok(ClientResponse { status, headers, body })
+}
+
+/// `GET` an `http://host:port/path` URL with the tiny client.
+///
+/// # Errors
+///
+/// Unsupported scheme, connection, and protocol errors as text.
+pub fn get_url(url: &str, timeout: Duration) -> Result<ClientResponse, String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("only http:// URLs are supported, got `{url}`"))?;
+    let (addr, path) = match rest.split_once('/') {
+        Some((addr, path)) => (addr.to_string(), format!("/{path}")),
+        None => (rest.to_string(), "/".to_string()),
+    };
+    request(&addr, "GET", &path, &[], b"", timeout)
+}

@@ -1,0 +1,724 @@
+//! `slade_gateway` — a dependency-free HTTP/1.1 front-end over the
+//! serving runtime's admission tier ([`slade_serve::ServeRuntime`]).
+//!
+//! The workspace is offline/vendored, so the server is hand-rolled on
+//! `std::net` (no tokio/hyper): an acceptor thread feeds a bounded
+//! connection queue, a small pool of connection workers parses requests
+//! with the hardened reader in [`http`], and — the load-bearing design
+//! point — decompile responses are delivered by a **separate** delivery
+//! pool that polls [`slade_serve::RequestHandle::try_take`], so one slow
+//! decode never pins a connection worker. Admission is layered:
+//! per-client token buckets ([`quota`]) shed abusive clients with `429`
+//! before the runtime's global `queue_cap` sheds everyone with `429`,
+//! and the two sheds stay separately attributable in the conservation
+//! accounting (DESIGN.md §13).
+//!
+//! Routes: `POST /v1/decompile` (JSON in, JSON or chunked NDJSON out),
+//! `GET /metrics` (runtime + `slade_gateway_*` Prometheus families),
+//! `GET /healthz`. Shutdown drains gracefully: stop accepting, finish
+//! in-flight deliveries, give up with `503` at a bounded deadline.
+
+pub mod http;
+mod metrics;
+pub mod quota;
+
+pub use metrics::{ClientQuota, GatewaySnapshot, StatusCount};
+
+use http::{Limits, Outcome, Request};
+use metrics::GwMetrics;
+use quota::{QuotaConfig, QuotaDecision, QuotaTable};
+use serde::Serialize;
+use serde_json::Value;
+use slade_compiler::{Isa, OptLevel};
+use slade_serve::{RequestHandle, ServeRuntime, SubmitError};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Gateway tuning; [`GatewayConfig::default`] suits tests and small
+/// deployments.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Connection workers: threads parsing requests and writing
+    /// immediate responses.
+    pub conn_threads: usize,
+    /// Delivery workers: threads polling in-flight decompile handles.
+    pub delivery_threads: usize,
+    /// Parser hardening limits.
+    pub limits: Limits,
+    /// Socket read/write timeout — the slowloris guard; a peer that
+    /// stalls a request longer than this gets `408`.
+    pub read_timeout: Duration,
+    /// How long a delivery may poll before answering `504`. Configure
+    /// [`slade_serve::ServeConfig::with_request_timeout`] alongside so
+    /// the runtime expires the job too.
+    pub poll_timeout: Duration,
+    /// Per-client token buckets (`rps <= 0` disables).
+    pub quota: QuotaConfig,
+    /// Accepted connections waiting for a worker before the acceptor
+    /// sheds new ones with `503`.
+    pub conn_backlog: usize,
+    /// Grace given to in-flight deliveries at shutdown before they are
+    /// abandoned with `503`.
+    pub drain_deadline: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_string(),
+            conn_threads: 4,
+            delivery_threads: 2,
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(5),
+            poll_timeout: Duration::from_secs(30),
+            quota: QuotaConfig::default(),
+            conn_backlog: 64,
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One live connection: the socket plus its pipelining carry buffer and
+/// the gauge guard that keeps `connections_active` honest on every exit
+/// path (including panics and drain drops).
+struct Conn {
+    stream: TcpStream,
+    carry: Vec<u8>,
+    /// Peer IP (no port) — the quota key when `x-slade-client` is absent.
+    peer: String,
+    _active: ActiveGuard,
+}
+
+/// Decrements `connections_active` when the connection dies.
+struct ActiveGuard(Arc<Inner>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// An admitted decompile waiting for its result: the connection moves
+/// from the connection pool to the delivery pool with it.
+struct Delivery {
+    conn: Conn,
+    handle: RequestHandle,
+    /// Poll deadline (`now + poll_timeout` at submit).
+    deadline: Instant,
+    keep_alive: bool,
+    /// Stream candidates as chunked NDJSON instead of one JSON body.
+    stream: bool,
+    /// Client-requested beam narrower than the model's (`beam` option).
+    beam_cap: Option<usize>,
+}
+
+/// State shared by every gateway thread.
+struct Inner {
+    runtime: Arc<ServeRuntime>,
+    cfg: GatewayConfig,
+    metrics: GwMetrics,
+    quota: QuotaTable,
+    shutdown: AtomicBool,
+    /// Drain deadline, set once at shutdown.
+    drain_by: Mutex<Option<Instant>>,
+    conns: (Mutex<VecDeque<Conn>>, Condvar),
+    deliveries: (Mutex<VecDeque<Delivery>>, Condvar),
+    pending_deliveries: AtomicUsize,
+}
+
+impl Inner {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// The effective deadline for `d` — its own poll deadline, capped by
+    /// the drain deadline once shutdown starts.
+    fn effective_deadline(&self, d: &Delivery) -> Instant {
+        match *self.drain_by.lock().expect("drain lock") {
+            Some(by) => d.deadline.min(by),
+            None => d.deadline,
+        }
+    }
+}
+
+/// JSON error body for every non-200 answer.
+#[derive(Serialize)]
+struct ErrorBody {
+    error: String,
+}
+
+/// JSON success body for buffered (non-streaming) decompiles.
+#[derive(Serialize)]
+struct DecompileBody {
+    trace_id: u64,
+    candidates: Vec<String>,
+}
+
+/// JSON body for `GET /healthz`.
+#[derive(Serialize)]
+struct HealthBody {
+    status: String,
+    draining: bool,
+}
+
+fn json_error(reason: &str) -> Vec<u8> {
+    serde_json::to_string(&ErrorBody { error: reason.to_string() })
+        .expect("error body serializes")
+        .into_bytes()
+}
+
+/// What routing decided for one parsed request.
+enum Routed {
+    /// Write `status` + JSON `body` now, on the connection worker.
+    Immediate { status: u16, content_type: &'static str, body: Vec<u8> },
+    /// Admitted: hand the connection to the delivery pool.
+    Submitted { handle: RequestHandle, stream: bool, beam_cap: Option<usize> },
+}
+
+fn immediate(status: u16, reason: &str) -> Routed {
+    Routed::Immediate { status, content_type: "application/json", body: json_error(reason) }
+}
+
+/// The HTTP/1.1 front-end. Dropping it (or calling
+/// [`Gateway::shutdown`]) drains and joins every thread.
+pub struct Gateway {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds `cfg.addr` and starts the acceptor, connection, and
+    /// delivery threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(runtime: Arc<ServeRuntime>, cfg: GatewayConfig) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            runtime,
+            quota: QuotaTable::new(cfg.quota),
+            cfg,
+            metrics: GwMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            drain_by: Mutex::new(None),
+            conns: (Mutex::new(VecDeque::new()), Condvar::new()),
+            deliveries: (Mutex::new(VecDeque::new()), Condvar::new()),
+            pending_deliveries: AtomicUsize::new(0),
+        });
+        let mut threads = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gw-accept".into())
+                    .spawn(move || accept_loop(&inner, listener))
+                    .expect("spawn acceptor"),
+            );
+        }
+        for i in 0..inner.cfg.conn_threads.max(1) {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gw-conn-{i}"))
+                    .spawn(move || conn_loop(&inner))
+                    .expect("spawn conn worker"),
+            );
+        }
+        for i in 0..inner.cfg.delivery_threads.max(1) {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gw-deliver-{i}"))
+                    .spawn(move || delivery_loop(&inner))
+                    .expect("spawn delivery worker"),
+            );
+        }
+        Ok(Gateway { inner, local_addr, threads })
+    }
+
+    /// The bound address (resolves `:0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The runtime this gateway fronts.
+    pub fn runtime(&self) -> &Arc<ServeRuntime> {
+        &self.inner.runtime
+    }
+
+    /// Combined Prometheus exposition: the runtime's document with the
+    /// `slade_gateway_*` families appended (family names are disjoint,
+    /// so the result still passes `validate_exposition`).
+    pub fn metrics_text(&self) -> String {
+        let mut doc = self.inner.runtime.metrics_text();
+        doc.push_str(&self.inner.metrics.prometheus(
+            self.inner.quota.shed_total(),
+            &self.inner.quota.per_client(),
+            self.inner.pending_deliveries.load(Ordering::Relaxed),
+        ));
+        doc
+    }
+
+    /// Point-in-time gateway counters (runtime counters come from
+    /// [`ServeRuntime::metrics`]).
+    pub fn metrics(&self) -> GatewaySnapshot {
+        self.inner.metrics.snapshot(
+            self.inner.quota.shed_total(),
+            &self.inner.quota.per_client(),
+            self.inner.pending_deliveries.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Graceful drain: stop accepting, close idle connections, let
+    /// in-flight deliveries finish until the drain deadline, then join
+    /// every thread. (Dropping the gateway does the same.)
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.metrics.draining.store(true, Ordering::Relaxed);
+        *self.inner.drain_by.lock().expect("drain lock") =
+            Some(Instant::now() + self.inner.cfg.drain_deadline);
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.local_addr);
+        self.inner.conns.1.notify_all();
+        self.inner.deliveries.1.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Belt and braces against enqueue/exit races: anything still
+        // queued holds an `ActiveGuard(Arc<Inner>)`, which would keep
+        // `Inner` (and the runtime behind it) alive in a cycle.
+        self.inner.conns.0.lock().expect("conn lock").clear();
+        self.inner.deliveries.0.lock().expect("delivery lock").clear();
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if inner.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if inner.shutting_down() {
+            return; // the wake-up connection (or a late arrival)
+        }
+        inner.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.connections_active.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_read_timeout(Some(inner.cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(inner.cfg.read_timeout));
+        let _ = stream.set_nodelay(true);
+        let mut conn = Conn {
+            stream,
+            carry: Vec::new(),
+            peer: peer.ip().to_string(),
+            _active: ActiveGuard(Arc::clone(inner)),
+        };
+        let mut q = inner.conns.0.lock().expect("conn lock");
+        if q.len() >= inner.cfg.conn_backlog {
+            drop(q);
+            inner.metrics.backlog_shed.fetch_add(1, Ordering::Relaxed);
+            respond(
+                inner,
+                &mut conn,
+                503,
+                "application/json",
+                &json_error("overloaded"),
+                false,
+            );
+            continue; // conn drops here
+        }
+        q.push_back(conn);
+        drop(q);
+        inner.conns.1.notify_one();
+    }
+}
+
+fn conn_loop(inner: &Arc<Inner>) {
+    loop {
+        let conn = {
+            let mut q = inner.conns.0.lock().expect("conn lock");
+            loop {
+                if inner.shutting_down() {
+                    q.clear(); // drain: close queued idle connections
+                    return;
+                }
+                if let Some(c) = q.pop_front() {
+                    break c;
+                }
+                q = inner.conns.1.wait(q).expect("conn wait");
+            }
+        };
+        serve_conn(inner, conn);
+    }
+}
+
+/// Serves requests on one connection until it closes, errors, hands off
+/// to the delivery pool, or shutdown starts.
+fn serve_conn(inner: &Arc<Inner>, mut conn: Conn) {
+    loop {
+        if inner.shutting_down() {
+            return;
+        }
+        match http::read_request(&mut conn.stream, &mut conn.carry, &inner.cfg.limits) {
+            Outcome::Closed => return,
+            Outcome::Reject { status, reason } => {
+                inner.metrics.parse_rejects.fetch_add(1, Ordering::Relaxed);
+                respond(
+                    inner,
+                    &mut conn,
+                    status,
+                    "application/json",
+                    &json_error(&reason),
+                    false,
+                );
+                return;
+            }
+            Outcome::Request(req) => {
+                let keep_alive = req.keep_alive;
+                match route(inner, &req, &conn.peer) {
+                    Routed::Immediate { status, content_type, body } => {
+                        if !respond(inner, &mut conn, status, content_type, &body, keep_alive)
+                            || !keep_alive
+                        {
+                            return;
+                        }
+                    }
+                    Routed::Submitted { handle, stream, beam_cap } => {
+                        inner.pending_deliveries.fetch_add(1, Ordering::Relaxed);
+                        let delivery = Delivery {
+                            conn,
+                            handle,
+                            deadline: Instant::now() + inner.cfg.poll_timeout,
+                            keep_alive,
+                            stream,
+                            beam_cap,
+                        };
+                        inner.deliveries.0.lock().expect("delivery lock").push_back(delivery);
+                        inner.deliveries.1.notify_one();
+                        return; // the delivery pool owns the conn now
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Writes a fixed-length response and counts its status; returns whether
+/// the write succeeded (a failed write closes the connection).
+fn respond(
+    inner: &Arc<Inner>,
+    conn: &mut Conn,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> bool {
+    inner.metrics.bump_status(status);
+    http::write_response(&mut conn.stream, status, content_type, body, keep_alive).is_ok()
+}
+
+fn route(inner: &Arc<Inner>, req: &Request, peer: &str) -> Routed {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = serde_json::to_string(&HealthBody {
+                status: "ok".to_string(),
+                draining: inner.shutting_down(),
+            })
+            .expect("health body serializes");
+            Routed::Immediate {
+                status: 200,
+                content_type: "application/json",
+                body: body.into_bytes(),
+            }
+        }
+        ("GET", "/metrics") => {
+            let mut doc = inner.runtime.metrics_text();
+            doc.push_str(&inner.metrics.prometheus(
+                inner.quota.shed_total(),
+                &inner.quota.per_client(),
+                inner.pending_deliveries.load(Ordering::Relaxed),
+            ));
+            Routed::Immediate {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: doc.into_bytes(),
+            }
+        }
+        ("POST", "/v1/decompile") => route_decompile(inner, req, peer),
+        (_, "/healthz") | (_, "/metrics") => immediate(405, "method not allowed"),
+        (_, "/v1/decompile") => immediate(405, "method not allowed"),
+        _ => immediate(404, "no such route"),
+    }
+}
+
+/// Parses and validates a decompile submission, checks quota, and
+/// submits to the runtime.
+fn route_decompile(inner: &Arc<Inner>, req: &Request, peer: &str) -> Routed {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return immediate(400, "body is not UTF-8");
+    };
+    let Ok(value) = Value::parse(text) else {
+        return immediate(400, "body is not valid JSON");
+    };
+    let Some(obj) = value.as_object() else {
+        return immediate(400, "body must be a JSON object");
+    };
+    let asm = match obj.get("asm").and_then(Value::as_str) {
+        Some(s) if !s.trim().is_empty() => s,
+        Some(_) => return immediate(400, "`asm` must not be empty"),
+        None => return immediate(400, "`asm` (string) is required"),
+    };
+    let slade = inner.runtime.slade();
+    // Optional options must match the served model: the gateway fronts
+    // one model, so a mismatch is a conflict (409), not a bad request.
+    if let Some(v) = obj.get("isa") {
+        let Some(isa) = v.as_str().and_then(parse_isa) else {
+            return immediate(400, "`isa` must be one of x86|x86_64|arm|arm64|aarch64");
+        };
+        if isa != slade.isa() {
+            return immediate(409, &format!("served model targets isa `{}`", slade.isa()));
+        }
+    }
+    if let Some(v) = obj.get("opt") {
+        let Some(opt) = v.as_str().and_then(parse_opt) else {
+            return immediate(400, "`opt` must be O0 or O3");
+        };
+        if opt != slade.opt() {
+            return immediate(409, &format!("served model targets opt `{}`", slade.opt()));
+        }
+    }
+    let beam_cap = match obj.get("beam") {
+        None => None,
+        Some(Value::UInt(n)) if *n >= 1 => {
+            let n = *n as usize;
+            if n > slade.beam() {
+                return immediate(
+                    409,
+                    &format!("served model decodes beam {}, requested {n}", slade.beam()),
+                );
+            }
+            Some(n)
+        }
+        Some(Value::Int(n)) if *n >= 1 && (*n as usize) <= slade.beam() => Some(*n as usize),
+        Some(_) => {
+            return immediate(
+                400,
+                &format!("`beam` must be an integer in 1..={}", slade.beam()),
+            )
+        }
+    };
+    let stream = match obj.get("stream") {
+        None => false,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => return immediate(400, "`stream` must be a boolean"),
+    };
+    if inner.shutting_down() {
+        return immediate(503, "draining");
+    }
+    // Offered counts every submission that passed parsing + validation,
+    // *before* quota: the edge identity is
+    // `offered == quota_shed + runtime.submitted` (DESIGN.md §13).
+    inner.metrics.decompile_offered.fetch_add(1, Ordering::Relaxed);
+    let client = req.header("x-slade-client").unwrap_or(peer);
+    if inner.quota.check(client) == QuotaDecision::Shed {
+        return immediate(429, "per-client quota exceeded");
+    }
+    match inner.runtime.try_submit(asm) {
+        Ok(handle) => Routed::Submitted { handle, stream, beam_cap },
+        Err(SubmitError::Overloaded) => {
+            inner.metrics.overload_shed.fetch_add(1, Ordering::Relaxed);
+            immediate(429, "admission queue at capacity")
+        }
+        Err(SubmitError::DeadlineExceeded) => immediate(504, "deadline exceeded"),
+    }
+}
+
+fn parse_isa(s: &str) -> Option<Isa> {
+    match s.to_ascii_lowercase().as_str() {
+        "x86" | "x86_64" | "x86-64" => Some(Isa::X86_64),
+        "arm" | "arm64" | "aarch64" => Some(Isa::Arm64),
+        _ => None,
+    }
+}
+
+fn parse_opt(s: &str) -> Option<OptLevel> {
+    match s.to_ascii_uppercase().as_str() {
+        "O0" => Some(OptLevel::O0),
+        "O3" => Some(OptLevel::O3),
+        _ => None,
+    }
+}
+
+fn delivery_loop(inner: &Arc<Inner>) {
+    loop {
+        let delivery = {
+            let mut q = inner.deliveries.0.lock().expect("delivery lock");
+            loop {
+                if let Some(d) = q.pop_front() {
+                    break d;
+                }
+                if inner.shutting_down() {
+                    return;
+                }
+                let (guard, _) = inner
+                    .deliveries
+                    .1
+                    .wait_timeout(q, Duration::from_millis(20))
+                    .expect("delivery wait");
+                q = guard;
+            }
+        };
+        match delivery.handle.try_take() {
+            Some(outcome) => finish_delivery(inner, delivery, outcome),
+            None => {
+                if Instant::now() >= inner.effective_deadline(&delivery) {
+                    let drained = inner.shutting_down();
+                    let (status, reason) = if drained {
+                        inner.metrics.drain_aborts.fetch_add(1, Ordering::Relaxed);
+                        (503, "abandoned at drain deadline")
+                    } else {
+                        inner.metrics.poll_timeouts.fetch_add(1, Ordering::Relaxed);
+                        (504, "deadline exceeded before a result")
+                    };
+                    let Delivery { mut conn, .. } = delivery;
+                    inner.pending_deliveries.fetch_sub(1, Ordering::Relaxed);
+                    respond(
+                        inner,
+                        &mut conn,
+                        status,
+                        "application/json",
+                        &json_error(reason),
+                        false,
+                    );
+                } else {
+                    // Not ready: requeue and yield briefly so a pool
+                    // with only unready items does not spin.
+                    inner.deliveries.0.lock().expect("delivery lock").push_back(delivery);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}
+
+/// Writes the final response for a completed request and, on keep-alive,
+/// hands the connection back to the connection pool.
+fn finish_delivery(
+    inner: &Arc<Inner>,
+    delivery: Delivery,
+    outcome: Result<Vec<String>, SubmitError>,
+) {
+    let Delivery { mut conn, handle, keep_alive, stream, beam_cap, .. } = delivery;
+    inner.pending_deliveries.fetch_sub(1, Ordering::Relaxed);
+    let keep_alive = keep_alive && !inner.shutting_down();
+    let wrote = match outcome {
+        Ok(mut candidates) => {
+            if let Some(cap) = beam_cap {
+                candidates.truncate(cap);
+            }
+            if stream {
+                inner.metrics.streamed.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.bump_status(200);
+                write_stream(&mut conn.stream, handle.trace_id(), &candidates, keep_alive)
+                    .is_ok()
+            } else {
+                let body = serde_json::to_string(&DecompileBody {
+                    trace_id: handle.trace_id(),
+                    candidates,
+                })
+                .expect("decompile body serializes");
+                respond(inner, &mut conn, 200, "application/json", body.as_bytes(), keep_alive)
+            }
+        }
+        Err(SubmitError::DeadlineExceeded) => {
+            inner.metrics.poll_timeouts.fetch_add(1, Ordering::Relaxed);
+            respond(
+                inner,
+                &mut conn,
+                504,
+                "application/json",
+                &json_error("deadline exceeded before a result"),
+                keep_alive,
+            )
+        }
+        Err(SubmitError::Overloaded) => {
+            // Unreachable post-admission, but keep the mapping total.
+            inner.metrics.overload_shed.fetch_add(1, Ordering::Relaxed);
+            respond(
+                inner,
+                &mut conn,
+                429,
+                "application/json",
+                &json_error("admission queue at capacity"),
+                keep_alive,
+            )
+        }
+    };
+    // Re-check the flag at enqueue time: shutdown may have started
+    // while the response was being written, and a conn parked in the
+    // queue after the workers exit would never be popped — its
+    // `ActiveGuard` would then cycle `Inner → queue → conn → Inner`.
+    if wrote && keep_alive && !inner.shutting_down() {
+        inner.conns.0.lock().expect("conn lock").push_back(conn);
+        inner.conns.1.notify_one();
+    }
+}
+
+/// Streams candidates as chunked NDJSON: one `{"index","candidate"}`
+/// line per hypothesis as it is written, then a `{"done":true}` trailer
+/// with the count and trace id.
+fn write_stream(
+    stream: &mut TcpStream,
+    trace_id: u64,
+    candidates: &[String],
+    keep_alive: bool,
+) -> io::Result<()> {
+    #[derive(Serialize)]
+    struct Line {
+        index: usize,
+        candidate: String,
+    }
+    #[derive(Serialize)]
+    struct Trailer {
+        done: bool,
+        count: usize,
+        trace_id: u64,
+    }
+    http::write_chunked_head(stream, 200, "application/x-ndjson", keep_alive)?;
+    for (index, candidate) in candidates.iter().enumerate() {
+        let line = serde_json::to_string(&Line { index, candidate: candidate.clone() })
+            .expect("stream line serializes");
+        http::write_chunk(stream, format!("{line}\n").as_bytes())?;
+    }
+    let trailer =
+        serde_json::to_string(&Trailer { done: true, count: candidates.len(), trace_id })
+            .expect("trailer serializes");
+    http::write_chunk(stream, format!("{trailer}\n").as_bytes())?;
+    http::finish_chunked(stream)
+}

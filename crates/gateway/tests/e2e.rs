@@ -1,0 +1,405 @@
+//! End-to-end gateway tests over real sockets: concurrent HTTP clients
+//! must get byte-identical hypotheses to calling the model directly,
+//! overload and quota must shed with `429` while the extended
+//! conservation identity holds (DESIGN.md §13), streaming must arrive
+//! as well-formed chunked NDJSON, and shutdown must drain gracefully.
+
+use serde_json::Value;
+use slade::Slade;
+use slade_compiler::{Isa, OptLevel};
+use slade_gateway::{http, quota::QuotaConfig, Gateway, GatewayConfig};
+use slade_nn::{Seq2Seq, TransformerConfig};
+use slade_obs::export::validate_exposition;
+use slade_serve::{MetricsSnapshot, ServeConfig, ServeRuntime};
+use slade_tokenizer::UnigramTokenizer;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BEAM: usize = 3;
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Untrained small-profile decompiler — decode cost is representative,
+/// outputs are deterministic noise, which is all equivalence needs.
+fn gw_slade() -> Arc<Slade> {
+    let corpus: Vec<String> = (0..10).map(asm).collect();
+    let tokenizer = UnigramTokenizer::train(&corpus, 200);
+    let model = Seq2Seq::new(TransformerConfig::small(tokenizer.vocab_size()), 47);
+    Arc::new(Slade::from_parts(model, tokenizer, Isa::X86_64, OptLevel::O0, BEAM, 10))
+}
+
+fn asm(i: usize) -> String {
+    format!("h{i}:\n\tmovl %edi, %eax\n\timull ${i}, %eax\n\tret\n")
+}
+
+/// Test-sized gateway config: short read timeout so idle keep-alive
+/// connections (and therefore shutdown) settle quickly.
+fn gw_config() -> GatewayConfig {
+    GatewayConfig {
+        read_timeout: Duration::from_millis(500),
+        drain_deadline: Duration::from_secs(5),
+        ..GatewayConfig::default()
+    }
+}
+
+fn decompile_body(asm: &str) -> String {
+    format!("{{\"asm\":{}}}", Value::Str(asm.to_string()).render())
+}
+
+fn post(addr: &str, body: &str) -> http::ClientResponse {
+    http::request(
+        addr,
+        "POST",
+        "/v1/decompile",
+        &[("content-type", "application/json")],
+        body.as_bytes(),
+        CLIENT_TIMEOUT,
+    )
+    .expect("request completes")
+}
+
+/// Candidates array from a 200 response body.
+fn candidates(resp: &http::ClientResponse) -> Vec<String> {
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    let v = Value::parse(&resp.text()).expect("valid JSON body");
+    v.as_object()
+        .and_then(|o| o.get("candidates"))
+        .and_then(Value::as_array)
+        .expect("candidates array")
+        .iter()
+        .map(|c| c.as_str().expect("string candidate").to_string())
+        .collect()
+}
+
+fn assert_runtime_conservation(snap: &MetricsSnapshot) {
+    assert_eq!(
+        snap.shed + snap.expired + snap.coalesced + snap.decoded + snap.cache.hits,
+        snap.submitted,
+        "runtime conservation violated: {snap:?}",
+    );
+}
+
+/// The edge identity: everything the gateway offered is either a quota
+/// shed or a runtime submission (`direct` = submissions that bypassed
+/// the gateway, e.g. a test occupying a worker).
+fn assert_edge_conservation(gateway: &Gateway, direct: u64) {
+    let gw = gateway.metrics();
+    let rt = gateway.runtime().metrics();
+    assert_eq!(
+        gw.decompile_offered,
+        gw.quota_shed + (rt.submitted - direct),
+        "edge identity violated: gw={gw:?} rt={rt:?}",
+    );
+    // The combined partition: every offered request terminates in
+    // exactly one of quota-shed or a runtime terminal state.
+    let gateway_share = rt.submitted - direct;
+    let direct_terminals =
+        rt.shed + rt.expired + rt.coalesced + rt.decoded + rt.cache.hits - gateway_share; // terminals owed to direct submissions
+    assert_eq!(
+        gw.decompile_offered + direct_terminals,
+        gw.quota_shed + rt.shed + rt.expired + rt.coalesced + rt.decoded + rt.cache.hits,
+        "combined conservation violated: gw={gw:?} rt={rt:?}",
+    );
+    assert_runtime_conservation(&rt);
+}
+
+/// The headline equivalence: N concurrent socket clients, each POSTing a
+/// distinct function, all get exactly what direct model decompilation
+/// produces — byte for byte, regardless of interleaving.
+#[test]
+fn concurrent_clients_match_direct_decompile() {
+    let slade = gw_slade();
+    let inputs: Vec<String> = (0..6).map(asm).collect();
+    let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let expected = slade.decompile_batch(&refs);
+    let runtime =
+        Arc::new(ServeRuntime::start(Arc::clone(&slade), ServeConfig::with_shards(2)));
+    let gateway = Gateway::start(Arc::clone(&runtime), gw_config()).expect("bind");
+    let addr = gateway.local_addr().to_string();
+    let threads: Vec<_> = inputs
+        .iter()
+        .cloned()
+        .map(|input| {
+            let addr = addr.clone();
+            std::thread::spawn(move || candidates(&post(&addr, &decompile_body(&input))))
+        })
+        .collect();
+    for (i, t) in threads.into_iter().enumerate() {
+        let got = t.join().expect("client thread");
+        assert_eq!(got, expected[i], "client {i} diverged from direct decompile_batch");
+    }
+    let gw = gateway.metrics();
+    assert_eq!(gw.decompile_offered, 6);
+    assert_eq!(gw.quota_shed, 0);
+    assert!(gw.connections >= 6);
+    assert_edge_conservation(&gateway, 0);
+    gateway.shutdown();
+    Arc::try_unwrap(runtime).ok().expect("gateway dropped its handle").shutdown();
+}
+
+/// Overload: with the only worker asleep and `queue_cap` undersized,
+/// exactly `queue_cap` concurrent submissions are accepted and the rest
+/// answer `429` — and the gateway + runtime counters still partition
+/// every offered request exactly.
+#[test]
+fn overload_sheds_429_and_conserves() {
+    let runtime = Arc::new(ServeRuntime::start(
+        gw_slade(),
+        ServeConfig {
+            shards: 1,
+            lanes_per_shard: BEAM, // one decode at a time
+            queue_cap: 2,
+            test_decode_delay: Duration::from_millis(400),
+            ..ServeConfig::default().without_cache().without_coalescing()
+        },
+    ));
+    let gateway = Gateway::start(Arc::clone(&runtime), gw_config()).expect("bind");
+    let addr = gateway.local_addr().to_string();
+    // Occupy the worker directly (bypassing the gateway) so the burst
+    // below races only the queue cap, not the decode.
+    let busy = runtime.submit(&asm(0));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while runtime.metrics().queue_depth > 0 {
+        assert!(Instant::now() < deadline, "queue never drained");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let threads: Vec<_> = (1..=6)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || post(&addr, &decompile_body(&asm(i))).status)
+        })
+        .collect();
+    let statuses: Vec<u16> = threads.into_iter().map(|t| t.join().expect("client")).collect();
+    busy.wait().expect("no timeout configured");
+    let ok = statuses.iter().filter(|&&s| s == 200).count();
+    let shed = statuses.iter().filter(|&&s| s == 429).count();
+    assert_eq!(ok, 2, "exactly queue_cap accepts: {statuses:?}");
+    assert_eq!(shed, 4, "the rest shed with 429: {statuses:?}");
+    let gw = gateway.metrics();
+    assert_eq!(gw.decompile_offered, 6);
+    assert_eq!(gw.overload_shed, 4);
+    assert_eq!(gw.quota_shed, 0);
+    let rt = runtime.metrics();
+    assert_eq!(rt.shed, 4);
+    assert_edge_conservation(&gateway, 1); // `busy` bypassed the gateway
+    gateway.shutdown();
+    Arc::try_unwrap(runtime).ok().expect("gateway dropped its handle").shutdown();
+}
+
+/// `"stream": true` delivers candidates as chunked NDJSON: one line per
+/// hypothesis plus a `done` trailer, identical content to the buffered
+/// path, and the stream counter ticks.
+#[test]
+fn streaming_delivers_chunked_ndjson() {
+    let slade = gw_slade();
+    let expected = slade.decompile(&asm(3));
+    let runtime =
+        Arc::new(ServeRuntime::start(Arc::clone(&slade), ServeConfig::with_shards(1)));
+    let gateway = Gateway::start(Arc::clone(&runtime), gw_config()).expect("bind");
+    let addr = gateway.local_addr().to_string();
+    let body = format!("{{\"asm\":{},\"stream\":true}}", Value::Str(asm(3)).render());
+    let resp = post(&addr, &body);
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+    let lines: Vec<Value> = resp
+        .text()
+        .lines()
+        .map(|l| Value::parse(l).expect("each NDJSON line parses"))
+        .collect();
+    assert_eq!(lines.len(), expected.len() + 1, "one line per candidate + trailer");
+    for (i, line) in lines[..expected.len()].iter().enumerate() {
+        let obj = line.as_object().expect("candidate line object");
+        assert_eq!(obj.get("index"), Some(&Value::UInt(i as u64)));
+        assert_eq!(
+            obj.get("candidate").and_then(Value::as_str),
+            Some(expected[i].as_str()),
+            "streamed candidate {i} diverged",
+        );
+    }
+    let trailer = lines.last().unwrap().as_object().expect("trailer object");
+    assert_eq!(trailer.get("done"), Some(&Value::Bool(true)));
+    assert_eq!(trailer.get("count"), Some(&Value::UInt(expected.len() as u64)));
+    assert_eq!(gateway.metrics().streamed, 1);
+    gateway.shutdown();
+    Arc::try_unwrap(runtime).ok().expect("gateway dropped its handle").shutdown();
+}
+
+/// Per-client quotas: a client that exhausts its burst sheds with `429`
+/// *before* the runtime sees the request, an unrelated client is
+/// unaffected, and the per-client counters surface in both the snapshot
+/// and the exposition.
+#[test]
+fn quota_sheds_per_client_before_admission() {
+    let runtime = Arc::new(ServeRuntime::start(gw_slade(), ServeConfig::with_shards(1)));
+    let gateway = Gateway::start(
+        Arc::clone(&runtime),
+        GatewayConfig { quota: QuotaConfig { rps: 0.001, burst: 2.0 }, ..gw_config() },
+    )
+    .expect("bind");
+    let addr = gateway.local_addr().to_string();
+    let send = |client: &str| {
+        http::request(
+            &addr,
+            "POST",
+            "/v1/decompile",
+            &[("x-slade-client", client)],
+            decompile_body(&asm(1)).as_bytes(),
+            CLIENT_TIMEOUT,
+        )
+        .expect("request completes")
+        .status
+    };
+    assert_eq!(send("greedy"), 200);
+    assert_eq!(send("greedy"), 200);
+    for _ in 0..3 {
+        assert_eq!(send("greedy"), 429, "burst exhausted");
+    }
+    assert_eq!(send("polite"), 200, "quotas are per client");
+    let gw = gateway.metrics();
+    assert_eq!(gw.quota_shed, 3);
+    assert_eq!(gw.decompile_offered, 6, "offered counts quota sheds too");
+    let greedy = gw.quota_clients.iter().find(|c| c.client == "greedy").expect("tracked");
+    assert_eq!((greedy.admitted, greedy.shed), (2, 3));
+    assert_eq!(runtime.metrics().submitted, 3);
+    assert_edge_conservation(&gateway, 0);
+    let text = gateway.metrics_text();
+    assert!(text.contains("slade_gateway_quota_shed_client_total{client=\"greedy\"} 3"));
+    gateway.shutdown();
+    Arc::try_unwrap(runtime).ok().expect("gateway dropped its handle").shutdown();
+}
+
+/// `/healthz`, `/metrics`, and the reject routes behave: the combined
+/// exposition (runtime + gateway families) passes the strict validator
+/// and carries `slade_gateway_requests_total`; bad routes and bad bodies
+/// get their specific statuses.
+#[test]
+fn health_metrics_and_reject_routes() {
+    let runtime = Arc::new(ServeRuntime::start(gw_slade(), ServeConfig::with_shards(1)));
+    let gateway = Gateway::start(Arc::clone(&runtime), gw_config()).expect("bind");
+    let addr = gateway.local_addr().to_string();
+    let get = |path: &str| {
+        http::request(&addr, "GET", path, &[], b"", CLIENT_TIMEOUT).expect("request completes")
+    };
+    let health = get("/healthz");
+    assert_eq!(health.status, 200);
+    let health_body = Value::parse(&health.text()).expect("health JSON");
+    assert_eq!(
+        health_body.as_object().and_then(|o| o.get("status")).and_then(Value::as_str),
+        Some("ok"),
+    );
+    // One real request so the status families have content.
+    assert_eq!(post(&addr, &decompile_body(&asm(2))).status, 200);
+    // Reject routes, each with its specific status.
+    assert_eq!(get("/nope").status, 404);
+    assert_eq!(get("/v1/decompile").status, 405);
+    assert_eq!(post(&addr, "{not json").status, 400);
+    assert_eq!(post(&addr, "{\"asm\":\"\"}").status, 400);
+    let mismatch = format!("{{\"asm\":{},\"isa\":\"arm64\"}}", Value::Str(asm(2)).render());
+    assert_eq!(post(&addr, &mismatch).status, 409);
+    let wide_beam = format!("{{\"asm\":{},\"beam\":99}}", Value::Str(asm(2)).render());
+    assert_eq!(post(&addr, &wide_beam).status, 409);
+    let scrape = get("/metrics");
+    assert_eq!(scrape.status, 200);
+    let text = scrape.text();
+    let stats = validate_exposition(&text).expect("combined exposition is well-formed");
+    assert!(stats.families > 15, "runtime + gateway families, got {}", stats.families);
+    assert!(text.contains("slade_gateway_requests_total{code=\"200\"}"));
+    assert!(text.contains("slade_gateway_requests_total{code=\"404\"}"));
+    assert!(text.contains("slade_gateway_connections_total"));
+    assert!(text.contains("slade_requests_submitted_total"), "runtime families present");
+    // `Gateway::metrics_text` returns the same combined document.
+    validate_exposition(&gateway.metrics_text()).expect("metrics_text is well-formed");
+    gateway.shutdown();
+    Arc::try_unwrap(runtime).ok().expect("gateway dropped its handle").shutdown();
+}
+
+/// A narrower `beam` option truncates the candidate list client-side of
+/// the model's beam, without touching the runtime.
+#[test]
+fn beam_option_caps_candidates() {
+    let slade = gw_slade();
+    let expected = slade.decompile(&asm(4));
+    assert!(expected.len() >= 2, "fixture must produce at least two hypotheses");
+    let runtime =
+        Arc::new(ServeRuntime::start(Arc::clone(&slade), ServeConfig::with_shards(1)));
+    let gateway = Gateway::start(Arc::clone(&runtime), gw_config()).expect("bind");
+    let addr = gateway.local_addr().to_string();
+    let body = format!("{{\"asm\":{},\"beam\":1}}", Value::Str(asm(4)).render());
+    let got = candidates(&post(&addr, &body));
+    assert_eq!(got, expected[..1].to_vec(), "beam=1 keeps only the best hypothesis");
+    gateway.shutdown();
+    Arc::try_unwrap(runtime).ok().expect("gateway dropped its handle").shutdown();
+}
+
+/// Keep-alive: one connection serves several requests in order; the
+/// carry buffer keeps pipelined bytes intact across deliveries.
+#[test]
+fn keep_alive_serves_sequential_requests() {
+    use std::io::Write;
+    let slade = gw_slade();
+    let expected = slade.decompile(&asm(5));
+    let runtime =
+        Arc::new(ServeRuntime::start(Arc::clone(&slade), ServeConfig::with_shards(1)));
+    let gateway = Gateway::start(Arc::clone(&runtime), gw_config()).expect("bind");
+    let mut stream = std::net::TcpStream::connect(gateway.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT)).expect("timeout");
+    for round in 0..3 {
+        let body = decompile_body(&asm(5));
+        let req = format!(
+            "POST /v1/decompile HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len(),
+        );
+        stream.write_all(req.as_bytes()).expect("write");
+        let resp = http::read_response(&mut stream).expect("response");
+        assert_eq!(resp.status, 200, "round {round}");
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+        let got = candidates(&resp);
+        assert_eq!(got, expected, "round {round} diverged");
+    }
+    assert_eq!(gateway.metrics().connections, 1, "all rounds shared one connection");
+    gateway.shutdown();
+    Arc::try_unwrap(runtime).ok().expect("gateway dropped its handle").shutdown();
+}
+
+/// Graceful drain: a request in flight when shutdown starts is still
+/// answered (within the drain deadline); afterwards the port is closed.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let runtime = Arc::new(ServeRuntime::start(
+        gw_slade(),
+        ServeConfig {
+            shards: 1,
+            lanes_per_shard: BEAM,
+            test_decode_delay: Duration::from_millis(200),
+            ..ServeConfig::default()
+        },
+    ));
+    let gateway = Gateway::start(Arc::clone(&runtime), gw_config()).expect("bind");
+    let addr = gateway.local_addr().to_string();
+    let local = gateway.local_addr();
+    let client = {
+        let addr = addr.clone();
+        std::thread::spawn(move || post(&addr, &decompile_body(&asm(6))))
+    };
+    // Let the request reach the delivery pool, then drain.
+    std::thread::sleep(Duration::from_millis(80));
+    gateway.shutdown();
+    let resp = client.join().expect("client thread");
+    assert_eq!(resp.status, 200, "in-flight request answered during drain");
+    assert!(!candidates(&resp).is_empty());
+    // The listener is gone: connecting now must fail (or be refused).
+    match std::net::TcpStream::connect_timeout(&local, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(mut s) => {
+            // Some platforms complete the handshake from the dead
+            // listener's backlog; the connection must then be dead.
+            use std::io::Read;
+            s.set_read_timeout(Some(Duration::from_millis(500))).expect("timeout");
+            let mut buf = [0u8; 8];
+            assert!(
+                matches!(s.read(&mut buf), Ok(0) | Err(_)),
+                "gateway still serving after shutdown",
+            );
+        }
+    }
+    Arc::try_unwrap(runtime).ok().expect("gateway dropped its handle").shutdown();
+}

@@ -46,6 +46,20 @@ impl PromText {
         self.buf.push_str(&format!("{name} {value}\n"));
     }
 
+    /// A counter family with one series per `(label_value, value)` pair.
+    pub fn counter_series(
+        &mut self,
+        name: &'static str,
+        help: &str,
+        label: &str,
+        series: &[(String, u64)],
+    ) {
+        self.declare(name, help, "counter");
+        for (lv, v) in series {
+            self.buf.push_str(&format!("{name}{{{label}=\"{lv}\"}} {v}\n"));
+        }
+    }
+
     /// A gauge family with one series per `(label_value, value)` pair.
     pub fn gauge_series(
         &mut self,

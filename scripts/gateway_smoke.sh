@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the HTTP gateway: boots `slade-cli serve` on
+# an ephemeral port, POSTs a decompile request, asserts a 200 with valid
+# JSON candidates, scrapes /metrics through `slade-cli stats --url`, and
+# greps the gateway counter families. Run from the repo root; pass a
+# prebuilt slade-cli path as $1 to skip the cargo build.
+set -euo pipefail
+
+CLI="${1:-}"
+if [[ -z "$CLI" ]]; then
+  cargo build --release --bin slade-cli
+  CLI=target/release/slade-cli
+fi
+
+WORK="$(mktemp -d)"
+ADDR_FILE="$WORK/addr"
+SERVER_LOG="$WORK/serve.log"
+
+cleanup() {
+  [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  [[ -n "${SERVER_PID:-}" ]] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$CLI" serve --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" \
+  --shards 2 --queue-cap 32 --timeout-ms 30000 >"$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+# The addr file appears once the listener is bound.
+for _ in $(seq 1 100); do
+  [[ -s "$ADDR_FILE" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$SERVER_LOG"; exit 1; }
+  sleep 0.2
+done
+[[ -s "$ADDR_FILE" ]] || { echo "server never wrote $ADDR_FILE"; cat "$SERVER_LOG"; exit 1; }
+ADDR="$(cat "$ADDR_FILE")"
+echo "gateway listening on $ADDR"
+
+# POST /v1/decompile: 200 with a non-empty JSON candidates array.
+BODY='{"asm":"f0:\n\tpushq %rbp\n\tmovq %rsp, %rbp\n\tmovl %edi, -4(%rbp)\n\taddl $3, %eax\n\tpopq %rbp\n\tret\n","isa":"x86","opt":"O0"}'
+STATUS="$(curl -sS -o "$WORK/resp.json" -w '%{http_code}' \
+  -H 'content-type: application/json' -H 'x-slade-client: smoke' \
+  -d "$BODY" "http://$ADDR/v1/decompile")"
+echo "POST /v1/decompile -> $STATUS"
+[[ "$STATUS" == "200" ]] || { cat "$WORK/resp.json"; cat "$SERVER_LOG"; exit 1; }
+python3 - "$WORK/resp.json" <<'EOF'
+import json, sys
+resp = json.load(open(sys.argv[1]))
+assert isinstance(resp["trace_id"], int), resp
+assert isinstance(resp["candidates"], list) and resp["candidates"], resp
+assert all(isinstance(c, str) for c in resp["candidates"]), resp
+print(f"ok: {len(resp['candidates'])} candidates, trace {resp['trace_id']}")
+EOF
+
+# /healthz answers.
+curl -sS "http://$ADDR/healthz" | grep -q '"status":"ok"'
+
+# The stats scrape mode validates the combined exposition.
+"$CLI" stats --url "http://$ADDR"
+
+# Raw scrape carries both the runtime and gateway families.
+curl -sS "http://$ADDR/metrics" >"$WORK/metrics.prom"
+grep -E '^slade_gateway_requests_total\{code="200"\} [1-9]' "$WORK/metrics.prom"
+grep -E '^slade_gateway_connections_total [1-9]' "$WORK/metrics.prom"
+grep -E '^slade_requests_submitted_total [1-9]' "$WORK/metrics.prom"
+grep -c '^# TYPE ' "$WORK/metrics.prom"
+
+echo "gateway smoke passed"

@@ -8,19 +8,27 @@
 //! slade-cli decompile --model model.json --asm file.s [--context file.c] [--beam K]
 //! slade-cli eval      --model model.json [--items N] [--seed N] [--repair]
 //!                     [--threads N]
+//! slade-cli serve     --addr HOST:PORT [--model model.json] [--shards N]
+//!                     [--queue-cap N] [--timeout-ms N] [--spill-dir DIR]
+//!                     [--quota-rps R] [--quota-burst B] [--addr-file PATH]
 //! slade-cli stats     [--model model.json] [--shards N] [--requests N]
 //!                     [--queue-cap N] [--timeout-ms N] [--spill-dir DIR]
 //!                     [--prometheus | --json]
+//! slade-cli stats     --url http://HOST:PORT [--prometheus | --json]
 //! slade-cli trace     [--model model.json] [--asm file.s] [--request ID]
 //! ```
 //!
 //! `train` writes a self-contained JSON artifact (weights + tokenizer +
 //! target configuration); `decompile` prints beam candidates with inferred
 //! type headers; `eval` scores a model on freshly generated held-out items
-//! with the same IO harness as the paper's figures; `stats` serves a
-//! workload and renders the live metrics snapshot (`--prometheus` for the
-//! text exposition, `--json` for the per-stage breakdown); `trace`
-//! decompiles one input and prints its span tree.
+//! with the same IO harness as the paper's figures; `serve` runs the HTTP
+//! gateway over the admission tier until killed (`--addr 127.0.0.1:0`
+//! picks an ephemeral port, written to `--addr-file` for scripts); `stats`
+//! serves a workload and renders the live metrics snapshot
+//! (`--prometheus` for the text exposition, `--json` for the full
+//! snapshot plus stage breakdown) or, with `--url`, scrapes and validates
+//! a live gateway's `/metrics`; `trace` decompiles one input and prints
+//! its span tree.
 //!
 //! Observability knobs (environment, read once at startup):
 //! `SLADE_SLOW_MS` — slow-request log threshold in ms (default 1000, `0`
@@ -65,6 +73,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(&flags),
         "decompile" => cmd_decompile(&flags),
         "eval" => cmd_eval(&flags),
+        "serve" => cmd_serve(&flags),
         "stats" => cmd_stats(&flags),
         "trace" => cmd_trace(&flags),
         "help" | "--help" | "-h" => {
@@ -89,9 +98,13 @@ const USAGE: &str = "usage:
   slade-cli decompile --model model.json --asm file.s [--context file.c] [--beam K]
   slade-cli eval      --model model.json [--items N] [--seed N] [--repair]
                       [--threads N]
+  slade-cli serve     --addr HOST:PORT [--model model.json] [--shards N]
+                      [--queue-cap N] [--timeout-ms N] [--spill-dir DIR]
+                      [--quota-rps R] [--quota-burst B] [--addr-file PATH]
   slade-cli stats     [--model model.json] [--shards N] [--requests N]
                       [--queue-cap N] [--timeout-ms N] [--spill-dir DIR]
                       [--prometheus | --json]
+  slade-cli stats     --url http://HOST:PORT [--prometheus | --json]
   slade-cli trace     [--model model.json] [--asm file.s] [--request ID]
 
 env: SLADE_SLOW_MS (slow-request log threshold ms, default 1000, 0=off),
@@ -136,6 +149,13 @@ fn parse_opt(flags: &HashMap<String, String>) -> Result<OptLevel, String> {
 }
 
 fn numeric(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+    }
+}
+
+fn fractional(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
@@ -272,21 +292,57 @@ fn synthetic_asm(i: usize) -> String {
     )
 }
 
-fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
-    use slade_serve::{ServeConfig, ServeRuntime};
-    let slade = observed_slade(flags)?;
+/// Admission-tier configuration shared by `stats` (synthetic workload)
+/// and `serve` (live gateway): `--shards`, `--queue-cap`, `--timeout-ms`,
+/// `--spill-dir`.
+fn serve_config(flags: &HashMap<String, String>) -> Result<slade_serve::ServeConfig, String> {
     let shards = numeric(flags, "shards", 2)?.max(1) as usize;
-    let requests = numeric(flags, "requests", 6)?.max(1) as usize;
     let queue_cap = numeric(flags, "queue-cap", 0)? as usize;
     let timeout_ms = numeric(flags, "timeout-ms", 0)?;
-    eprintln!("serving {requests} synthetic requests across {shards} shards ...");
-    let mut config = ServeConfig::with_shards(shards)
+    let mut config = slade_serve::ServeConfig::with_shards(shards)
         .with_queue_cap(queue_cap)
         .with_request_timeout(std::time::Duration::from_millis(timeout_ms));
     if let Some(dir) = flags.get("spill-dir") {
         config = config.with_spill_dir(std::path::PathBuf::from(dir));
     }
-    let runtime = ServeRuntime::start(slade, config);
+    Ok(config)
+}
+
+/// Runs the HTTP gateway over the admission tier until the process is
+/// killed. The bound address goes to stderr and (with `--addr-file`) to a
+/// file, so scripts can bind `--addr 127.0.0.1:0` and discover the
+/// ephemeral port.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use slade_gateway::{quota::QuotaConfig, Gateway, GatewayConfig};
+    let addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:8070".to_string());
+    let slade = observed_slade(flags)?;
+    let runtime =
+        std::sync::Arc::new(slade_serve::ServeRuntime::start(slade, serve_config(flags)?));
+    let quota = QuotaConfig {
+        rps: fractional(flags, "quota-rps", 0.0)?,
+        burst: fractional(flags, "quota-burst", 8.0)?,
+    };
+    let cfg = GatewayConfig { addr, quota, ..GatewayConfig::default() };
+    let gateway = Gateway::start(runtime, cfg).map_err(|e| format!("bind: {e}"))?;
+    let bound = gateway.local_addr();
+    if let Some(path) = flags.get("addr-file") {
+        std::fs::write(path, format!("{bound}")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    eprintln!("listening on http://{bound} (POST /v1/decompile, GET /metrics, GET /healthz)");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    use slade_serve::ServeRuntime;
+    if flags.contains_key("url") {
+        return scrape_stats(flags);
+    }
+    let slade = observed_slade(flags)?;
+    let requests = numeric(flags, "requests", 6)?.max(1) as usize;
+    eprintln!("serving {requests} synthetic requests ...");
+    let runtime = ServeRuntime::start(slade, serve_config(flags)?);
     let workload: Vec<String> = (0..requests).map(synthetic_asm).collect();
     // Fallible admission so an undersized --queue-cap sheds visibly in
     // the snapshot instead of queueing without bound.
@@ -301,8 +357,12 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     if flags.contains_key("prometheus") {
         put!("{}", runtime.metrics_text().trim_end());
     } else if flags.contains_key("json") {
-        let breakdown = slade_obs::obs().stage_snapshot();
-        put!("{}", serde_json::to_string(&breakdown).map_err(|e| e.to_string())?);
+        // The full admission snapshot (latency and queue-wait
+        // percentiles included) plus the per-stage breakdown.
+        let snapshot = serde_json::to_string(&runtime.metrics()).map_err(|e| e.to_string())?;
+        let stages = serde_json::to_string(&slade_obs::obs().stage_snapshot())
+            .map_err(|e| e.to_string())?;
+        put!("{{\"snapshot\":{snapshot},\"stages\":{stages}}}");
     } else {
         let s = runtime.metrics();
         put!(
@@ -373,6 +433,61 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     runtime.shutdown();
+    Ok(())
+}
+
+/// `stats --url http://host:port` — scrapes a live gateway's `/metrics`,
+/// validates the exposition, and summarizes it. `--prometheus` prints the
+/// raw scrape; `--json` prints the parsed unlabeled samples.
+fn scrape_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let base = flags.get("url").filter(|u| !u.is_empty()).ok_or("--url expects a value")?;
+    let url = if base.ends_with("/metrics") {
+        base.clone()
+    } else {
+        format!("{}/metrics", base.trim_end_matches('/'))
+    };
+    let resp = slade_gateway::http::get_url(&url, std::time::Duration::from_secs(5))?;
+    if resp.status != 200 {
+        return Err(format!("{url}: HTTP {}", resp.status));
+    }
+    let text = resp.text();
+    let stats =
+        slade_obs::export::validate_exposition(&text).map_err(|e| format!("{url}: {e}"))?;
+    if flags.contains_key("prometheus") {
+        put!("{}", text.trim_end());
+        return Ok(());
+    }
+    if flags.contains_key("json") {
+        let mut names: Vec<&String> = stats.values.keys().collect();
+        names.sort();
+        let fields: Vec<String> =
+            names.iter().map(|n| format!("{n:?}:{}", stats.values[*n])).collect();
+        put!(
+            "{{\"url\":{url:?},\"families\":{},\"samples\":{},\"values\":{{{}}}}}",
+            stats.families,
+            stats.samples,
+            fields.join(",")
+        );
+        return Ok(());
+    }
+    put!("{url}: valid exposition ({} families, {} samples)", stats.families, stats.samples);
+    // The headline admission + gateway counters, when present.
+    for name in [
+        "slade_requests_submitted_total",
+        "slade_decoded_total",
+        "slade_coalesced_total",
+        "slade_shed_total",
+        "slade_expired_total",
+        "slade_cache_hits_total",
+        "slade_gateway_connections_total",
+        "slade_gateway_decompile_offered_total",
+        "slade_gateway_quota_shed_total",
+        "slade_gateway_streams_total",
+    ] {
+        if let Some(v) = stats.values.get(name) {
+            put!("  {name:<42} {v}");
+        }
+    }
     Ok(())
 }
 
